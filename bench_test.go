@@ -1,0 +1,327 @@
+package dsh_test
+
+// Benchmark harness: one benchmark per figure / experiment of the paper
+// (see DESIGN.md section 3 for the experiment index). Each benchmark runs
+// the corresponding experiment end-to-end with a reduced Monte-Carlo
+// budget and reports ns/op for the full table; run cmd/dshbench for the
+// full-budget tables recorded in EXPERIMENTS.md.
+//
+// Micro-benchmarks for the hot paths (sampling and hashing of each family)
+// live alongside each package; headline ones are repeated here so that
+// `go test -bench=. -benchmem .` gives a one-screen overview.
+
+import (
+	"fmt"
+	"testing"
+
+	"dsh"
+	"dsh/internal/experiments"
+	"dsh/internal/sketch"
+	"dsh/internal/sphere"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Config{Trials: 1500, Seed: 7}
+}
+
+// --- one benchmark per paper artifact ---
+
+func BenchmarkFig1EuclideanCPF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure1(benchConfig())
+	}
+}
+
+func BenchmarkFig2StepCPF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure2(benchConfig())
+	}
+}
+
+func BenchmarkFig3Annuli(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure3(benchConfig())
+	}
+}
+
+func BenchmarkFig4PolynomialCPF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure4(benchConfig())
+	}
+}
+
+func BenchmarkFilterCPF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.FilterCPF(benchConfig())
+	}
+}
+
+func BenchmarkCrossPolytope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.CrossPolytopeExp(benchConfig())
+	}
+}
+
+func BenchmarkLowerBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.LowerBound(benchConfig())
+	}
+}
+
+func BenchmarkAntiBitSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AntiBit(benchConfig())
+	}
+}
+
+func BenchmarkEuclidRho(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.EuclidRho(benchConfig())
+	}
+}
+
+func BenchmarkPolyCPF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.PolyCPF(benchConfig())
+	}
+}
+
+func BenchmarkAnnulusSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AnnulusSearch(benchConfig())
+	}
+}
+
+func BenchmarkRangeReport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RangeReport(benchConfig())
+	}
+}
+
+func BenchmarkPrivacyEstimation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Privacy(benchConfig())
+	}
+}
+
+func BenchmarkCombinators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Combinators(benchConfig())
+	}
+}
+
+// --- headline micro-benchmarks ---
+
+func BenchmarkSampleHashAntiBit(b *testing.B) {
+	rng := dsh.NewRand(1)
+	fam := dsh.AntiBitSampling(1024)
+	x := dsh.RandomBits(rng, 1024)
+	y := dsh.BitsAtDistance(rng, x, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pair := fam.Sample(rng)
+		_ = pair.Collides(x, y)
+	}
+}
+
+func BenchmarkSampleHashSimHash(b *testing.B) {
+	rng := dsh.NewRand(1)
+	fam := dsh.SimHash(128)
+	x, y := vec.UnitPairWithDot(xrand.New(2), 128, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pair := fam.Sample(rng)
+		_ = pair.Collides(x, y)
+	}
+}
+
+func BenchmarkSampleHashFilterMinus(b *testing.B) {
+	rng := dsh.NewRand(1)
+	fam := dsh.FilterMinus(64, 2)
+	x, y := vec.UnitPairWithDot(xrand.New(2), 64, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pair := fam.Sample(rng)
+		_ = pair.Collides(x, y)
+	}
+}
+
+func BenchmarkSampleHashCrossPolytope(b *testing.B) {
+	rng := dsh.NewRand(1)
+	fam := dsh.CrossPolytope(64)
+	x, y := vec.UnitPairWithDot(xrand.New(2), 64, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pair := fam.Sample(rng)
+		_ = pair.Collides(x, y)
+	}
+}
+
+func BenchmarkSampleHashPStable(b *testing.B) {
+	rng := dsh.NewRand(1)
+	fam := dsh.NewPStable(128, 3, 1)
+	x, y := vec.PairAtDistance(xrand.New(2), 128, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pair := fam.Sample(rng)
+		_ = pair.Collides(x, y)
+	}
+}
+
+func BenchmarkAnnulusIndexBuild(b *testing.B) {
+	rng := xrand.New(1)
+	pts := make([][]float64, 2000)
+	for i := range pts {
+		pts[i] = vec.RandomUnit(rng, 24)
+	}
+	fam := dsh.Annulus(24, 0.5, 2)
+	L := dsh.RepetitionsForCPF(fam.CPF().Eval(0.5))
+	within := func(q, x []float64) bool {
+		a := vec.Dot(q, x)
+		return a >= 0.35 && a <= 0.65
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsh.NewAnnulusIndex[[]float64](rng, fam, L, pts, within)
+	}
+}
+
+func BenchmarkDistanceEstimatorRound(b *testing.B) {
+	rng := xrand.New(1)
+	fam := dsh.Step(24, 0.5, 0.9, 3, 2.0)
+	est, err := dsh.NewDistanceEstimator(rng, fam, 0.002, 0.0001, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, q := vec.UnitPairWithDot(rng, 24, 0.7)
+	proto := dsh.PlaintextPSI()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(x, q, proto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- extension experiments ---
+
+func BenchmarkAnnulusJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AnnulusJoin(benchConfig())
+	}
+}
+
+func BenchmarkCPFDesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.CPFDesign(benchConfig())
+	}
+}
+
+func BenchmarkTaylorCPF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TaylorCPF(benchConfig())
+	}
+}
+
+func BenchmarkHyperplaneQueries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.HyperplaneQueries(benchConfig())
+	}
+}
+
+func BenchmarkKernelSpaces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.KernelSpaces(benchConfig())
+	}
+}
+
+// --- ablation benches for the design choices DESIGN.md calls out ---
+
+// Ablation: filter truncation length m trades hash cost against CPF mass
+// (Lemma A.5 sets m = ceil(2t^3/p') to make the miss probability
+// negligible; shorter sequences truncate the CPF).
+func BenchmarkAblationFilterM(b *testing.B) {
+	rng := xrand.New(1)
+	x, y := vec.UnitPairWithDot(xrand.New(2), 24, 0.5)
+	for _, frac := range []int{1, 4, 16} {
+		m := dsh.FilterMinus(24, 2).M() / frac
+		if m < 1 {
+			m = 1
+		}
+		fam := sphere.NewFilterWithM(24, 2, m, true)
+		b.Run(fmt.Sprintf("m_div_%d", frac), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pair := fam.Sample(rng)
+				_ = pair.Collides(x, y)
+			}
+		})
+	}
+}
+
+// Ablation: annulus threshold t trades repetitions (L ~ 1/f(peak)) against
+// CPF sharpness; larger t prunes better but costs more repetitions and
+// longer cap scans.
+func BenchmarkAblationAnnulusT(b *testing.B) {
+	pts := workloadPoints(1000, 24)
+	within := func(q, x []float64) bool {
+		a := vec.Dot(q, x)
+		return a >= 0.35 && a <= 0.65
+	}
+	for _, t := range []float64{1.4, 1.8, 2.2} {
+		fam := dsh.Annulus(24, 0.5, t)
+		L := dsh.RepetitionsForCPF(fam.CPF().Eval(0.5))
+		b.Run(fmt.Sprintf("t_%.1f_L_%d", t, L), func(b *testing.B) {
+			rng := xrand.New(3)
+			for i := 0; i < b.N; i++ {
+				ai := dsh.NewAnnulusIndex[[]float64](rng, fam, L, pts, within)
+				_, _ = ai.Query(pts[0])
+			}
+		})
+	}
+}
+
+// Ablation: TensorSketch width trades embedding time against inner-product
+// accuracy for the Theorem 5.1 approximation.
+func BenchmarkAblationSketchWidth(b *testing.B) {
+	rng := xrand.New(1)
+	x := vec.RandomUnit(rng, 64)
+	for _, width := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("width_%d", width), func(b *testing.B) {
+			ts := sketch.NewTensorSketch(xrand.New(2), 64, 3, width)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ts.Apply(x)
+			}
+		})
+	}
+}
+
+// Ablation: parallel vs sequential index build.
+func BenchmarkAblationIndexBuild(b *testing.B) {
+	pts := workloadPoints(4000, 24)
+	fam := dsh.Power(dsh.SimHash(24), 6)
+	const L = 64
+	b.Run("sequential", func(b *testing.B) {
+		rng := xrand.New(4)
+		for i := 0; i < b.N; i++ {
+			dsh.NewIndex(rng, fam, L, pts)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		rng := xrand.New(4)
+		for i := 0; i < b.N; i++ {
+			dsh.NewParallelIndex(rng, fam, L, pts)
+		}
+	})
+}
+
+func workloadPoints(n, d int) [][]float64 {
+	rng := xrand.New(99)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = vec.RandomUnit(rng, d)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Command dshbench runs the experiment harness that reproduces every
+// figure and quantitative theorem of "Distance-Sensitive Hashing"
+// (PODS 2018). Each experiment prints a table of paper-predicted versus
+// measured values.
+//
+// Usage:
+//
+//	dshbench [-trials N] [-seed S] [-csv] [experiment...]
+//
+// Experiments: fig1 fig2 fig3 fig4 filter-cpf crosspolytope lowerbound
+// antibit euclid-rho polycpf annulus rangereport privacy combinators all
+// (default: all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dsh/internal/experiments"
+)
+
+var registry = map[string]func(experiments.Config) *experiments.Table{
+	"fig1":          experiments.Figure1,
+	"fig2":          experiments.Figure2,
+	"fig3":          experiments.Figure3,
+	"fig4":          experiments.Figure4,
+	"filter-cpf":    experiments.FilterCPF,
+	"crosspolytope": experiments.CrossPolytopeExp,
+	"lowerbound":    experiments.LowerBound,
+	"antibit":       experiments.AntiBit,
+	"euclid-rho":    experiments.EuclidRho,
+	"polycpf":       experiments.PolyCPF,
+	"annulus":       experiments.AnnulusSearch,
+	"rangereport":   experiments.RangeReport,
+	"privacy":       experiments.Privacy,
+	"combinators":   experiments.Combinators,
+	"join":          experiments.AnnulusJoin,
+	"cpfdesign":     experiments.CPFDesign,
+	"taylor":        experiments.TaylorCPF,
+	"hyperplane":    experiments.HyperplaneQueries,
+	"kernel":        experiments.KernelSpaces,
+}
+
+func names() []string {
+	var out []string
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	trials := flag.Int("trials", 20000, "Monte-Carlo samples per probed point")
+	seed := flag.Uint64("seed", 7, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dshbench [flags] [experiment...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(names(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := experiments.Config{Trials: *trials, Seed: *seed}
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	var selected []string
+	for _, a := range args {
+		if a == "all" {
+			selected = names()
+			break
+		}
+		if _, ok := registry[a]; !ok {
+			fmt.Fprintf(os.Stderr, "dshbench: unknown experiment %q\n", a)
+			flag.Usage()
+			os.Exit(2)
+		}
+		selected = append(selected, a)
+	}
+	for _, name := range selected {
+		tbl := registry[name](cfg)
+		if *csv {
+			tbl.RenderCSV(os.Stdout)
+		} else {
+			tbl.Render(os.Stdout)
+		}
+	}
+}

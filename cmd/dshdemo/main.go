@@ -1,0 +1,91 @@
+// Command dshdemo runs an end-to-end "close but not too close"
+// recommendation demo (the paper's motivating example): it builds a corpus
+// of synthetic article embeddings grouped into topics, indexes them with
+// the Section 6.2 unimodal annulus family, and answers queries that ask for
+// articles on the same topic but not near-duplicates.
+//
+// Usage:
+//
+//	dshdemo [-n 20000] [-d 32] [-topics 50] [-alpha 0.55] [-width 0.15] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dsh/internal/index"
+	"dsh/internal/sphere"
+	"dsh/internal/vec"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "number of articles")
+	d := flag.Int("d", 32, "embedding dimension")
+	topics := flag.Int("topics", 50, "number of topics")
+	alpha := flag.Float64("alpha", 0.55, "target similarity (peak of the annulus)")
+	width := flag.Float64("width", 0.15, "accepted half-width around the target similarity")
+	seed := flag.Uint64("seed", 1, "random seed")
+	queries := flag.Int("queries", 20, "number of demo queries")
+	flag.Parse()
+
+	rng := xrand.New(*seed)
+	perTopic := *n / *topics
+	fmt.Printf("building corpus: %d articles, %d topics, d=%d\n", perTopic**topics, *topics, *d)
+	corpus := workload.NewArticleCorpus(rng, *d, *topics, perTopic, 0.55)
+
+	fam := sphere.NewAnnulus(*d, *alpha, 2.2)
+	fPeak := fam.CPF().Eval(*alpha)
+	L := index.RepetitionsForCPF(fPeak)
+	fmt.Printf("annulus family %s: f(peak) = %.5f, L = %d repetitions\n", fam.Name(), fPeak, L)
+
+	within := func(q, x []float64) bool {
+		a := vec.Dot(q, x)
+		return a >= *alpha-*width && a <= *alpha+*width
+	}
+
+	start := time.Now()
+	ai := index.NewAnnulus[[]float64](rng, fam, L, corpus.Points, within)
+	fmt.Printf("index built over %d points in %v\n\n", len(corpus.Points), time.Since(start))
+
+	ls := index.NewLinearScan(corpus.Points)
+	hits, lsCand, aiCand := 0, 0, 0
+	var aiTime, lsTime time.Duration
+	for qi := 0; qi < *queries; qi++ {
+		qid := rng.Intn(len(corpus.Points))
+		q := corpus.Points[qid]
+
+		t0 := time.Now()
+		id, stats := ai.Query(q)
+		aiTime += time.Since(t0)
+		aiCand += stats.Candidates
+
+		t0 = time.Now()
+		lid, lstats := ls.Query(q, within)
+		lsTime += time.Since(t0)
+		lsCand += lstats.Candidates
+
+		status := "miss"
+		if id >= 0 {
+			hits++
+			sim := vec.Dot(q, corpus.Points[id])
+			sameTopic := corpus.Topic[id] == corpus.Topic[qid]
+			status = fmt.Sprintf("hit sim=%.3f same-topic=%v (scanned %d)", sim, sameTopic, stats.Candidates)
+		}
+		if qi < 5 {
+			fmt.Printf("query %2d (topic %3d): %s; linear scan found=%v after %d points\n",
+				qi, corpus.Topic[qid], status, lid >= 0, lstats.Candidates)
+		}
+	}
+	fmt.Printf("\nsummary over %d queries:\n", *queries)
+	fmt.Printf("  dsh annulus: recall %.2f, avg candidates %.0f, avg time %v\n",
+		float64(hits)/float64(*queries), float64(aiCand)/float64(*queries), aiTime/time.Duration(*queries))
+	fmt.Printf("  linear scan: avg candidates %.0f, avg time %v\n",
+		float64(lsCand)/float64(*queries), lsTime/time.Duration(*queries))
+	if hits == 0 {
+		fmt.Fprintln(os.Stderr, "warning: no hits; try increasing -width or lowering -alpha")
+	}
+}

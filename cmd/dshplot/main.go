@@ -1,0 +1,207 @@
+// Command dshplot renders ASCII versions of the paper's figures straight
+// from the analytic collision probability functions:
+//
+//	dshplot fig1   CPF of the Euclidean family R_{k,w} (k=3, w=1)
+//	dshplot fig2   step-function CPF from a mixture of unimodal CPFs
+//	dshplot fig3   annulus boundaries alpha-(alphaMax), alpha+(alphaMax)
+//	dshplot fig4   polynomial CPFs sim(P(alpha)) of Theorem 5.1
+//	dshplot filter CPFs of the filter families D+ and D- (Thm 1.2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"dsh/internal/core"
+	"dsh/internal/euclid"
+	"dsh/internal/poly"
+	"dsh/internal/sphere"
+)
+
+// plot renders one or more curves over [xLo, xHi] as an ASCII chart.
+func plot(title string, xLo, xHi float64, width, height int, curves map[rune]func(float64) float64) {
+	fmt.Printf("%s\n", title)
+	// Sample curves.
+	type sample struct {
+		mark rune
+		ys   []float64
+	}
+	var samples []sample
+	yMax := math.Inf(-1)
+	yMin := 0.0
+	order := make([]rune, 0, len(curves))
+	for m := range curves {
+		order = append(order, m)
+	}
+	// Deterministic order.
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if order[j] < order[i] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, m := range order {
+		f := curves[m]
+		ys := make([]float64, width)
+		for i := 0; i < width; i++ {
+			x := xLo + (xHi-xLo)*float64(i)/float64(width-1)
+			ys[i] = f(x)
+			if !math.IsNaN(ys[i]) && !math.IsInf(ys[i], 0) {
+				yMax = math.Max(yMax, ys[i])
+			}
+		}
+		samples = append(samples, sample{mark: m, ys: ys})
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range samples {
+		for i, y := range s.ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			row := int((y - yMin) / (yMax - yMin) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[height-1-row][i] = s.mark
+		}
+	}
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.3f ", yMax)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%7.3f ", yMin)
+		}
+		fmt.Printf("%s|%s\n", label, string(line))
+	}
+	fmt.Printf("        +%s\n", strings.Repeat("-", width))
+	fmt.Printf("        %-10.3g%*s\n\n", xLo, width-9, fmt.Sprintf("%.3g", xHi))
+}
+
+func fig1() {
+	fam := euclid.NewPStable(16, 3, 1)
+	plot("Figure 1: CPF of R_{k,w}, k=3, w=1 (x: distance, y: collision probability)",
+		0.2, 10, 72, 16, map[rune]func(float64) float64{'*': fam.ExactCPF})
+}
+
+func fig2() {
+	// Equal-height unimodal components (squared R_{3,w} at spread widths)
+	// and their equal-weight mixture, as in internal/experiments.Figure2.
+	widths := []float64{1, 1.5, 2.25, 3.4, 5}
+	var parts []core.Family[[]float64]
+	weights := make([]float64, len(widths))
+	var fams []*euclid.PStable
+	for i, w := range widths {
+		f := euclid.NewPStable(16, 3, w)
+		fams = append(fams, f)
+		parts = append(parts, core.Power[[]float64](f, 2))
+		weights[i] = 1 / float64(len(widths))
+	}
+	mix := core.Mixture(parts, weights)
+	curves := map[rune]func(float64) float64{'#': mix.CPF().Eval}
+	marks := []rune{'a', 'b', 'c', 'd', 'e'}
+	for i, f := range fams {
+		scaled := weights[i]
+		fam := f
+		curves[marks[i]] = func(x float64) float64 {
+			v := fam.ExactCPF(x)
+			return scaled * v * v
+		}
+	}
+	plot("Figure 2: unimodal components (a-e, weighted) and their step-function mixture (#)",
+		0.2, 25, 72, 16, curves)
+}
+
+func fig3() {
+	lo2 := func(a float64) float64 { lo, _ := sphere.AnnulusBounds(a, 2); return lo }
+	hi2 := func(a float64) float64 { _, hi := sphere.AnnulusBounds(a, 2); return hi }
+	lo4 := func(a float64) float64 { lo, _ := sphere.AnnulusBounds(a, 4); return lo }
+	hi4 := func(a float64) float64 { _, hi := sphere.AnnulusBounds(a, 4); return hi }
+	id := func(a float64) float64 { return a }
+	fmt.Println("(curves shifted by +1 so the plot is non-negative: y = alpha + 1)")
+	shift := func(f func(float64) float64) func(float64) float64 {
+		return func(a float64) float64 { return f(a) + 1 }
+	}
+	plot("Figure 3: annulus boundaries vs alphaMax (m: alphaMax, 2: s=2 bounds, 4: s=4 bounds)",
+		-0.9, 0.9, 72, 18, map[rune]func(float64) float64{
+			'm': shift(id),
+			'2': shift(lo2), '3': shift(hi2),
+			'4': shift(lo4), '5': shift(hi4),
+		})
+}
+
+func fig4() {
+	mk := func(p poly.Poly) func(float64) float64 {
+		return func(a float64) float64 { return sphere.SimHashCPF(p.Eval(a)) }
+	}
+	plot("Figure 4 (left): sim(P(alpha)) for P = t^2 (a), -t^2 (b), (-t^3+t^2-t)/3 (c)",
+		-1, 1, 72, 16, map[rune]func(float64) float64{
+			'a': mk(poly.New(0, 0, 1)),
+			'b': mk(poly.New(0, 0, -1)),
+			'c': mk(poly.New(0, -1.0/3, 1.0/3, -1.0/3)),
+		})
+	plot("Figure 4 (right): normalized Chebyshev T2 (2), T3 (3), T4 (4), T5 (5)",
+		-1, 1, 72, 16, map[rune]func(float64) float64{
+			'2': mk(poly.Chebyshev(2).NormalizeAbsSum()),
+			'3': mk(poly.Chebyshev(3).NormalizeAbsSum()),
+			'4': mk(poly.Chebyshev(4).NormalizeAbsSum()),
+			'5': mk(poly.Chebyshev(5).NormalizeAbsSum()),
+		})
+}
+
+func filterFig() {
+	plus := sphere.NewFilterPlus(24, 2)
+	minus := sphere.NewFilterMinus(24, 2)
+	ann := sphere.NewAnnulus(24, 0.25, 2)
+	plot("Filter CPFs (Thm 1.2): D+ (+), D- (-), and the Sec 6.2 annulus product (#) [log10 scale +6]",
+		-0.9, 0.9, 72, 18, map[rune]func(float64) float64{
+			'+': func(a float64) float64 { return math.Max(0, math.Log10(plus.ExactCPF(a))+6) },
+			'-': func(a float64) float64 { return math.Max(0, math.Log10(minus.ExactCPF(a))+6) },
+			'#': func(a float64) float64 { return math.Max(0, math.Log10(ann.CPF().Eval(a))+6) },
+		})
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dshplot [fig1|fig2|fig3|fig4|filter|all]")
+	}
+	flag.Parse()
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	switch which {
+	case "fig1":
+		fig1()
+	case "fig2":
+		fig2()
+	case "fig3":
+		fig3()
+	case "fig4":
+		fig4()
+	case "filter":
+		filterFig()
+	case "all":
+		fig1()
+		fig2()
+		fig3()
+		fig4()
+		filterFig()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,336 @@
+// Package dsh is a from-scratch Go implementation of Distance-Sensitive
+// Hashing (Aumüller, Christiani, Pagh, Silvestri; PODS 2018): distributions
+// over *pairs* of hash functions (h, g) whose collision probability
+// Pr[h(x) = g(y)] is a prescribed function f -- the collision probability
+// function (CPF) -- of dist(x, y).
+//
+// Classical locality-sensitive hashing is the symmetric special case h = g
+// with a decreasing CPF. The asymmetry unlocks increasing ("anti-LSH"),
+// unimodal, polynomial, and step-shaped CPFs, with applications to annulus
+// search, hyperplane queries, output-sensitive range reporting, and
+// privacy-preserving distance estimation -- all implemented here.
+//
+// # Layout
+//
+// This root package re-exports the library's public API. The pieces live in
+// focused subpackages:
+//
+//   - Framework (Definition 1.1, Lemma 1.4): Family, Pair, CPF, Concat,
+//     Power, Mixture, and the Monte-Carlo CPF estimation harness.
+//   - Hamming space (Sections 4.1, 5): BitSampling, AntiBitSampling,
+//     PolynomialFamily (Theorem 5.2), MonotonePolynomialFamily.
+//   - Unit sphere (Sections 2, 5, 6.2): SimHash, CrossPolytope and
+//     AntiCrossPolytope, FilterPlus/FilterMinus (Theorem 1.2), NewAnnulus
+//     (Section 6.2), NewStep, NewValiant (Theorem 5.1).
+//   - Euclidean space (Section 4.2): NewPStable (Theorem 4.1).
+//   - Applications (Section 6): index structures for annulus search and
+//     range reporting, and the PSI-based private distance estimator.
+//
+// # Quickstart
+//
+//	rng := dsh.NewRand(1)
+//	fam := dsh.AntiBitSampling(256)          // CPF f(t) = t
+//	pair := fam.Sample(rng)                  // one (h, g) draw
+//	x := dsh.RandomBits(rng, 256)
+//	y := dsh.BitsAtDistance(rng, x, 64)      // relative distance 0.25
+//	_ = pair.Collides(x, y)                  // true with probability 0.25
+//
+// See the examples/ directory for runnable programs and cmd/dshbench for
+// the experiment harness that reproduces every figure of the paper.
+package dsh
+
+import (
+	"dsh/internal/bitvec"
+	"dsh/internal/core"
+	"dsh/internal/cpfit"
+	"dsh/internal/euclid"
+	"dsh/internal/hamming"
+	"dsh/internal/index"
+	"dsh/internal/kde"
+	"dsh/internal/poly"
+	"dsh/internal/privacy"
+	"dsh/internal/psi"
+	"dsh/internal/rff"
+	"dsh/internal/sphere"
+	"dsh/internal/xrand"
+)
+
+// Rand is the deterministic pseudo-random generator used by every sampler
+// in the library.
+type Rand = xrand.Rand
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return xrand.New(seed) }
+
+// Core framework types (Definition 1.1).
+type (
+	// Family is a distance-sensitive hash family over point type P.
+	Family[P any] = core.Family[P]
+	// Pair is a single (h, g) draw from a family.
+	Pair[P any] = core.Pair[P]
+	// Hasher maps points to 64-bit hash values.
+	Hasher[P any] = core.Hasher[P]
+	// CPF is a collision probability function with domain metadata.
+	CPF = core.CPF
+	// Domain identifies a CPF's argument convention.
+	Domain = core.Domain
+	// Estimate is a Monte-Carlo collision probability estimate.
+	Estimate = core.Estimate
+)
+
+// CPF domains.
+const (
+	DomainDistance        = core.DomainDistance
+	DomainRelativeHamming = core.DomainRelativeHamming
+	DomainInnerProduct    = core.DomainInnerProduct
+)
+
+// Lemma 1.4 combinators.
+func Concat[P any](parts ...Family[P]) Family[P] { return core.Concat(parts...) }
+
+// Power returns the k-fold concatenation of fam with itself (CPF f^k).
+func Power[P any](fam Family[P], k int) Family[P] { return core.Power(fam, k) }
+
+// Mixture returns the convex combination of families (CPF sum w_i f_i).
+func Mixture[P any](parts []Family[P], weights []float64) Family[P] {
+	return core.Mixture(parts, weights)
+}
+
+// EstimateCollision estimates a family's CPF at x by Monte-Carlo sampling.
+func EstimateCollision[P any](rng *Rand, fam Family[P], gen core.PairGenerator[P], x float64, trials int, z float64) Estimate {
+	return core.EstimateCollision(rng, fam, gen, x, trials, z)
+}
+
+// Hamming space. BitVector is a packed binary vector.
+type BitVector = bitvec.Vector
+
+// NewBits returns an all-zero bit vector of dimension d.
+func NewBits(d int) BitVector { return bitvec.New(d) }
+
+// RandomBits returns a uniform random bit vector.
+func RandomBits(rng *Rand, d int) BitVector { return bitvec.Random(rng, d) }
+
+// BitsAtDistance returns a copy of x with exactly r random bits flipped.
+func BitsAtDistance(rng *Rand, x BitVector, r int) BitVector {
+	return bitvec.AtDistance(rng, x, r)
+}
+
+// HammingDistance returns the Hamming distance between bit vectors.
+func HammingDistance(x, y BitVector) int { return bitvec.Distance(x, y) }
+
+// BitSampling returns the classical bit-sampling LSH (CPF 1 - t).
+func BitSampling(d int) Family[BitVector] { return hamming.BitSampling(d) }
+
+// AntiBitSampling returns the Section 4.1 anti-LSH (CPF t).
+func AntiBitSampling(d int) Family[BitVector] { return hamming.AntiBitSampling(d) }
+
+// Polynomial is a real-coefficient polynomial (constant term first).
+type Polynomial = poly.Poly
+
+// NewPolynomial builds a polynomial from coefficients, low degree first.
+func NewPolynomial(coeffs ...float64) Polynomial { return poly.New(coeffs...) }
+
+// PolynomialScheme is the Theorem 5.2 result: a family with CPF P(t)/Delta.
+type PolynomialScheme = hamming.PolynomialScheme
+
+// PolynomialFamily builds the Theorem 5.2 Hamming family for P.
+func PolynomialFamily(d int, p Polynomial) (*PolynomialScheme, error) {
+	return hamming.PolynomialFamily(d, p)
+}
+
+// MonotonePolynomialFamily builds the Lemma 1.4 mixture family with CPF
+// exactly P(t), for P with non-negative coefficients summing to 1.
+func MonotonePolynomialFamily(d int, p Polynomial) (Family[BitVector], error) {
+	return hamming.MonotonePolynomialFamily(d, p)
+}
+
+// Unit sphere.
+
+// SimHash returns Charikar's hyperplane LSH (CPF 1 - arccos(alpha)/pi).
+func SimHash(d int) Family[[]float64] { return sphere.SimHash(d) }
+
+// AntiSimHash returns the query-negated SimHash (CPF arccos(alpha)/pi).
+func AntiSimHash(d int) Family[[]float64] { return sphere.AntiSimHash(d) }
+
+// CrossPolytope returns the CP+ family of Section 2.1.
+func CrossPolytope(d int) Family[[]float64] { return sphere.CrossPolytope(d) }
+
+// AntiCrossPolytope returns the query-negated CP- family (Corollary 2.2).
+func AntiCrossPolytope(d int) Family[[]float64] { return sphere.AntiCrossPolytope(d) }
+
+// Filter is the Section 2.2 cap-sequence family (Theorem 1.2).
+type Filter = sphere.Filter
+
+// FilterPlus returns D+ with threshold t (increasing CPF).
+func FilterPlus(d int, t float64) *Filter { return sphere.NewFilterPlus(d, t) }
+
+// FilterMinus returns the query-negated D- (decreasing CPF, Theorem 1.2).
+func FilterMinus(d int, t float64) *Filter { return sphere.NewFilterMinus(d, t) }
+
+// AnnulusFamily is the unimodal family of Section 6.2.
+type AnnulusFamily = sphere.AnnulusFamily
+
+// Annulus returns the Section 6.2 family peaking at inner product alphaMax.
+func Annulus(d int, alphaMax, t float64) *AnnulusFamily {
+	return sphere.NewAnnulus(d, alphaMax, t)
+}
+
+// AnnulusBounds returns the Theorem 6.2 interval [alpha-, alpha+].
+func AnnulusBounds(alphaMax, s float64) (alphaMinus, alphaPlus float64) {
+	return sphere.AnnulusBounds(alphaMax, s)
+}
+
+// Step returns a step-function CPF family flat on [alphaLo, alphaHi]
+// (Figure 2 / Theorem 6.5 / Section 6.4).
+func Step(d int, alphaLo, alphaHi float64, levels int, t float64) Family[[]float64] {
+	return sphere.NewStep(d, alphaLo, alphaHi, levels, t)
+}
+
+// Valiant returns the Theorem 5.1 family with CPF 1 - arccos(P(alpha))/pi,
+// for P with absolute coefficient sum 1.
+func Valiant(d int, p Polynomial) (Family[[]float64], error) {
+	return sphere.NewValiant(d, p)
+}
+
+// SketchValiant returns the TensorSketch-approximated Theorem 5.1 family.
+func SketchValiant(d int, p Polynomial, width int) (Family[[]float64], error) {
+	return sphere.NewSketchValiant(d, p, width)
+}
+
+// Euclidean space.
+
+// PStable is the R_{k,w} family of Section 4.2.
+type PStable = euclid.PStable
+
+// NewPStable returns R_{k,w} for dimension d (Figure 1, Theorem 4.1).
+func NewPStable(d, k int, w float64) *PStable { return euclid.NewPStable(d, k, w) }
+
+// Applications (Section 6).
+
+// Index is a generic multi-repetition asymmetric LSH index.
+type Index[P any] = index.Index[P]
+
+// NewIndex builds an index over points with L repetitions of fam.
+func NewIndex[P any](rng *Rand, fam Family[P], L int, points []P) *Index[P] {
+	return index.New(rng, fam, L, points)
+}
+
+// AnnulusIndex is the Theorem 6.1 annulus-search structure.
+type AnnulusIndex[P any] = index.AnnulusIndex[P]
+
+// NewAnnulusIndex builds the Theorem 6.1 structure.
+func NewAnnulusIndex[P any](rng *Rand, fam Family[P], L int, points []P, within func(q, x P) bool) *AnnulusIndex[P] {
+	return index.NewAnnulus(rng, fam, L, points, within)
+}
+
+// RangeReporter is the Theorem 6.5 output-sensitive reporting structure.
+type RangeReporter[P any] = index.RangeReporter[P]
+
+// NewRangeReporter builds the Theorem 6.5 structure.
+func NewRangeReporter[P any](rng *Rand, fam Family[P], L int, points []P, inRange func(q, x P) bool) *RangeReporter[P] {
+	return index.NewRangeReporter(rng, fam, L, points, inRange)
+}
+
+// RepetitionsForCPF returns L = ceil(1/f).
+func RepetitionsForCPF(f float64) int { return index.RepetitionsForCPF(f) }
+
+// Privacy (Section 6.4).
+
+// DistanceEstimator is the PSI-based private distance estimation protocol.
+type DistanceEstimator[P any] = privacy.Estimator[P]
+
+// NewDistanceEstimator samples the protocol's shared randomness.
+func NewDistanceEstimator[P any](rng *Rand, fam Family[P], pClose, pFar, eps float64) (*DistanceEstimator[P], error) {
+	return privacy.NewEstimator(rng, fam, pClose, pFar, eps)
+}
+
+// PSIProtocol is a two-party private set intersection implementation.
+type PSIProtocol = psi.Protocol
+
+// PlaintextPSI returns the non-private reference PSI.
+func PlaintextPSI() PSIProtocol { return psi.Plaintext{} }
+
+// DHPSI returns the semi-honest commutative-encryption PSI.
+func DHPSI() PSIProtocol { return psi.DH{} }
+
+// HyperplaneIndex is the Section 6.1 orthogonal-vector search structure.
+type HyperplaneIndex = index.HyperplaneIndex
+
+// NewHyperplaneIndex builds a hyperplane-query index over unit vectors:
+// queries return a point with |<x, q>| <= alpha.
+func NewHyperplaneIndex(rng *Rand, d int, alpha, t float64, points [][]float64) *HyperplaneIndex {
+	return index.NewHyperplane(rng, d, alpha, t, points)
+}
+
+// l_s-space lifting via random Fourier features (Section 2 remark).
+
+// RFFKernel identifies the shift-invariant kernel of a feature map.
+type RFFKernel = rff.Kernel
+
+// Random-feature kernels.
+const (
+	GaussianKernel  = rff.Gaussian
+	LaplacianKernel = rff.Laplacian
+)
+
+// LiftToKernelSpace lifts a unit-sphere family to R^d under the given
+// kernel: the lifted CPF is approximately baseCPF(kernel(distance)).
+func LiftToKernelSpace(kernel RFFKernel, d, features int, sigma float64, base Family[[]float64]) Family[[]float64] {
+	return rff.NewFamily(kernel, d, features, sigma, base)
+}
+
+// Similarity joins (the paper's introductory motivation).
+
+// JoinPair is one emitted pair of a similarity join.
+type JoinPair = index.JoinPair
+
+// JoinStats reports the work of a join.
+type JoinStats = index.JoinStats
+
+// Join runs a distance-sensitive similarity join between two sets: with a
+// unimodal family it is an annulus join ("close but not too close").
+func Join[P any](rng *Rand, fam Family[P], L int, setA, setB []P, verify func(a, b P) bool) ([]JoinPair, JoinStats) {
+	return index.Join(rng, fam, L, setA, setB, verify)
+}
+
+// SelfJoin joins a set with itself, skipping the diagonal.
+func SelfJoin[P any](rng *Rand, fam Family[P], L int, set []P, verify func(a, b P) bool) ([]JoinPair, JoinStats) {
+	return index.SelfJoin(rng, fam, L, set, verify)
+}
+
+// NewParallelIndex builds an index with concurrent table construction.
+func NewParallelIndex[P any](rng *Rand, fam Family[P], L int, points []P) *Index[P] {
+	return index.NewParallel(rng, fam, L, points)
+}
+
+// CPF design (fitting target CPFs over the Lemma 1.4 closure).
+
+// FitTarget is a desired CPF given by sample points.
+type FitTarget = cpfit.Target
+
+// FitResult is a fitted mixture family with its error report.
+type FitResult[P any] = cpfit.Result[P]
+
+// FitGrid samples fn uniformly over [lo, hi] as a fit target.
+func FitGrid(lo, hi float64, n int, fn func(float64) float64) FitTarget {
+	return cpfit.Grid(lo, hi, n, fn)
+}
+
+// FitCPF finds non-negative mixture weights over powers of the base
+// families (a Lemma 1.4 dictionary) approximating the target CPF in least
+// squares, subject to total mass <= 1.
+func FitCPF[P any](maxPower int, target FitTarget, bases ...Family[P]) (*FitResult[P], error) {
+	return cpfit.Fit(cpfit.BuildDictionary(maxPower, bases...), target)
+}
+
+// Kernel density estimation (the paper's future-work application).
+
+// KDEstimator estimates kernel density sums by collision counting: with a
+// family whose CPF equals the kernel, matched-bucket sizes are unbiased
+// density estimates and queries never scan the data.
+type KDEstimator[P any] = kde.Estimator[P]
+
+// NewKDEstimator builds a density estimator with L repetitions.
+func NewKDEstimator[P any](rng *Rand, fam Family[P], L int, points []P) *KDEstimator[P] {
+	return kde.New(rng, fam, L, points)
+}

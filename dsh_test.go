@@ -1,0 +1,139 @@
+package dsh_test
+
+import (
+	"math"
+	"testing"
+
+	"dsh"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	rng := dsh.NewRand(1)
+	fam := dsh.AntiBitSampling(256)
+	x := dsh.RandomBits(rng, 256)
+	y := dsh.BitsAtDistance(rng, x, 64) // relative distance 0.25
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if fam.Sample(rng).Collides(x, y) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.25) > 0.02 {
+		t.Errorf("collision rate %v, want ~0.25", p)
+	}
+}
+
+func TestFacadeCombinators(t *testing.T) {
+	fam := dsh.Concat(dsh.BitSampling(128), dsh.AntiBitSampling(128))
+	if got := fam.CPF().Eval(0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("concat CPF = %v", got)
+	}
+	pow := dsh.Power(dsh.BitSampling(128), 2)
+	if got := pow.CPF().Eval(0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("power CPF = %v", got)
+	}
+	mix := dsh.Mixture(
+		[]dsh.Family[dsh.BitVector]{dsh.BitSampling(128), dsh.AntiBitSampling(128)},
+		[]float64{0.5, 0.5},
+	)
+	if got := mix.CPF().Eval(0.3); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("mixture CPF = %v", got)
+	}
+}
+
+func TestFacadeSphereFamilies(t *testing.T) {
+	if f := dsh.SimHash(16).CPF().Eval(0); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("SimHash CPF(0) = %v", f)
+	}
+	fm := dsh.FilterMinus(16, 1.5)
+	fp := dsh.FilterPlus(16, 1.5)
+	for _, a := range []float64{-0.5, 0, 0.5} {
+		if math.Abs(fp.ExactCPF(a)-fm.ExactCPF(-a)) > 1e-14 {
+			t.Error("filter mirror identity broken through facade")
+		}
+	}
+	ann := dsh.Annulus(16, 0.3, 1.5)
+	if ann.AlphaMax() != 0.3 {
+		t.Error("annulus alphaMax lost")
+	}
+	lo, hi := dsh.AnnulusBounds(0, 2)
+	if lo >= hi {
+		t.Error("annulus bounds inverted")
+	}
+}
+
+func TestFacadePolynomialFamilies(t *testing.T) {
+	p := dsh.NewPolynomial(0.5, 1) // t + 0.5
+	scheme, err := dsh.PolynomialFamily(64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scheme.Delta-2) > 1e-9 {
+		t.Errorf("Delta = %v", scheme.Delta)
+	}
+	mono, err := dsh.MonotonePolynomialFamily(64, dsh.NewPolynomial(0.5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mono.CPF().Eval(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone CPF(1) = %v", got)
+	}
+	val, err := dsh.Valiant(4, dsh.NewPolynomial(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := val.CPF().Eval(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("valiant CPF(0) = %v", got)
+	}
+}
+
+func TestFacadeEuclid(t *testing.T) {
+	fam := dsh.NewPStable(8, 3, 1)
+	if fam.K() != 3 || fam.W() != 1 {
+		t.Error("pstable params lost")
+	}
+	if fam.ExactCPF(0) != 0 {
+		t.Error("pstable CPF(0) should be 0 for k>0")
+	}
+}
+
+func TestFacadeIndexAndPrivacy(t *testing.T) {
+	rng := dsh.NewRand(2)
+	pts := make([][]float64, 50)
+	for i := range pts {
+		g := make([]float64, 8)
+		for j := range g {
+			g[j] = rng.NormFloat64()
+		}
+		n := 0.0
+		for _, v := range g {
+			n += v * v
+		}
+		n = math.Sqrt(n)
+		for j := range g {
+			g[j] /= n
+		}
+		pts[i] = g
+	}
+	ix := dsh.NewIndex(rng, dsh.SimHash(8), 4, pts)
+	if ix.L() != 4 || ix.Len() != 50 {
+		t.Error("index sizes wrong")
+	}
+	if dsh.RepetitionsForCPF(0.25) != 4 {
+		t.Error("RepetitionsForCPF wrong")
+	}
+	est, err := dsh.NewDistanceEstimator(rng, dsh.SimHash(8), 0.3, 0.1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := est.Estimate(pts[0], pts[0], dsh.PlaintextPSI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical points collide in every repetition under SimHash.
+	if !out.Close || out.IntersectionSize != est.N() {
+		t.Errorf("self-estimate: %+v with N=%d", out, est.N())
+	}
+}

@@ -1,0 +1,95 @@
+// Annulus search (Sections 6.1-6.2): find a point whose similarity to the
+// query lies in a target band, comparing three structures:
+//
+//   - the DSH unimodal annulus index (Theorem 6.4),
+//
+//   - the [41]-style baseline (concatenated LSH x anti-LSH),
+//
+//   - a brute-force linear scan.
+//
+//     go run ./examples/annulus
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dsh"
+	"dsh/internal/index"
+	"dsh/internal/vec"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+func main() {
+	rng := xrand.New(3)
+	const (
+		d         = 24
+		n         = 30000
+		alphaPeak = 0.5
+	)
+	within := func(q, x []float64) bool {
+		a := vec.Dot(q, x)
+		return a >= 0.35 && a <= 0.65
+	}
+
+	fmt.Printf("dataset: %d uniform points on S^%d plus one planted point at alpha = %.2f\n\n",
+		n, d-1, alphaPeak)
+
+	ann := dsh.Annulus(d, alphaPeak, 2.2)
+	L := dsh.RepetitionsForCPF(ann.CPF().Eval(alphaPeak))
+	baseCPF := index.ConcatAnnulusCPF(6, 2)
+	Lbase := dsh.RepetitionsForCPF(baseCPF.Eval(alphaPeak))
+
+	alphaLo, alphaHi := dsh.AnnulusBounds(alphaPeak, 2)
+	fmt.Printf("DSH annulus family: L=%d, Theorem 6.2 interval (s=2): [%.3f, %.3f]\n",
+		L, alphaLo, alphaHi)
+	fmt.Printf("[41]-style baseline (simhash^6 x antisimhash^2): L=%d\n\n", Lbase)
+
+	const trials = 5
+	type tally struct {
+		hits, cands int
+		elapsed     time.Duration
+	}
+	var dshT, baseT, scanT tally
+	for i := 0; i < trials; i++ {
+		ds := workload.NewPlantedSphere(rng, d, n, []float64{alphaPeak})
+
+		t0 := time.Now()
+		ai := index.NewAnnulus[[]float64](rng, ann, L, ds.Points, within)
+		id, st := ai.Query(ds.Query)
+		dshT.elapsed += time.Since(t0)
+		dshT.cands += st.Candidates
+		if id >= 0 {
+			dshT.hits++
+		}
+
+		t0 = time.Now()
+		bi := index.ConcatAnnulusBaseline(rng, d, 6, 2, Lbase, ds.Points, within)
+		id, st = bi.Query(ds.Query)
+		baseT.elapsed += time.Since(t0)
+		baseT.cands += st.Candidates
+		if id >= 0 {
+			baseT.hits++
+		}
+
+		t0 = time.Now()
+		ls := index.NewLinearScan(ds.Points)
+		id, st = ls.Query(ds.Query, within)
+		scanT.elapsed += time.Since(t0)
+		scanT.cands += st.Candidates
+		if id >= 0 {
+			scanT.hits++
+		}
+	}
+	report := func(name string, t tally) {
+		fmt.Printf("%-18s recall %d/%d, avg candidates %6.0f (%.2f%% of n), avg build+query %v\n",
+			name, t.hits, trials, float64(t.cands)/trials,
+			100*float64(t.cands)/trials/float64(n), t.elapsed/time.Duration(trials))
+	}
+	report("dsh-annulus:", dshT)
+	report("pagh17-baseline:", baseT)
+	report("linear-scan:", scanT)
+	fmt.Println("\nboth hash structures verify a vanishing fraction of the dataset per query")
+	fmt.Println("(Theorem 6.1 guarantees recall >= 1/2 per query; the scan is exact but linear).")
+}

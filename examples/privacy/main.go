@@ -1,0 +1,75 @@
+// Privacy-preserving distance estimation (Section 6.4): two parties decide
+// whether their private vectors are within distance r without revealing
+// how close they are, by reducing the question to private set intersection
+// over DSH hash vectors with a *flat* (step) collision probability.
+//
+//	go run ./examples/privacy
+package main
+
+import (
+	"fmt"
+
+	"dsh"
+	"dsh/internal/sphere"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+func main() {
+	rng := xrand.New(5)
+	const d = 24
+
+	// "Close" means similarity >= 0.5 (distance <= 1 on the sphere);
+	// "far" means similarity <= 0 (distance >= sqrt(2)).
+	fam := dsh.Step(d, 0.5, 0.9, 4, 2.2)
+	fmin, fmax := sphere.PlateauStats(fam.CPF(), 0.5, 0.9, 30)
+	pFar := fam.CPF().Eval(0)
+	const eps = 0.05
+
+	est, err := dsh.NewDistanceEstimator(rng, fam, fmin, pFar, eps)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("step family: plateau [%.4f, %.4f] (ratio %.2f), far CPF %.2g\n",
+		fmin, fmax, fmax/fmin, pFar)
+	fmt.Printf("protocol: N = %d hash pairs, predicted false-negative <= %.3f, false-positive <= %.3f\n\n",
+		est.N(), est.PredictedFalseNegative(), est.PredictedFalsePositive())
+
+	run := func(alpha float64, label string, proto dsh.PSIProtocol) {
+		x, q := vec.UnitPairWithDot(rng, d, alpha)
+		out, err := est.Estimate(x, q, proto)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-28s alpha=%+.2f -> close=%-5v |intersection|=%-3d transcript=%d bytes\n",
+			label+" ("+proto.Name()+"):", alpha, out.Close, out.IntersectionSize, out.TranscriptBytes)
+	}
+
+	fmt.Println("single runs over the commutative-encryption PSI (1536-bit group):")
+	run(0.8, "same medical cohort", dsh.DHPSI())
+	run(0.6, "related cohort", dsh.DHPSI())
+	run(-0.3, "unrelated", dsh.DHPSI())
+
+	fmt.Println("\nrepeated runs (plaintext PSI for speed) to show the flat leakage profile:")
+	for _, alpha := range []float64{0.85, 0.7, 0.55, 0.0, -0.5} {
+		yes, inter := 0, 0
+		const reps = 40
+		for i := 0; i < reps; i++ {
+			x, q := vec.UnitPairWithDot(rng, d, alpha)
+			out, err := est.Estimate(x, q, dsh.PlaintextPSI())
+			if err != nil {
+				panic(err)
+			}
+			if out.Close {
+				yes++
+			}
+			inter += out.IntersectionSize
+		}
+		fmt.Printf("  alpha=%+.2f: yes-rate %.2f, mean intersection %.2f\n",
+			alpha, float64(yes)/reps, float64(inter)/reps)
+	}
+	fmt.Println("\nwithin the close band the intersection size barely varies with alpha:")
+	fmt.Println("an eavesdropper (or the other party) learns *whether* the points are close,")
+	fmt.Println("but essentially nothing about how close -- unlike standard LSH, whose")
+	fmt.Println("collision counts grow as points approach (the triangulation attack).")
+}

@@ -1,0 +1,65 @@
+// Spherical range reporting (Section 6.3, Theorem 6.5): report *all*
+// points within a similarity threshold of the query. Classical LSH wastes
+// work re-finding very close points in almost every repetition; a
+// step-function CPF (flat over the reporting range) is output-sensitive.
+//
+//	go run ./examples/rangereport
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"dsh"
+	"dsh/internal/index"
+	"dsh/internal/sphere"
+	"dsh/internal/vec"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+func main() {
+	rng := xrand.New(9)
+	const (
+		d        = 24
+		nNoise   = 5000
+		alphaMin = 0.75
+	)
+	// Plant a cluster of 30 close points at various similarities.
+	var alphas []float64
+	for i := 0; i < 30; i++ {
+		alphas = append(alphas, 0.76+0.007*float64(i))
+	}
+	ds := workload.NewPlantedSphere(rng, d, nNoise, alphas)
+	inRange := func(q, x []float64) bool { return vec.Dot(q, x) >= alphaMin }
+	truth := workload.ScanSphereRange(ds.Points, ds.Query, alphaMin)
+	fmt.Printf("dataset: %d points, %d within similarity %.2f of the query\n\n",
+		len(ds.Points), len(truth), alphaMin)
+
+	// Step-CPF reporter (Theorem 6.5).
+	step := dsh.Step(d, alphaMin, 0.97, 5, 2.0)
+	fmin, fmax := sphere.PlateauStats(step.CPF(), alphaMin, 0.97, 30)
+	L := dsh.RepetitionsForCPF(fmin) * 2
+	rr := dsh.NewRangeReporter(rng, step, L, ds.Points, inRange)
+	got, st := rr.Query(ds.Query)
+	fmt.Printf("step-CPF reporter: plateau fmax/fmin = %.2f, L = %d\n", fmax/fmin, L)
+	fmt.Printf("  reported %d/%d points; %d candidate probes, %d distinct verified\n",
+		len(got), len(truth), st.Candidates, st.Distinct)
+	fmt.Printf("  work per reported point: %.1f probes\n\n", float64(st.Candidates)/math.Max(1, float64(len(got))))
+
+	// Classical LSH reporter: powered SimHash tuned for the range edge.
+	k := 14
+	fEdge := math.Pow(sphere.SimHashCPF(alphaMin), float64(k))
+	Lcls := dsh.RepetitionsForCPF(fEdge) * 2
+	classical := dsh.Power(dsh.SimHash(d), k)
+	rrCls := index.NewRangeReporter[[]float64](rng, classical, Lcls, ds.Points, inRange)
+	gotCls, stCls := rrCls.Query(ds.Query)
+	fmt.Printf("classical simhash^%d reporter: L = %d\n", k, Lcls)
+	fmt.Printf("  reported %d/%d points; %d candidate probes, %d distinct verified\n",
+		len(gotCls), len(truth), stCls.Candidates, stCls.Distinct)
+	fmt.Printf("  work per reported point: %.1f probes\n\n", float64(stCls.Candidates)/math.Max(1, float64(len(gotCls))))
+
+	fmt.Println("the classical CPF rises toward 1 as similarity -> 1, so the closest points")
+	fmt.Println("collide in nearly every repetition and are re-retrieved L times; the step")
+	fmt.Println("CPF caps every in-range point's collision rate near fmin (Theorem 6.5).")
+}

@@ -1,0 +1,181 @@
+package dsh_test
+
+// Integration tests exercising multi-package pipelines end to end through
+// the public facade: index + family + workload, fitted families used for
+// search, and kernel-lifted families used for private estimation.
+
+import (
+	"math"
+	"testing"
+
+	"dsh"
+	"dsh/internal/vec"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+func TestEndToEndRecommendationPipeline(t *testing.T) {
+	rng := dsh.NewRand(42)
+	const d = 24
+	corpus := workload.NewArticleCorpus(xrand.New(7), d, 10, 60, 0.5)
+
+	// Build: unimodal annulus index targeting "related, not duplicate".
+	fam := dsh.Annulus(d, 0.5, 1.8)
+	L := dsh.RepetitionsForCPF(fam.CPF().Eval(0.5))
+	within := func(q, x []float64) bool {
+		s := vec.Dot(q, x)
+		return s >= 0.35 && s <= 0.65
+	}
+	ai := dsh.NewAnnulusIndex[[]float64](rng, fam, L, corpus.Points, within)
+
+	// Query multiple articles; each answer must satisfy the band
+	// predicate, and at least some queries must succeed.
+	hits := 0
+	for qi := 0; qi < 12; qi++ {
+		q := corpus.Points[qi*7]
+		if id, _ := ai.Query(q); id >= 0 {
+			hits++
+			if !within(q, corpus.Points[id]) {
+				t.Fatalf("query %d returned out-of-band point", qi)
+			}
+		}
+	}
+	if hits < 4 {
+		t.Errorf("only %d/12 annulus queries succeeded", hits)
+	}
+}
+
+func TestEndToEndFittedFamilyDrivesJoin(t *testing.T) {
+	// Fit a unimodal CPF on the Hamming cube, then run a similarity join
+	// with the *fitted* family: the designer output is a first-class
+	// family usable by every application structure.
+	rng := dsh.NewRand(43)
+	const d = 128
+	res, err := dsh.FitCPF(3,
+		dsh.FitGrid(0, 1, 21, func(x float64) float64 {
+			return 0.1 * math.Exp(-10*(x-0.25)*(x-0.25))
+		}),
+		dsh.BitSampling(d),
+		dsh.AntiBitSampling(d),
+		dsh.Concat(dsh.Power(dsh.BitSampling(d), 2), dsh.AntiBitSampling(d)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Family == nil {
+		t.Fatal("no fitted family")
+	}
+	// Dataset: pairs planted at relative distance 0.25.
+	var pts []dsh.BitVector
+	const nPairs = 15
+	for i := 0; i < nPairs; i++ {
+		x := dsh.RandomBits(rng, d)
+		pts = append(pts, x, dsh.BitsAtDistance(rng, x, d/4))
+	}
+	for i := 0; i < 50; i++ {
+		pts = append(pts, dsh.RandomBits(rng, d))
+	}
+	verify := func(a, b dsh.BitVector) bool {
+		r := float64(dsh.HammingDistance(a, b)) / d
+		return r >= 0.15 && r <= 0.35
+	}
+	L := dsh.RepetitionsForCPF(res.Family.CPF().Eval(0.25)) * 2
+	pairs, stats := dsh.SelfJoin(rng, res.Family, L, pts, verify)
+	found := 0
+	for _, p := range pairs {
+		if p.B == p.A+1 && p.A%2 == 0 && int(p.A) < 2*nPairs {
+			found++
+		}
+	}
+	if found < nPairs*2/3 {
+		t.Errorf("join found %d/%d planted pairs", found, nPairs)
+	}
+	if stats.Verified == 0 || stats.Emitted != len(pairs) {
+		t.Errorf("stats inconsistent: %+v", stats)
+	}
+}
+
+func TestEndToEndKernelLiftedPrivacy(t *testing.T) {
+	// Lift a step family to l2 via RFF and run the privacy estimator over
+	// it: "are these two (non-unit) feature vectors within distance r?"
+	//
+	// Note a structural limitation this test documents: the Gaussian
+	// kernel is non-negative, so *far* pairs map to similarity ~0, never
+	// to the negative-similarity region where the sphere step CPF has
+	// strong contrast. Far rejection is therefore weak after lifting, and
+	// the estimator must *predict* that honestly via its union bound.
+	rng := dsh.NewRand(44)
+	const d = 8
+	const sigma = 2.0
+	base := dsh.Step(128, 0.5, 0.9, 3, 1.8)
+	lifted := dsh.LiftToKernelSpace(dsh.GaussianKernel, d, 128, sigma, base)
+
+	// Close means kernel >= 0.5, i.e. distance <= sigma*sqrt(2 ln 2).
+	rClose := sigma * math.Sqrt(2*math.Log(2))
+	f := lifted.CPF()
+	pClose := f.Eval(rClose * 0.8)
+	pFar := f.Eval(rClose * 3)
+	if pFar >= pClose {
+		t.Fatalf("lifted CPF not decreasing: %v vs %v", pClose, pFar)
+	}
+	est, err := dsh.NewDistanceEstimator(rng, lifted, pClose*0.8, pFar, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeYes, farYes := 0, 0
+	const reps = 15
+	for i := 0; i < reps; i++ {
+		x, q := vec.PairAtDistance(xrand.New(uint64(i)), d, rClose*0.7)
+		out, err := est.Estimate(x, q, dsh.PlaintextPSI())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Close {
+			closeYes++
+		}
+		x, q = vec.PairAtDistance(xrand.New(uint64(100+i)), d, rClose*3)
+		out, err = est.Estimate(x, q, dsh.PlaintextPSI())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Close {
+			farYes++
+		}
+	}
+	if closeYes < reps*2/3 {
+		t.Errorf("close pairs detected only %d/%d", closeYes, reps)
+	}
+	// The estimator's own false-positive prediction must cover the
+	// measured rate (union bound, so it is an overestimate).
+	pred := est.PredictedFalsePositive()
+	if rate := float64(farYes) / reps; rate > math.Min(1, pred)+0.15 {
+		t.Errorf("far yes-rate %v exceeds predicted bound %v", rate, pred)
+	}
+	// And the kernel-floor limitation must not invert the ordering.
+	if farYes > closeYes {
+		t.Errorf("far pairs (%d) out-collided close pairs (%d)", farYes, closeYes)
+	}
+}
+
+func TestParallelIndexEquivalentQueries(t *testing.T) {
+	rng := dsh.NewRand(45)
+	pts := workload.SpherePoints(xrand.New(9), 500, 16)
+	fam := dsh.Power(dsh.SimHash(16), 4)
+	seq := dsh.NewIndex(rng, fam, 12, pts)
+	par := dsh.NewParallelIndex(rng, fam, 12, pts)
+	// Different random draws, but both must retrieve self-matches.
+	for i := 0; i < 10; i++ {
+		for _, ix := range []*dsh.Index[[]float64]{seq, par} {
+			found := false
+			for _, id := range ix.CollectDistinct(pts[i], 0) {
+				if id == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("index lost point %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package bitvec implements packed binary vectors over {0,1}^d, the ambient
+// space for the paper's Hamming-distance constructions (bit-sampling, anti
+// bit-sampling, the Theorem 5.2 polynomial schemes) and for the Section 3
+// lower-bound experiments on randomly alpha-correlated points.
+//
+// Vectors are stored 64 bits per word; Hamming distance is computed with
+// hardware popcount via math/bits.
+package bitvec
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+
+	"dsh/internal/xrand"
+)
+
+// Vector is a binary vector of fixed dimension d packed into uint64 words.
+// The zero value is unusable; construct with New or the random generators.
+type Vector struct {
+	d     int
+	words []uint64
+}
+
+// New returns an all-zeros vector of dimension d. It panics for d <= 0.
+func New(d int) Vector {
+	if d <= 0 {
+		panic("bitvec: dimension must be positive")
+	}
+	return Vector{d: d, words: make([]uint64, (d+63)/64)}
+}
+
+// FromBits builds a vector from a slice of 0/1 values (any nonzero byte
+// counts as a one).
+func FromBits(bits []byte) Vector {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// FromString parses a string of '0' and '1' runes into a vector.
+func FromString(s string) (Vector, error) {
+	if len(s) == 0 {
+		return Vector{}, fmt.Errorf("bitvec: empty string")
+	}
+	v := New(len(s))
+	for i, r := range s {
+		switch r {
+		case '0':
+		case '1':
+			v.Set(i, true)
+		default:
+			return Vector{}, fmt.Errorf("bitvec: invalid character %q at position %d", r, i)
+		}
+	}
+	return v, nil
+}
+
+// Dim returns the dimension d.
+func (v Vector) Dim() int { return v.d }
+
+// Bit returns bit i as a bool. It panics if i is out of range.
+func (v Vector) Bit(i int) bool {
+	if i < 0 || i >= v.d {
+		panic("bitvec: index out of range")
+	}
+	return v.words[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// Set assigns bit i. It panics if i is out of range.
+func (v Vector) Set(i int, value bool) {
+	if i < 0 || i >= v.d {
+		panic("bitvec: index out of range")
+	}
+	if value {
+		v.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		v.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Flip toggles bit i.
+func (v Vector) Flip(i int) {
+	if i < 0 || i >= v.d {
+		panic("bitvec: index out of range")
+	}
+	v.words[i>>6] ^= 1 << (uint(i) & 63)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	w := Vector{d: v.d, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// Equal reports whether v and w have the same dimension and bits.
+func (v Vector) Equal(w Vector) bool {
+	if v.d != w.d {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != w.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Weight returns the number of one-bits (Hamming weight).
+func (v Vector) Weight() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// String renders the vector as a 0/1 string, most significant position last,
+// matching FromString round-trips.
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.d)
+	for i := 0; i < v.d; i++ {
+		if v.Bit(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Distance returns the Hamming distance between v and w.
+// It panics on dimension mismatch.
+func Distance(v, w Vector) int {
+	if v.d != w.d {
+		panic("bitvec: dimension mismatch")
+	}
+	total := 0
+	for i := range v.words {
+		total += bits.OnesCount64(v.words[i] ^ w.words[i])
+	}
+	return total
+}
+
+// RelativeDistance returns dist(v, w) / d, the normalized Hamming distance
+// in [0, 1] used as the CPF argument for Hamming-space families.
+func RelativeDistance(v, w Vector) float64 {
+	return float64(Distance(v, w)) / float64(v.d)
+}
+
+// Similarity returns sim_H(v, w) = 1 - 2*dist(v, w)/d in [-1, 1], the
+// similarity measure of Section 3 of the paper. It equals the inner product
+// of the +/-1 encodings of v and w divided by d.
+func Similarity(v, w Vector) float64 {
+	return 1 - 2*RelativeDistance(v, w)
+}
+
+// Xor returns the coordinate-wise exclusive or of v and w.
+func Xor(v, w Vector) Vector {
+	if v.d != w.d {
+		panic("bitvec: dimension mismatch")
+	}
+	out := New(v.d)
+	for i := range v.words {
+		out.words[i] = v.words[i] ^ w.words[i]
+	}
+	return out
+}
+
+// Not returns the coordinate-wise complement of v.
+func Not(v Vector) Vector {
+	out := New(v.d)
+	for i := range v.words {
+		out.words[i] = ^v.words[i]
+	}
+	out.maskTail()
+	return out
+}
+
+// maskTail clears the unused high bits of the final word so that Weight and
+// Distance remain correct after complement-style operations.
+func (v Vector) maskTail() {
+	if rem := uint(v.d) & 63; rem != 0 {
+		v.words[len(v.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// Random returns a uniformly random vector of dimension d.
+func Random(rng *xrand.Rand, d int) Vector {
+	v := New(d)
+	for i := range v.words {
+		v.words[i] = rng.Uint64()
+	}
+	v.maskTail()
+	return v
+}
+
+// Correlated returns a pair (x, y) of randomly alpha-correlated vectors as
+// in Definition 3.1 of the paper: x is uniform and each bit of y
+// independently equals the corresponding bit of x with probability
+// (1+alpha)/2. alpha must lie in [-1, 1].
+func Correlated(rng *xrand.Rand, d int, alpha float64) (x, y Vector) {
+	if alpha < -1 || alpha > 1 {
+		panic("bitvec: alpha out of [-1,1]")
+	}
+	x = Random(rng, d)
+	y = x.Clone()
+	flipProb := (1 - alpha) / 2
+	for i := 0; i < d; i++ {
+		if rng.Bernoulli(flipProb) {
+			y.Flip(i)
+		}
+	}
+	return x, y
+}
+
+// AtDistance returns a copy of x with exactly r distinct random bits
+// flipped, i.e. a uniformly random point at Hamming distance exactly r.
+func AtDistance(rng *xrand.Rand, x Vector, r int) Vector {
+	if r < 0 || r > x.d {
+		panic("bitvec: distance out of range")
+	}
+	y := x.Clone()
+	for _, i := range rng.Sample(x.d, r) {
+		y.Flip(i)
+	}
+	return y
+}
+
+// Append returns the concatenation of v followed by w.
+func Append(v, w Vector) Vector {
+	out := New(v.d + w.d)
+	for i := 0; i < v.d; i++ {
+		if v.Bit(i) {
+			out.Set(i, true)
+		}
+	}
+	for i := 0; i < w.d; i++ {
+		if w.Bit(i) {
+			out.Set(v.d+i, true)
+		}
+	}
+	return out
+}
+
+// PadOnes returns v extended to dimension dNew with all-one padding, the
+// embedding hat-x = x . 1 used in the proof of Theorem 3.8.
+func PadOnes(v Vector, dNew int) Vector {
+	if dNew < v.d {
+		panic("bitvec: PadOnes target smaller than source")
+	}
+	out := New(dNew)
+	copy(out.words, v.words)
+	for i := v.d; i < dNew; i++ {
+		out.Set(i, true)
+	}
+	return out
+}
+
+// SignVector returns the +/-1 encoding of v scaled by 1/sqrt(d), i.e. the
+// standard embedding of the Hamming cube onto the unit sphere: bit 0 maps to
+// +1/sqrt(d) and bit 1 maps to -1/sqrt(d). Under this embedding the inner
+// product of two images equals sim_H of the originals.
+func SignVector(v Vector) []float64 {
+	out := make([]float64, v.d)
+	inv := 1.0 / math.Sqrt(float64(v.d))
+	for i := 0; i < v.d; i++ {
+		if v.Bit(i) {
+			out[i] = -inv
+		} else {
+			out[i] = inv
+		}
+	}
+	return out
+}

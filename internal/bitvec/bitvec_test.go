@@ -1,0 +1,312 @@
+package bitvec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsh/internal/xrand"
+)
+
+func TestNewAndDim(t *testing.T) {
+	for _, d := range []int{1, 63, 64, 65, 128, 1000} {
+		v := New(d)
+		if v.Dim() != d {
+			t.Errorf("Dim = %d, want %d", v.Dim(), d)
+		}
+		if v.Weight() != 0 {
+			t.Errorf("fresh vector weight = %d", v.Weight())
+		}
+	}
+}
+
+func TestNewPanicsOnBadDim(t *testing.T) {
+	for _, d := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", d)
+				}
+			}()
+			New(d)
+		}()
+	}
+}
+
+func TestSetBitFlip(t *testing.T) {
+	v := New(130)
+	v.Set(0, true)
+	v.Set(64, true)
+	v.Set(129, true)
+	if !v.Bit(0) || !v.Bit(64) || !v.Bit(129) || v.Bit(1) {
+		t.Fatal("Set/Bit mismatch")
+	}
+	if v.Weight() != 3 {
+		t.Fatalf("weight = %d, want 3", v.Weight())
+	}
+	v.Flip(0)
+	v.Flip(1)
+	if v.Bit(0) || !v.Bit(1) {
+		t.Fatal("Flip mismatch")
+	}
+	v.Set(64, false)
+	if v.Bit(64) {
+		t.Fatal("Set false failed")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	v := New(10)
+	for _, fn := range []func(){
+		func() { v.Bit(10) },
+		func() { v.Bit(-1) },
+		func() { v.Set(10, true) },
+		func() { v.Flip(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out of range access should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromBitsAndString(t *testing.T) {
+	v := FromBits([]byte{1, 0, 1, 1, 0})
+	if v.String() != "10110" {
+		t.Fatalf("String = %q", v.String())
+	}
+	w, err := FromString("10110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(w) {
+		t.Fatal("FromString round trip failed")
+	}
+	if _, err := FromString("10210"); err == nil {
+		t.Fatal("invalid character should error")
+	}
+	if _, err := FromString(""); err == nil {
+		t.Fatal("empty string should error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := New(70)
+	v.Set(5, true)
+	w := v.Clone()
+	w.Flip(5)
+	if !v.Bit(5) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestDistanceBasics(t *testing.T) {
+	a, _ := FromString("0000")
+	b, _ := FromString("1111")
+	c, _ := FromString("1010")
+	if Distance(a, b) != 4 || Distance(a, c) != 2 || Distance(b, c) != 2 {
+		t.Fatal("distance values wrong")
+	}
+	if Distance(a, a) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+	if RelativeDistance(a, c) != 0.5 {
+		t.Fatal("relative distance wrong")
+	}
+	if Similarity(a, c) != 0 {
+		t.Fatalf("similarity = %v, want 0", Similarity(a, c))
+	}
+	if Similarity(a, a) != 1 || Similarity(a, b) != -1 {
+		t.Fatal("similarity endpoints wrong")
+	}
+}
+
+func TestDistanceMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch should panic")
+		}
+	}()
+	Distance(New(3), New(4))
+}
+
+func TestXorNotWeight(t *testing.T) {
+	rng := xrand.New(1)
+	v := Random(rng, 200)
+	w := Random(rng, 200)
+	x := Xor(v, w)
+	if x.Weight() != Distance(v, w) {
+		t.Fatal("XOR weight != distance")
+	}
+	n := Not(v)
+	if n.Weight() != 200-v.Weight() {
+		t.Fatalf("Not weight = %d, want %d", n.Weight(), 200-v.Weight())
+	}
+	if Distance(v, n) != 200 {
+		t.Fatal("distance to complement should be d")
+	}
+}
+
+func TestNotMasksTail(t *testing.T) {
+	// d not a multiple of 64: complement must not pollute the tail.
+	v := New(65)
+	n := Not(v)
+	if n.Weight() != 65 {
+		t.Fatalf("Not(zero) weight = %d, want 65", n.Weight())
+	}
+	nn := Not(n)
+	if !nn.Equal(v) {
+		t.Fatal("double complement should be identity")
+	}
+}
+
+func TestRandomWeightConcentration(t *testing.T) {
+	rng := xrand.New(2)
+	const d = 4096
+	v := Random(rng, d)
+	w := v.Weight()
+	// Weight ~ Binomial(d, 1/2): mean 2048, sd 32. Allow 6 sigma.
+	if math.Abs(float64(w)-d/2) > 6*32 {
+		t.Fatalf("random vector weight %d too far from %d", w, d/2)
+	}
+}
+
+func TestCorrelatedExpectedDistance(t *testing.T) {
+	rng := xrand.New(3)
+	const d = 2048
+	for _, alpha := range []float64{-0.5, 0, 0.25, 0.8, 1} {
+		var total int
+		const reps = 50
+		for i := 0; i < reps; i++ {
+			x, y := Correlated(rng, d, alpha)
+			total += Distance(x, y)
+		}
+		mean := float64(total) / reps
+		want := float64(d) * (1 - alpha) / 2
+		sd := math.Sqrt(float64(d)*(1-alpha)/2*(1+alpha)/2) / math.Sqrt(reps)
+		if alpha == 1 {
+			if total != 0 {
+				t.Fatalf("alpha=1 gave nonzero distance")
+			}
+			continue
+		}
+		if math.Abs(mean-want) > 8*sd+1 {
+			t.Fatalf("alpha=%v: mean distance %v, want %v", alpha, mean, want)
+		}
+	}
+}
+
+func TestCorrelatedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alpha out of range should panic")
+		}
+	}()
+	Correlated(xrand.New(1), 8, 1.5)
+}
+
+func TestAtDistanceExact(t *testing.T) {
+	rng := xrand.New(4)
+	x := Random(rng, 300)
+	for _, r := range []int{0, 1, 5, 150, 300} {
+		y := AtDistance(rng, x, r)
+		if Distance(x, y) != r {
+			t.Fatalf("AtDistance(%d) produced distance %d", r, Distance(x, y))
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	a, _ := FromString("101")
+	b, _ := FromString("0110")
+	c := Append(a, b)
+	if c.String() != "1010110" {
+		t.Fatalf("Append = %q", c.String())
+	}
+}
+
+func TestPadOnes(t *testing.T) {
+	a, _ := FromString("10")
+	p := PadOnes(a, 5)
+	if p.String() != "10111" {
+		t.Fatalf("PadOnes = %q", p.String())
+	}
+	if p.Weight() != 4 {
+		t.Fatalf("weight = %d", p.Weight())
+	}
+}
+
+func TestSignVectorInnerProductIsSimilarity(t *testing.T) {
+	rng := xrand.New(5)
+	for i := 0; i < 20; i++ {
+		d := 64 + rng.Intn(200)
+		x := Random(rng, d)
+		y := Random(rng, d)
+		sx := SignVector(x)
+		sy := SignVector(y)
+		dot := 0.0
+		var norm float64
+		for j := range sx {
+			dot += sx[j] * sy[j]
+			norm += sx[j] * sx[j]
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("sign vector not unit norm: %v", norm)
+		}
+		if math.Abs(dot-Similarity(x, y)) > 1e-9 {
+			t.Fatalf("dot %v != similarity %v", dot, Similarity(x, y))
+		}
+	}
+}
+
+func TestDistancePropertiesQuick(t *testing.T) {
+	rng := xrand.New(6)
+	f := func(seed uint64, dRaw uint16) bool {
+		d := int(dRaw%500) + 1
+		r := xrand.New(seed)
+		x := Random(r, d)
+		y := Random(r, d)
+		z := Random(r, d)
+		dxy := Distance(x, y)
+		// Symmetry, identity, triangle inequality.
+		if dxy != Distance(y, x) {
+			return false
+		}
+		if Distance(x, x) != 0 {
+			return false
+		}
+		return dxy <= Distance(x, z)+Distance(z, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+}
+
+func TestStringRoundTripQuick(t *testing.T) {
+	f := func(seed uint64, dRaw uint16) bool {
+		d := int(dRaw%200) + 1
+		v := Random(xrand.New(seed), d)
+		w, err := FromString(v.String())
+		return err == nil && v.Equal(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDistance1024(b *testing.B) {
+	rng := xrand.New(1)
+	x := Random(rng, 1024)
+	y := Random(rng, 1024)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += Distance(x, y)
+	}
+	_ = sink
+}

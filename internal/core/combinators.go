@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dsh/internal/xrand"
+)
+
+// concatFamily implements Lemma 1.4(a): concatenating n independent draws
+// multiplies the collision probability functions.
+type concatFamily[P any] struct {
+	parts []Family[P]
+}
+
+// Concat returns the concatenation of the given families: a draw samples an
+// (h_i, g_i) pair from every part and the combined hash value is a digest of
+// the component values, so the combined pair collides exactly when every
+// component pair collides. Its CPF is the product of the component CPFs
+// (Lemma 1.4(a) of the paper). All parts must share the same CPF domain.
+func Concat[P any](parts ...Family[P]) Family[P] {
+	if len(parts) == 0 {
+		panic("core: Concat of zero families")
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	d := parts[0].CPF().Domain
+	for _, p := range parts[1:] {
+		if p.CPF().Domain != d {
+			panic("core: Concat across different CPF domains")
+		}
+	}
+	return concatFamily[P]{parts: parts}
+}
+
+// Power returns the k-fold concatenation of family with itself, with CPF
+// f(x)^k. This is the classical amplification ("powering") technique the
+// paper invokes to drive collision probabilities below 1/n.
+func Power[P any](family Family[P], k int) Family[P] {
+	if k <= 0 {
+		panic("core: Power requires k >= 1")
+	}
+	parts := make([]Family[P], k)
+	for i := range parts {
+		parts[i] = family
+	}
+	return Concat(parts...)
+}
+
+func (c concatFamily[P]) Name() string {
+	names := make([]string, len(c.parts))
+	for i, p := range c.parts {
+		names[i] = p.Name()
+	}
+	return "concat(" + strings.Join(names, ",") + ")"
+}
+
+func (c concatFamily[P]) Sample(rng *xrand.Rand) Pair[P] {
+	pairs := make([]Pair[P], len(c.parts))
+	for i, p := range c.parts {
+		pairs[i] = p.Sample(rng)
+	}
+	h := HasherFunc[P](func(x P) uint64 {
+		acc := uint64(len(pairs))
+		for _, pr := range pairs {
+			acc = combine(acc, pr.H.Hash(x))
+		}
+		return acc
+	})
+	g := HasherFunc[P](func(y P) uint64 {
+		acc := uint64(len(pairs))
+		for _, pr := range pairs {
+			acc = combine(acc, pr.G.Hash(y))
+		}
+		return acc
+	})
+	return Pair[P]{H: h, G: g}
+}
+
+func (c concatFamily[P]) CPF() CPF {
+	cpfs := make([]CPF, len(c.parts))
+	for i, p := range c.parts {
+		cpfs[i] = p.CPF()
+	}
+	return CPF{
+		Domain: cpfs[0].Domain,
+		Eval: func(x float64) float64 {
+			prod := 1.0
+			for _, f := range cpfs {
+				prod *= f.Eval(x)
+			}
+			return prod
+		},
+	}
+}
+
+// mixtureFamily implements Lemma 1.4(b): a convex combination of families.
+type mixtureFamily[P any] struct {
+	parts   []Family[P]
+	weights []float64
+	cum     []float64
+}
+
+// Mixture returns the family that first picks index i with probability
+// weights[i] and then samples from parts[i]; the hash values are tagged with
+// i so that draws from different components never collide. Its CPF is the
+// convex combination sum_i weights[i] * f_i (Lemma 1.4(b) of the paper).
+// The weights must be non-negative and sum to 1 (within 1e-9); domains must
+// agree.
+func Mixture[P any](parts []Family[P], weights []float64) Family[P] {
+	if len(parts) == 0 || len(parts) != len(weights) {
+		panic("core: Mixture requires matching non-empty parts and weights")
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("core: Mixture weight negative")
+		}
+		sum += w
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		panic(fmt.Sprintf("core: Mixture weights sum to %v, want 1", sum))
+	}
+	d := parts[0].CPF().Domain
+	for _, p := range parts[1:] {
+		if p.CPF().Domain != d {
+			panic("core: Mixture across different CPF domains")
+		}
+	}
+	m := mixtureFamily[P]{
+		parts:   parts,
+		weights: append([]float64(nil), weights...),
+		cum:     make([]float64, len(weights)),
+	}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		m.cum[i] = acc
+	}
+	m.cum[len(m.cum)-1] = 1 // guard against rounding
+	return m
+}
+
+func (m mixtureFamily[P]) Name() string {
+	names := make([]string, len(m.parts))
+	for i, p := range m.parts {
+		names[i] = fmt.Sprintf("%.3g*%s", m.weights[i], p.Name())
+	}
+	return "mix(" + strings.Join(names, ",") + ")"
+}
+
+func (m mixtureFamily[P]) Sample(rng *xrand.Rand) Pair[P] {
+	u := rng.Float64()
+	idx := len(m.cum) - 1
+	for i, c := range m.cum {
+		if u < c {
+			idx = i
+			break
+		}
+	}
+	inner := m.parts[idx].Sample(rng)
+	tag := uint64(idx + 1)
+	h := HasherFunc[P](func(x P) uint64 { return combine(tag, inner.H.Hash(x)) })
+	g := HasherFunc[P](func(y P) uint64 { return combine(tag, inner.G.Hash(y)) })
+	return Pair[P]{H: h, G: g}
+}
+
+func (m mixtureFamily[P]) CPF() CPF {
+	cpfs := make([]CPF, len(m.parts))
+	for i, p := range m.parts {
+		cpfs[i] = p.CPF()
+	}
+	weights := m.weights
+	return CPF{
+		Domain: cpfs[0].Domain,
+		Eval: func(x float64) float64 {
+			var sum float64
+			for i, f := range cpfs {
+				sum += weights[i] * f.Eval(x)
+			}
+			return sum
+		},
+	}
+}
+
+// Renamed wraps a family with a different display name, convenient for
+// experiment tables.
+type Renamed[P any] struct {
+	Inner   Family[P]
+	NewName string
+}
+
+// Name implements Family.
+func (r Renamed[P]) Name() string { return r.NewName }
+
+// Sample implements Family.
+func (r Renamed[P]) Sample(rng *xrand.Rand) Pair[P] { return r.Inner.Sample(rng) }
+
+// CPF implements Family.
+func (r Renamed[P]) CPF() CPF { return r.Inner.CPF() }

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dsh/internal/stats"
+	"dsh/internal/xrand"
+)
+
+// lineLSH is a symmetric test family on the real line: h(x) = floor(x + b)
+// for uniform b in [0,1), with exact CPF f(t) = max(0, 1-t) in the distance
+// t = |x-y|. It is the classical 1-dimensional p-stable bucketing with w=1.
+func lineLSH() Family[float64] {
+	return Symmetric[float64]{
+		FamilyName: "line",
+		SampleFn: func(rng *xrand.Rand) Hasher[float64] {
+			b := rng.Float64()
+			return HasherFunc[float64](func(x float64) uint64 {
+				return uint64(int64(math.Floor(x + b)))
+			})
+		},
+		Prob: CPF{Domain: DomainDistance, Eval: func(t float64) float64 {
+			return math.Max(0, 1-t)
+		}},
+	}
+}
+
+// antiLine is the asymmetric variant with g(y) = h(y) + 1: for points at
+// distance t in [0, 1] with y > x the collision probability is exactly t.
+type antiLine struct{}
+
+func (antiLine) Name() string { return "anti-line" }
+
+func (antiLine) Sample(rng *xrand.Rand) Pair[float64] {
+	b := rng.Float64()
+	h := HasherFunc[float64](func(x float64) uint64 {
+		return uint64(int64(math.Floor(x + b)))
+	})
+	g := HasherFunc[float64](func(y float64) uint64 {
+		return uint64(int64(math.Floor(y+b)) - 1)
+	})
+	return Pair[float64]{H: h, G: g}
+}
+
+func (antiLine) CPF() CPF {
+	return CPF{Domain: DomainDistance, Eval: func(t float64) float64 {
+		if t < 0 || t > 2 {
+			return 0
+		}
+		if t <= 1 {
+			return t
+		}
+		return 2 - t
+	}}
+}
+
+// constFamily collides with exactly probability p, independent of points.
+type constFamily struct{ p float64 }
+
+func (c constFamily) Name() string { return "const" }
+
+func (c constFamily) Sample(rng *xrand.Rand) Pair[float64] {
+	collide := rng.Bernoulli(c.p)
+	h := HasherFunc[float64](func(float64) uint64 { return 0 })
+	var g Hasher[float64]
+	if collide {
+		g = HasherFunc[float64](func(float64) uint64 { return 0 })
+	} else {
+		g = HasherFunc[float64](func(float64) uint64 { return 1 })
+	}
+	return Pair[float64]{H: h, G: g}
+}
+
+func (c constFamily) CPF() CPF { return Constant(DomainDistance, c.p) }
+
+// linePairs generates pairs of reals at distance exactly t.
+func linePairs(rng *xrand.Rand, t float64) (float64, float64) {
+	x := rng.Float64Range(0, 100)
+	return x, x + t
+}
+
+func TestSymmetricSharesFunction(t *testing.T) {
+	fam := lineLSH()
+	rng := xrand.New(1)
+	pair := fam.Sample(rng)
+	for i := 0; i < 100; i++ {
+		x := rng.Float64Range(-50, 50)
+		if pair.H.Hash(x) != pair.G.Hash(x) {
+			t.Fatal("symmetric family must have h == g pointwise")
+		}
+	}
+}
+
+func TestLineLSHCPFEmpirical(t *testing.T) {
+	fam := lineLSH()
+	rng := xrand.New(2)
+	for _, tt := range []float64{0, 0.25, 0.5, 0.9, 1.5} {
+		est := EstimateCollision(rng, fam, linePairs, tt, 20000, 5)
+		want := fam.CPF().Eval(tt)
+		if !est.Interval.Contains(want) {
+			t.Errorf("t=%v: estimate %v (interval [%v,%v]) excludes analytic %v",
+				tt, est.P, est.Interval.Lo, est.Interval.Hi, want)
+		}
+	}
+}
+
+func TestAntiLineIncreasingCPF(t *testing.T) {
+	fam := antiLine{}
+	rng := xrand.New(3)
+	for _, tt := range []float64{0, 0.3, 0.7, 1.0} {
+		est := EstimateCollision(rng, fam, linePairs, tt, 20000, 5)
+		want := fam.CPF().Eval(tt)
+		if !est.Interval.Contains(want) {
+			t.Errorf("t=%v: estimate %v excludes analytic %v", tt, est.P, want)
+		}
+	}
+}
+
+func TestConcatCPFIsProduct(t *testing.T) {
+	fam := Concat[float64](lineLSH(), antiLine{})
+	f := fam.CPF()
+	for _, tt := range []float64{0.2, 0.5, 0.8} {
+		want := math.Max(0, 1-tt) * tt
+		if got := f.Eval(tt); math.Abs(got-want) > 1e-12 {
+			t.Errorf("concat CPF(%v) = %v, want %v", tt, got, want)
+		}
+	}
+	if !strings.Contains(fam.Name(), "concat") {
+		t.Errorf("Name = %q", fam.Name())
+	}
+}
+
+func TestConcatEmpirical(t *testing.T) {
+	fam := Concat[float64](lineLSH(), antiLine{})
+	rng := xrand.New(4)
+	for _, tt := range []float64{0.3, 0.6} {
+		est := EstimateCollision(rng, fam, linePairs, tt, 30000, 5)
+		want := fam.CPF().Eval(tt)
+		if !est.Interval.Contains(want) {
+			t.Errorf("t=%v: estimate %v excludes %v", tt, est.P, want)
+		}
+	}
+}
+
+func TestConcatSingleAndErrors(t *testing.T) {
+	single := lineLSH()
+	if got := Concat[float64](single); got.Name() != single.Name() {
+		t.Error("Concat of one family should be identity")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Concat() should panic")
+			}
+		}()
+		Concat[float64]()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("domain mismatch should panic")
+			}
+		}()
+		other := Symmetric[float64]{
+			FamilyName: "ip",
+			SampleFn: func(rng *xrand.Rand) Hasher[float64] {
+				return HasherFunc[float64](func(float64) uint64 { return 0 })
+			},
+			Prob: Constant(DomainInnerProduct, 1),
+		}
+		Concat[float64](lineLSH(), other)
+	}()
+}
+
+func TestPowerCPF(t *testing.T) {
+	fam := Power[float64](lineLSH(), 3)
+	f := fam.CPF()
+	for _, tt := range []float64{0.1, 0.5} {
+		want := math.Pow(1-tt, 3)
+		if got := f.Eval(tt); math.Abs(got-want) > 1e-12 {
+			t.Errorf("power CPF(%v) = %v, want %v", tt, got, want)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Power(fam, 0) should panic")
+			}
+		}()
+		Power[float64](lineLSH(), 0)
+	}()
+}
+
+func TestPowerEmpirical(t *testing.T) {
+	fam := Power[float64](antiLine{}, 2)
+	rng := xrand.New(5)
+	est := EstimateCollision(rng, fam, linePairs, 0.7, 30000, 5)
+	if want := 0.49; !est.Interval.Contains(want) {
+		t.Errorf("estimate %v excludes %v", est.P, want)
+	}
+}
+
+func TestMixtureCPF(t *testing.T) {
+	fam := Mixture[float64](
+		[]Family[float64]{constFamily{1}, constFamily{0}},
+		[]float64{0.3, 0.7},
+	)
+	if got := fam.CPF().Eval(0.5); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("mixture CPF = %v, want 0.3", got)
+	}
+	rng := xrand.New(6)
+	est := EstimateCollision(rng, fam, linePairs, 0.5, 30000, 5)
+	if !est.Interval.Contains(0.3) {
+		t.Errorf("mixture empirical %v excludes 0.3", est.P)
+	}
+}
+
+func TestMixtureOfDistanceFamilies(t *testing.T) {
+	fam := Mixture[float64](
+		[]Family[float64]{lineLSH(), antiLine{}},
+		[]float64{0.5, 0.5},
+	)
+	rng := xrand.New(7)
+	for _, tt := range []float64{0.2, 0.8} {
+		want := 0.5*math.Max(0, 1-tt) + 0.5*tt
+		est := EstimateCollision(rng, fam, linePairs, tt, 30000, 5)
+		if !est.Interval.Contains(want) {
+			t.Errorf("t=%v: %v excludes %v", tt, est.P, want)
+		}
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	cases := []func(){
+		func() { Mixture[float64](nil, nil) },
+		func() {
+			Mixture[float64]([]Family[float64]{lineLSH()}, []float64{0.5})
+		},
+		func() {
+			Mixture[float64]([]Family[float64]{lineLSH(), antiLine{}}, []float64{1.5, -0.5})
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRenamed(t *testing.T) {
+	fam := Renamed[float64]{Inner: lineLSH(), NewName: "alias"}
+	if fam.Name() != "alias" {
+		t.Errorf("Name = %q", fam.Name())
+	}
+	if fam.CPF().Eval(0.5) != 0.5 {
+		t.Error("Renamed must preserve CPF")
+	}
+	rng := xrand.New(8)
+	pair := fam.Sample(rng)
+	if pair.H.Hash(1.0) != pair.G.Hash(1.0) {
+		t.Error("Renamed must preserve sampling")
+	}
+}
+
+func TestRhoValues(t *testing.T) {
+	// For CPF f(t) = t: rho^- = ln f(r)/ln f(r/c).
+	f := CPF{Domain: DomainRelativeHamming, Eval: func(t float64) float64 { return t }}
+	r, c := 0.1, 2.0
+	want := math.Log(0.1) / math.Log(0.05)
+	if got := RhoMinus(f, r, r/c); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RhoMinus = %v, want %v", got, want)
+	}
+	// For CPF g(t) = 1-t: rho^+ = ln g(r)/ln g(cr).
+	g := CPF{Domain: DomainRelativeHamming, Eval: func(t float64) float64 { return 1 - t }}
+	want = math.Log(0.9) / math.Log(0.8)
+	if got := RhoPlus(g, r, c*r); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RhoPlus = %v, want %v", got, want)
+	}
+}
+
+func TestCheckLowerBound(t *testing.T) {
+	atZero := Estimate{P: 0.25, Interval: intervalOf(0.24, 0.26)}
+	atAlpha := Estimate{P: 0.1, Interval: intervalOf(0.09, 0.11)}
+	// alpha = 1/3: exponent = 2; bound = 0.24^2 = 0.0576 <= 0.11: ok.
+	bound, ok := CheckLowerBound(atZero, atAlpha, 1.0/3)
+	if !ok {
+		t.Errorf("bound %v should hold", bound)
+	}
+	// Violation: collision prob at alpha way too small.
+	atBad := Estimate{P: 0.001, Interval: intervalOf(0.0005, 0.002)}
+	if _, ok := CheckLowerBound(atZero, atBad, 1.0/3); ok {
+		t.Error("violation should be detected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha out of range should panic")
+		}
+	}()
+	CheckLowerBound(atZero, atAlpha, 1)
+}
+
+func TestEstimateCollisionFixedPoints(t *testing.T) {
+	fam := lineLSH()
+	rng := xrand.New(9)
+	est := EstimateCollisionFixedPoints(rng, fam, 0.0, 0.5, 20000, 5)
+	if !est.Interval.Contains(0.5) {
+		t.Errorf("fixed-point estimate %v excludes 0.5", est.P)
+	}
+}
+
+func TestEstimateCPFSweep(t *testing.T) {
+	fam := lineLSH()
+	rng := xrand.New(10)
+	xs := []float64{0.1, 0.5, 0.9}
+	ests := EstimateCPF(rng, fam, linePairs, xs, 5000, 5)
+	if len(ests) != 3 {
+		t.Fatalf("got %d estimates", len(ests))
+	}
+	for i, e := range ests {
+		if e.X != xs[i] {
+			t.Errorf("estimate %d has X = %v", i, e.X)
+		}
+		if !e.Interval.Contains(1 - xs[i]) {
+			t.Errorf("sweep point %v: %v excludes %v", e.X, e.P, 1-xs[i])
+		}
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	if DomainDistance.String() != "distance" ||
+		DomainRelativeHamming.String() != "relative-hamming" ||
+		DomainInnerProduct.String() != "inner-product" ||
+		Domain(99).String() != "unknown" {
+		t.Error("Domain.String values wrong")
+	}
+}
+
+func TestConstantCPF(t *testing.T) {
+	c := Constant(DomainInnerProduct, 0.42)
+	if c.Eval(-1) != 0.42 || c.Eval(1) != 0.42 {
+		t.Error("Constant CPF should ignore its argument")
+	}
+}
+
+func intervalOf(lo, hi float64) stats.Interval {
+	return stats.Interval{Lo: lo, Hi: hi}
+}

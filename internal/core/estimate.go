@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+
+	"dsh/internal/stats"
+	"dsh/internal/xrand"
+)
+
+// Estimate is a Monte-Carlo estimate of a collision probability.
+type Estimate struct {
+	X        float64 // the distance/similarity at which the CPF was probed
+	Hits     int
+	Trials   int
+	P        float64        // point estimate Hits/Trials
+	Interval stats.Interval // Wilson interval at the z used for estimation
+}
+
+// PairGenerator produces point pairs at a prescribed CPF argument x
+// (distance or similarity depending on the family's domain).
+type PairGenerator[P any] func(rng *xrand.Rand, x float64) (P, P)
+
+// EstimateCollision estimates Pr[h(x)=g(y)] at CPF argument x by drawing
+// `trials` fresh ((h,g), (x,y)) combinations. Resampling the points each
+// trial estimates the probabilistic CPF of Definition 3.3; for spaces where
+// the generator produces exact distances the two notions coincide.
+// The returned interval is a Wilson score interval at the given z.
+func EstimateCollision[P any](rng *xrand.Rand, fam Family[P], gen PairGenerator[P], x float64, trials int, z float64) Estimate {
+	hits := 0
+	for i := 0; i < trials; i++ {
+		px, py := gen(rng, x)
+		pair := fam.Sample(rng)
+		if pair.Collides(px, py) {
+			hits++
+		}
+	}
+	return Estimate{
+		X:        x,
+		Hits:     hits,
+		Trials:   trials,
+		P:        float64(hits) / float64(trials),
+		Interval: stats.WilsonInterval(hits, trials, z),
+	}
+}
+
+// EstimateCollisionFixedPoints estimates Pr[h(x)=g(y)] for one fixed point
+// pair over `trials` independent (h, g) draws.
+func EstimateCollisionFixedPoints[P any](rng *xrand.Rand, fam Family[P], x, y P, trials int, z float64) Estimate {
+	hits := 0
+	for i := 0; i < trials; i++ {
+		pair := fam.Sample(rng)
+		if pair.Collides(x, y) {
+			hits++
+		}
+	}
+	return Estimate{
+		Hits:     hits,
+		Trials:   trials,
+		P:        float64(hits) / float64(trials),
+		Interval: stats.WilsonInterval(hits, trials, z),
+	}
+}
+
+// EstimateCPF sweeps the family's CPF across the given arguments.
+func EstimateCPF[P any](rng *xrand.Rand, fam Family[P], gen PairGenerator[P], xs []float64, trials int, z float64) []Estimate {
+	out := make([]Estimate, len(xs))
+	for i, x := range xs {
+		out[i] = EstimateCollision(rng, fam, gen, x, trials, z)
+	}
+	return out
+}
+
+// RhoMinus computes the "anti-LSH" quality measure
+// rho^- = ln(1/f(far)) / ln(1/f(near)) for a CPF that *increases* with
+// distance: near is the small distance where collisions should be rare and
+// far the large distance where they should be common... more precisely, per
+// Section 4.1 of the paper, rho^- = ln f(r) / ln f(r/c) with r the target
+// distance and r/c the too-close distance, both CPF values in (0, 1).
+func RhoMinus(f CPF, r, rNear float64) float64 {
+	fr := f.Eval(r)
+	fn := f.Eval(rNear)
+	return math.Log(fr) / math.Log(fn)
+}
+
+// RhoPlus computes the classical LSH measure
+// rho^+ = ln(1/f(r)) / ln(1/f(cr)) for a decreasing CPF: r the near
+// distance, rFar = c*r the far distance.
+func RhoPlus(f CPF, r, rFar float64) float64 {
+	return math.Log(f.Eval(r)) / math.Log(f.Eval(rFar))
+}
+
+// CheckLowerBound evaluates the Theorem 1.3 lower-bound inequality
+// fhat(alpha) >= fhat(0)^((1+alpha)/(1-alpha)) at a similarity alpha in
+// [0, 1) from two estimates. It returns the right-hand side bound and
+// whether the inequality holds with slack: the estimate at alpha (upper
+// Wilson limit) must not fall below the bound computed from the estimate at
+// 0 (lower Wilson limit gives the weakest bound, so we use it to avoid
+// false alarms from Monte-Carlo noise).
+func CheckLowerBound(atZero, atAlpha Estimate, alpha float64) (bound float64, ok bool) {
+	if alpha < 0 || alpha >= 1 {
+		panic("core: CheckLowerBound requires 0 <= alpha < 1")
+	}
+	exponent := (1 + alpha) / (1 - alpha)
+	// The weakest (smallest) admissible bound uses the lower end of the
+	// interval at 0, since x^exponent is increasing in x for x in [0,1].
+	bound = math.Pow(atZero.Interval.Lo, exponent)
+	ok = atAlpha.Interval.Hi >= bound
+	return bound, ok
+}

@@ -1,0 +1,195 @@
+// Package cpfit fits target collision probability functions with the
+// paper's combinators: given a dictionary of basis DSH families and a
+// desired CPF shape, it finds non-negative mixture weights (Lemma 1.4(b))
+// whose convex combination approximates the target in least squares.
+//
+// Chierichetti and Kumar showed that (in the symmetric setting) mixtures
+// and concatenations generate *all* CPF-to-CPF transformations, so fitting
+// over a dictionary of concatenation powers is the principled way to
+// design a CPF that the framework can actually realize. This package turns
+// that observation into a small design tool: BuildDictionary enumerates
+// powers of given base families, Fit solves the constrained least-squares
+// problem (via internal/mat's NNLS), and the result is a ready-to-use
+// core.Family.
+package cpfit
+
+import (
+	"fmt"
+	"math"
+
+	"dsh/internal/core"
+	"dsh/internal/mat"
+	"dsh/internal/xrand"
+)
+
+// Target is a desired CPF specified by sample points.
+type Target struct {
+	// X holds CPF arguments (distances or similarities, matching the
+	// dictionary's domain).
+	X []float64
+	// F holds the desired collision probabilities at X, each in [0, 1].
+	F []float64
+}
+
+// Grid builds a Target by sampling fn on a uniform grid of n points over
+// [lo, hi].
+func Grid(lo, hi float64, n int, fn func(float64) float64) Target {
+	if n < 2 {
+		panic("cpfit: need at least two grid points")
+	}
+	t := Target{X: make([]float64, n), F: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		t.X[i] = x
+		t.F[i] = fn(x)
+	}
+	return t
+}
+
+// Validate checks the target's consistency.
+func (t Target) Validate() error {
+	if len(t.X) != len(t.F) {
+		return fmt.Errorf("cpfit: %d points vs %d values", len(t.X), len(t.F))
+	}
+	if len(t.X) == 0 {
+		return fmt.Errorf("cpfit: empty target")
+	}
+	for i, f := range t.F {
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return fmt.Errorf("cpfit: target value %v at %v out of [0,1]", f, t.X[i])
+		}
+	}
+	return nil
+}
+
+// Dictionary is a set of basis families over a shared point type and CPF
+// domain.
+type Dictionary[P any] struct {
+	Families []core.Family[P]
+}
+
+// BuildDictionary enumerates concatenation powers base^1 .. base^maxPower
+// for every base family, the natural dictionary closed under Lemma 1.4(a).
+func BuildDictionary[P any](maxPower int, bases ...core.Family[P]) Dictionary[P] {
+	if maxPower < 1 {
+		panic("cpfit: maxPower must be >= 1")
+	}
+	if len(bases) == 0 {
+		panic("cpfit: need at least one base family")
+	}
+	d := bases[0].CPF().Domain
+	var out []core.Family[P]
+	for _, b := range bases {
+		if b.CPF().Domain != d {
+			panic("cpfit: mixed CPF domains in dictionary")
+		}
+		for k := 1; k <= maxPower; k++ {
+			out = append(out, core.Power(b, k))
+		}
+	}
+	return Dictionary[P]{Families: out}
+}
+
+// Result is a fitted mixture.
+type Result[P any] struct {
+	// Family is the fitted mixture (nil if every weight collapsed to 0).
+	Family core.Family[P]
+	// Weights are the mixture weights over the dictionary (summing to
+	// Mass <= 1; the remaining mass never collides).
+	Weights []float64
+	// Mass is the total weight assigned to the dictionary.
+	Mass float64
+	// MaxErr is the maximum absolute deviation from the target over its
+	// sample points.
+	MaxErr float64
+	// RMSE is the root-mean-square deviation over the target points.
+	RMSE float64
+}
+
+// Fit finds non-negative weights w minimizing sum_i (sum_j w_j f_j(x_i) -
+// target_i)^2 subject to sum w_j <= 1 (the feasible region of a Lemma
+// 1.4(b) mixture; the deficit 1 - sum w_j is assigned to an implicit
+// never-collide family, which is always available).
+func Fit[P any](dict Dictionary[P], target Target) (*Result[P], error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dict.Families) == 0 {
+		return nil, fmt.Errorf("cpfit: empty dictionary")
+	}
+	rows := len(target.X)
+	cols := len(dict.Families)
+	a := mat.NewDense(rows, cols)
+	cpfs := make([]func(float64) float64, cols)
+	for j, fam := range dict.Families {
+		cpfs[j] = fam.CPF().Eval
+		for i, x := range target.X {
+			a.Set(i, j, cpfs[j](x))
+		}
+	}
+	w, _, err := mat.SubSimplexLS(a, target.F)
+	if err != nil {
+		return nil, fmt.Errorf("cpfit: constrained least squares failed: %w", err)
+	}
+	var mass float64
+	for j, v := range w {
+		if v < 1e-10 {
+			w[j] = 0 // drop numerical dust so components stay sparse
+			continue
+		}
+		mass += v
+	}
+	res := &Result[P]{Weights: w, Mass: mass}
+
+	// Assemble the mixture over the nonzero components, padding with a
+	// never-collide family for the remaining mass.
+	var parts []core.Family[P]
+	var weights []float64
+	for j, v := range w {
+		if v > 0 {
+			parts = append(parts, dict.Families[j])
+			weights = append(weights, v)
+		}
+	}
+	if len(parts) > 0 {
+		if mass < 1-1e-12 {
+			parts = append(parts, neverCollide[P]{domain: dict.Families[0].CPF().Domain})
+			weights = append(weights, 1-mass)
+		}
+		res.Family = core.Renamed[P]{
+			Inner:   core.Mixture(parts, weights),
+			NewName: fmt.Sprintf("fitted(%d components)", len(parts)),
+		}
+	}
+
+	// Fit quality.
+	var sq float64
+	for i, x := range target.X {
+		var v float64
+		for j, wj := range w {
+			v += wj * cpfs[j](x)
+		}
+		e := math.Abs(v - target.F[i])
+		if e > res.MaxErr {
+			res.MaxErr = e
+		}
+		sq += e * e
+	}
+	res.RMSE = math.Sqrt(sq / float64(rows))
+	return res, nil
+}
+
+// neverCollide is the zero-CPF family: h and g always disagree. It absorbs
+// the mixture mass a convex combination cannot place on the dictionary.
+type neverCollide[P any] struct{ domain core.Domain }
+
+func (n neverCollide[P]) Name() string { return "never" }
+
+func (n neverCollide[P]) Sample(rng *xrand.Rand) core.Pair[P] {
+	return core.Pair[P]{
+		H: core.HasherFunc[P](func(P) uint64 { return 0 }),
+		G: core.HasherFunc[P](func(P) uint64 { return 1 }),
+	}
+}
+
+func (n neverCollide[P]) CPF() core.CPF { return core.Constant(n.domain, 0) }

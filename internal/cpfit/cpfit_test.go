@@ -1,0 +1,203 @@
+package cpfit
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/core"
+	"dsh/internal/hamming"
+	"dsh/internal/xrand"
+)
+
+const d = 256
+
+func TestGridAndValidate(t *testing.T) {
+	g := Grid(0, 1, 5, func(x float64) float64 { return x })
+	if len(g.X) != 5 || g.X[0] != 0 || g.X[4] != 1 || g.F[2] != 0.5 {
+		t.Fatalf("grid = %+v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Target{X: []float64{0}, F: []float64{2}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range value should fail")
+	}
+	if err := (Target{}).Validate(); err == nil {
+		t.Fatal("empty target should fail")
+	}
+	if err := (Target{X: []float64{1}, F: nil}).Validate(); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+}
+
+func TestBuildDictionary(t *testing.T) {
+	dict := BuildDictionary[bitvec.Vector](3, hamming.BitSampling(d), hamming.AntiBitSampling(d))
+	if len(dict.Families) != 6 {
+		t.Fatalf("dictionary size = %d", len(dict.Families))
+	}
+	// Second entry is bit-sampling squared: CPF (1-t)^2.
+	if got := dict.Families[1].CPF().Eval(0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("power CPF = %v", got)
+	}
+	for i, fn := range []func(){
+		func() { BuildDictionary[bitvec.Vector](0, hamming.BitSampling(d)) },
+		func() { BuildDictionary[bitvec.Vector](2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFitRecoversExactMixture(t *testing.T) {
+	// Target = 0.3*(1-t) + 0.2*t^2 is exactly expressible.
+	dict := BuildDictionary[bitvec.Vector](2, hamming.BitSampling(d), hamming.AntiBitSampling(d))
+	target := Grid(0, 1, 21, func(x float64) float64 {
+		return 0.3*(1-x) + 0.2*x*x
+	})
+	res, err := Fit(dict, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxErr > 1e-5 {
+		t.Fatalf("max error %v for an exactly representable target", res.MaxErr)
+	}
+	if res.Family == nil {
+		t.Fatal("no family returned")
+	}
+	// The decomposition is not unique (the power basis is linearly
+	// dependent as polynomials), but the fitted mixture must reproduce
+	// the target exactly and stay a sub-distribution.
+	if res.Mass > 1+1e-9 {
+		t.Fatalf("mass = %v", res.Mass)
+	}
+	f := res.Family.CPF()
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		want := 0.3*(1-x) + 0.2*x*x
+		if got := f.Eval(x); math.Abs(got-want) > 1e-5 {
+			t.Fatalf("fitted CPF(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestFittedFamilyCollidesAtTargetRate(t *testing.T) {
+	dict := BuildDictionary[bitvec.Vector](2, hamming.BitSampling(d), hamming.AntiBitSampling(d))
+	target := Grid(0, 1, 21, func(x float64) float64 {
+		return 0.25*(1-x) + 0.25*x*x
+	})
+	res, err := Fit(dict, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	gen := func(r *xrand.Rand, tt float64) (bitvec.Vector, bitvec.Vector) {
+		x := bitvec.Random(r, d)
+		return x, bitvec.AtDistance(r, x, int(math.Round(tt*d)))
+	}
+	for _, tt := range []float64{0, 0.5, 1} {
+		est := core.EstimateCollision(rng, res.Family, gen, tt, 20000, 5)
+		want := 0.25*(1-tt) + 0.25*tt*tt
+		if !est.Interval.Contains(want) {
+			t.Errorf("t=%v: measured %v excludes target %v", tt, est.P, want)
+		}
+	}
+}
+
+func TestFitUnimodalTarget(t *testing.T) {
+	// A bump peaking at t = 1/3, like the annulus problem on the cube:
+	// representable approximately by (1-t)^a * t^b mixtures... the
+	// dictionary here is only pure powers, so the fit is approximate but
+	// must capture the qualitative shape.
+	dict := BuildDictionary[bitvec.Vector](4,
+		hamming.BitSampling(d), hamming.AntiBitSampling(d),
+		core.Concat[bitvec.Vector](hamming.BitSampling(d), hamming.AntiBitSampling(d)),
+		core.Concat[bitvec.Vector](
+			core.Power[bitvec.Vector](hamming.BitSampling(d), 2),
+			hamming.AntiBitSampling(d)),
+	)
+	// Amplitude 0.12 is within reach of the dictionary (the peak value of
+	// (1-t)^2 t is 4/27 ~ 0.148 at t = 1/3); a taller bump would be
+	// unreachable by any convex combination.
+	target := Grid(0, 1, 31, func(x float64) float64 {
+		return 0.12 * math.Exp(-8*(x-1.0/3)*(x-1.0/3))
+	})
+	res, err := Fit(dict, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxErr > 0.04 {
+		t.Fatalf("max error %v too large for the bump target", res.MaxErr)
+	}
+	f := res.Family.CPF()
+	if f.Eval(1.0/3) < f.Eval(0)+0.02 || f.Eval(1.0/3) < f.Eval(0.9)+0.02 {
+		t.Errorf("fitted CPF not peaked near 1/3: f(0)=%v f(1/3)=%v f(0.9)=%v",
+			f.Eval(0), f.Eval(1.0/3), f.Eval(0.9))
+	}
+}
+
+func TestFitClampsMassToOne(t *testing.T) {
+	// An unreachable target (constant 1 everywhere is expressible only by
+	// the trivial family, absent from this dictionary): weights must form
+	// a valid sub-distribution.
+	dict := BuildDictionary[bitvec.Vector](1, hamming.AntiBitSampling(d))
+	target := Grid(0, 1, 11, func(x float64) float64 { return 1 })
+	res, err := Fit(dict, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mass > 1+1e-12 {
+		t.Fatalf("mass = %v exceeds 1", res.Mass)
+	}
+	var sum float64
+	for _, w := range res.Weights {
+		if w < 0 {
+			t.Fatalf("negative weight %v", w)
+		}
+		sum += w
+	}
+	if sum > 1+1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	dict := Dictionary[bitvec.Vector]{}
+	if _, err := Fit(dict, Grid(0, 1, 3, func(float64) float64 { return 0.5 })); err == nil {
+		t.Fatal("empty dictionary should error")
+	}
+	full := BuildDictionary[bitvec.Vector](1, hamming.BitSampling(d))
+	if _, err := Fit(full, Target{X: []float64{0}, F: []float64{-1}}); err == nil {
+		t.Fatal("invalid target should error")
+	}
+}
+
+func TestNeverCollideAbsorbsMass(t *testing.T) {
+	// Target 0.5*(1-t): mass 0.5, the rest flows to the never family; the
+	// mixture must still sample and collide at the right rate at t=0.
+	dict := BuildDictionary[bitvec.Vector](1, hamming.BitSampling(d))
+	target := Grid(0, 1, 11, func(x float64) float64 { return 0.5 * (1 - x) })
+	res, err := Fit(dict, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(2)
+	x := bitvec.Random(rng, d)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if res.Family.Sample(rng).Collides(x, x) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.5) > 0.02 {
+		t.Fatalf("collision rate at t=0 is %v, want 0.5", p)
+	}
+}

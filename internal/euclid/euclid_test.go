@@ -1,0 +1,222 @@
+package euclid
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/core"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+const testDim = 16
+
+func pairsAt(rng *xrand.Rand, delta float64) (Point, Point) {
+	return vec.PairAtDistance(rng, testDim, delta)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewPStable(0, 1, 1) },
+		func() { NewPStable(4, -1, 1) },
+		func() { NewPStable(4, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSymmetricCaseMatchesDatarEtAl(t *testing.T) {
+	// k = 0 recovers the classical p-stable LSH; its known CPF is
+	// f(delta) = 2 Phi(w/delta) - 1 + (2 delta / (w sqrt(2 pi))) (e^{-w^2/(2 delta^2)} - 1)
+	// ... rather than re-derive, just check endpoints and Monte Carlo.
+	fam := NewPStable(testDim, 0, 2)
+	if got := fam.ExactCPF(0); got != 1 {
+		t.Errorf("f(0) = %v, want 1", got)
+	}
+	if got := fam.ExactCPF(100); got > 0.02 {
+		t.Errorf("f(100) = %v, want ~0", got)
+	}
+	rng := xrand.New(1)
+	for _, delta := range []float64{0.2, 1, 2, 5} {
+		est := core.EstimateCollision(rng, fam, pairsAt, delta, 20000, 5)
+		want := fam.ExactCPF(delta)
+		if !est.Interval.Contains(want) {
+			t.Errorf("delta=%v: estimate %v (interval [%v,%v]) excludes analytic %v",
+				delta, est.P, est.Interval.Lo, est.Interval.Hi, want)
+		}
+	}
+}
+
+func TestShiftedCPFEmpirical(t *testing.T) {
+	// This test also adjudicates the formula discrepancy with the paper's
+	// Appendix B (the extra -phi(kw/delta)/delta term): our closed form
+	// must match Monte-Carlo at every probed distance.
+	rng := xrand.New(2)
+	for _, k := range []int{1, 3} {
+		fam := NewPStable(testDim, k, 1)
+		for _, delta := range []float64{0.5, 1, 2, 3, 5, 8} {
+			est := core.EstimateCollision(rng, fam, pairsAt, delta, 20000, 5)
+			want := fam.ExactCPF(delta)
+			if !est.Interval.Contains(want) {
+				t.Errorf("k=%d delta=%v: estimate %v (interval [%v,%v]) excludes analytic %v",
+					k, delta, est.P, est.Interval.Lo, est.Interval.Hi, want)
+			}
+		}
+	}
+}
+
+func TestCPFZeroAtZeroDistanceForPositiveK(t *testing.T) {
+	fam := NewPStable(testDim, 3, 1)
+	if got := fam.ExactCPF(0); got != 0 {
+		t.Errorf("f(0) = %v, want 0", got)
+	}
+	// Empirically: identical points never collide under g = h + k.
+	rng := xrand.New(3)
+	x := vec.Gaussian(rng, testDim)
+	for i := 0; i < 2000; i++ {
+		pair := fam.Sample(rng)
+		if pair.Collides(x, x) {
+			t.Fatal("shifted family must not collide at distance 0")
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	// Figure 1 of the paper: k = 3, w = 1. The CPF is unimodal with peak
+	// value ~0.08 around distance 2-3, decreasing rapidly on the left of
+	// the maximum and slowly on the right.
+	fam := NewPStable(testDim, 3, 1)
+	peak := fam.PeakDistance()
+	if peak < 1.5 || peak > 4 {
+		t.Errorf("peak at %v, want in [1.5, 4]", peak)
+	}
+	fPeak := fam.ExactCPF(peak)
+	if fPeak < 0.06 || fPeak > 0.10 {
+		t.Errorf("peak value %v, want ~0.08", fPeak)
+	}
+	// Unimodality: increasing before, decreasing after.
+	prev := -1.0
+	for d := 0.25; d <= peak; d += 0.25 {
+		v := fam.ExactCPF(d)
+		if v < prev-1e-12 {
+			t.Fatalf("CPF not increasing at %v", d)
+		}
+		prev = v
+	}
+	prev = fPeak
+	for d := peak; d <= 10; d += 0.25 {
+		v := fam.ExactCPF(d)
+		if v > prev+1e-12 {
+			t.Fatalf("CPF not decreasing at %v", d)
+		}
+		prev = v
+	}
+	// Asymmetry: left side falls off faster than right side.
+	left := fam.ExactCPF(peak - 1.2)
+	right := fam.ExactCPF(peak + 1.2)
+	if left >= right {
+		t.Errorf("expected steep left/slow right: f(peak-1.2)=%v, f(peak+1.2)=%v", left, right)
+	}
+}
+
+func TestRhoMinusApproachesInverseCSquared(t *testing.T) {
+	// Theorem 4.1: with w = w(c), rho^- = (1/c^2)(1 + O(1/k)).
+	c := 2.0
+	w := Theorem41Width(c)
+	for _, k := range []int{4, 8, 16, 32} {
+		fam := NewPStable(testDim, k, w)
+		rho := fam.RhoMinus(1, c)
+		// The deviation is O(1/k) (not necessarily monotone once the
+		// log-space asymptotic kicks in at large k).
+		if gap := math.Abs(rho*c*c - 1); gap > 6.0/float64(k) {
+			t.Errorf("k=%d: rho=%v, |rho c^2 - 1| = %v too large", k, rho, gap)
+		}
+	}
+}
+
+func TestRhoMinusBeatsAntiBitSampling(t *testing.T) {
+	// Sanity: for c = 2 the Euclidean construction achieves rho^- near
+	// 1/c^2 = 0.25, far below the anti bit-sampling value
+	// ln f(r)/ln f(r/c) with f(t)=t at r=0.1: ln(0.1)/ln(0.05) ~ 0.77.
+	c := 2.0
+	fam := NewPStable(testDim, 16, Theorem41Width(c))
+	rho := fam.RhoMinus(1, c)
+	if rho > 0.4 {
+		t.Errorf("rho = %v, expected close to 0.25", rho)
+	}
+}
+
+func TestPeakDistanceGrowsWithK(t *testing.T) {
+	w := 1.0
+	prev := 0.0
+	for _, k := range []int{1, 2, 4, 8} {
+		p := NewPStable(testDim, k, w).PeakDistance()
+		if p <= prev {
+			t.Errorf("peak for k=%d is %v, not larger than %v", k, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestCPFNonNegativeAndBounded(t *testing.T) {
+	for _, k := range []int{0, 1, 5} {
+		fam := NewPStable(testDim, k, 0.7)
+		for d := 0.0; d < 20; d += 0.1 {
+			v := fam.ExactCPF(d)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("k=%d: CPF(%v) = %v", k, d, v)
+			}
+		}
+	}
+}
+
+func TestMixtureOfPStableFormsStep(t *testing.T) {
+	// Figure 2: mixing unimodal CPFs yields an approximate step function.
+	var parts []core.Family[Point]
+	var weights []float64
+	for k := 1; k <= 8; k++ {
+		parts = append(parts, NewPStable(testDim, k, 1))
+		weights = append(weights, 1.0/8)
+	}
+	mix := core.Mixture(parts, weights)
+	f := mix.CPF()
+	// The mixture should be relatively flat across the covered plateau
+	// and fall off beyond it (the right tail decays like 1/Delta, as in
+	// the red curve of the paper's Figure 2).
+	v2 := f.Eval(2)
+	v5 := f.Eval(5)
+	v8 := f.Eval(8)
+	if math.Abs(v2-v5)/math.Max(v2, v5) > 0.5 {
+		t.Errorf("plateau not flat: f(2)=%v f(5)=%v", v2, v5)
+	}
+	prev := v8
+	for d := 9.0; d <= 40; d++ {
+		v := f.Eval(d)
+		if v > prev+1e-12 {
+			t.Fatalf("mixture CPF not decreasing at %v", d)
+		}
+		prev = v
+	}
+	if v40 := f.Eval(40); v40 > v5/3 {
+		t.Errorf("step did not fall: f(5)=%v f(40)=%v", v5, v40)
+	}
+}
+
+func BenchmarkPStableSampleHash(b *testing.B) {
+	rng := xrand.New(1)
+	fam := NewPStable(128, 3, 1)
+	x := vec.Gaussian(rng, 128)
+	y := vec.Gaussian(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pair := fam.Sample(rng)
+		_ = pair.Collides(x, y)
+	}
+}

@@ -1,0 +1,104 @@
+// Package experiments reproduces every figure and quantitative theorem of
+// the paper as a table of paper-predicted versus measured values. Each
+// experiment is a function returning a Table; cmd/dshbench renders them to
+// text or CSV, the root bench_test.go wraps them as benchmarks, and
+// EXPERIMENTS.md records representative output.
+//
+// The paper has no numbered tables; its evaluation artifacts are Figures
+// 1-4 and the quantitative statements of Theorems 1.2, 1.3, 2.1/2.2, 4.1,
+// 5.1, 5.2, 6.1/6.2/6.4, 6.5 and Section 6.4. The experiment IDs here
+// (F1-F4, E1-E10) are indexed in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic("experiments: row width mismatch")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-text note rendered after the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as CSV (ID and title as a comment line).
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Config controls the Monte-Carlo budget of the experiments.
+type Config struct {
+	// Trials is the number of Monte-Carlo samples per probed point.
+	Trials int
+	// Seed feeds the deterministic generator.
+	Seed uint64
+}
+
+// Quick returns a configuration suitable for benchmarks and smoke tests.
+func Quick() Config { return Config{Trials: 4000, Seed: 7} }
+
+// Full returns the configuration used for EXPERIMENTS.md.
+func Full() Config { return Config{Trials: 60000, Seed: 7} }
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+func g4(v float64) string { return fmt.Sprintf("%.4g", v) }

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse extracts a float from a table cell.
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func cfg() Config { return Config{Trials: 3000, Seed: 11} }
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "test", Columns: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddNote("hello %d", 42)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== X: test ==", "a", "bb", "hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	tbl.RenderCSV(&csv)
+	if !strings.Contains(csv.String(), "a,bb") || !strings.Contains(csv.String(), "1,2") {
+		t.Errorf("CSV output wrong:\n%s", csv.String())
+	}
+}
+
+func TestTableRowWidthMismatchPanics(t *testing.T) {
+	tbl := &Table{Columns: []string{"a"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("should panic")
+		}
+	}()
+	tbl.AddRow("1", "2")
+}
+
+func TestFigure1ShapeReproduced(t *testing.T) {
+	tbl := Figure1(cfg())
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Analytic and measured must agree within Monte-Carlo noise, and the
+	// curve must be unimodal with peak ~0.08.
+	best := 0.0
+	for _, row := range tbl.Rows {
+		analytic := parse(t, row[1])
+		measured := parse(t, row[2])
+		if math.Abs(analytic-measured) > 0.03 {
+			t.Errorf("distance %s: analytic %v vs measured %v", row[0], analytic, measured)
+		}
+		if analytic > best {
+			best = analytic
+		}
+	}
+	if best < 0.06 || best > 0.10 {
+		t.Errorf("peak CPF %v, want ~0.08 as in Figure 1", best)
+	}
+}
+
+func TestFigure2PlateauReproduced(t *testing.T) {
+	tbl := Figure2(cfg())
+	var plateau []float64
+	var farOut []float64
+	var left []float64
+	for _, row := range tbl.Rows {
+		v := parse(t, row[1])
+		x := parse(t, row[0])
+		switch {
+		case row[3] == "yes":
+			plateau = append(plateau, v)
+		case x >= 25:
+			farOut = append(farOut, v)
+		case x <= 1:
+			left = append(left, v)
+		}
+	}
+	if len(plateau) < 3 || len(farOut) < 2 || len(left) < 1 {
+		t.Fatal("table structure unexpected")
+	}
+	minP, maxP := plateau[0], plateau[0]
+	for _, v := range plateau {
+		minP = math.Min(minP, v)
+		maxP = math.Max(maxP, v)
+	}
+	if maxP/minP > 2 {
+		t.Errorf("plateau ratio %v too large", maxP/minP)
+	}
+	// The left flank is essentially zero (too-close pairs never collide).
+	for _, v := range left {
+		if v > minP/10 {
+			t.Errorf("left flank value %v not far below plateau %v", v, minP)
+		}
+	}
+	// Well beyond the plateau the mixture has fallen below the plateau.
+	for _, v := range farOut {
+		if v > minP {
+			t.Errorf("far-out value %v not below plateau min %v", v, minP)
+		}
+	}
+}
+
+func TestFigure3BoundsContainAlphaMax(t *testing.T) {
+	tbl := Figure3(cfg())
+	for _, row := range tbl.Rows {
+		amax := parse(t, row[0])
+		for i := 1; i < 7; i += 2 {
+			lo := parse(t, row[i])
+			hi := parse(t, row[i+1])
+			if !(lo <= amax && amax <= hi) {
+				t.Errorf("alphaMax %v outside annulus [%v, %v]", amax, lo, hi)
+			}
+		}
+		// s=4 annulus contains s=2 annulus.
+		if parse(t, row[5]) > parse(t, row[1]) || parse(t, row[6]) < parse(t, row[2]) {
+			t.Errorf("s=4 annulus does not contain s=2 annulus at alphaMax %v", amax)
+		}
+	}
+}
+
+func TestFigure4AnalyticVsMeasured(t *testing.T) {
+	tbl := Figure4(cfg())
+	for _, row := range tbl.Rows {
+		analytic := parse(t, row[2])
+		measured := parse(t, row[3])
+		if math.Abs(analytic-measured) > 0.05 {
+			t.Errorf("%s at alpha %s: analytic %v vs measured %v", row[0], row[1], analytic, measured)
+		}
+	}
+}
+
+func TestFilterCPFDeviationIsLowerOrder(t *testing.T) {
+	tbl := FilterCPF(cfg())
+	for _, row := range tbl.Rows {
+		dev := parse(t, row[4])
+		// Theta(log t) for t=2: modest constant.
+		if math.Abs(dev) > 5 {
+			t.Errorf("%s alpha %s: deviation %v too large", row[0], row[1], dev)
+		}
+		exact := parse(t, row[6])
+		measured := parse(t, row[5])
+		if math.Abs(exact-measured) > 0.04 {
+			t.Errorf("%s alpha %s: exact %v vs measured %v", row[0], row[1], exact, measured)
+		}
+	}
+}
+
+func TestLowerBoundNeverViolated(t *testing.T) {
+	tbl := LowerBound(cfg())
+	for _, row := range tbl.Rows {
+		if row[5] != "yes" {
+			t.Errorf("Theorem 1.3 lower bound violated: %v", row)
+		}
+	}
+}
+
+func TestAntiBitNeverWins(t *testing.T) {
+	tbl := AntiBit(cfg())
+	for _, row := range tbl.Rows {
+		if row[4] == "antibit" {
+			t.Errorf("anti bit-sampling should never win: %v", row)
+		}
+		anti := parse(t, row[1])
+		sphereRho := parse(t, row[2])
+		if anti <= sphereRho {
+			t.Errorf("r=%s: antibit rho %v should exceed sphere rho %v", row[0], anti, sphereRho)
+		}
+	}
+}
+
+func TestEuclidRhoConverges(t *testing.T) {
+	tbl := EuclidRho(cfg())
+	for _, row := range tbl.Rows {
+		c := parse(t, row[0])
+		k := parse(t, row[1])
+		w := parse(t, row[2])
+		rhoC2 := parse(t, row[4])
+		// The proof of Theorem 4.1 bounds rho*c^2 by
+		// (-2 ln(w/(4 sqrt(2 pi))) + ((k+1/2)w)^2) / ((k-1)w)^2;
+		// the -2ln term makes convergence slower for larger c (smaller w).
+		if k < 4 {
+			continue
+		}
+		full := (-2*math.Log(w/(4*math.Sqrt(2*math.Pi))) +
+			math.Pow((k+0.5)*w, 2)) / math.Pow((k-1)*w, 2)
+		if rhoC2 > full*1.05 {
+			t.Errorf("c=%v k=%v: rho*c^2 = %v exceeds proof bound %v", c, k, rhoC2, full)
+		}
+		if rhoC2 < 0.7 {
+			t.Errorf("c=%v k=%v: rho*c^2 = %v suspiciously below 1", c, k, rhoC2)
+		}
+	}
+}
+
+func TestPolyCPFMatches(t *testing.T) {
+	tbl := PolyCPF(cfg())
+	for _, row := range tbl.Rows {
+		want := parse(t, row[3])
+		got := parse(t, row[4])
+		if math.Abs(want-got) > 0.04 {
+			t.Errorf("%s at t=%s: target %v vs measured %v", row[0], row[2], want, got)
+		}
+	}
+}
+
+func TestCombinatorsAgree(t *testing.T) {
+	tbl := Combinators(cfg())
+	for _, row := range tbl.Rows {
+		if math.Abs(parse(t, row[2])-parse(t, row[3])) > 0.04 {
+			t.Errorf("%s at t=%s: %v vs %v", row[0], row[1], row[2], row[3])
+		}
+	}
+}
+
+func TestAnnulusSearchSublinear(t *testing.T) {
+	tbl := AnnulusSearch(cfg())
+	for _, row := range tbl.Rows {
+		if row[1] == "linear-scan" {
+			continue
+		}
+		frac := parse(t, row[5])
+		if frac > 0.5 {
+			t.Errorf("%s at n=%s scans fraction %v of the data", row[1], row[0], frac)
+		}
+	}
+}
+
+func TestRangeReportStepIsOutputSensitive(t *testing.T) {
+	tbl := RangeReport(cfg())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tbl.Rows))
+	}
+	stepWork := parse(t, tbl.Rows[0][5])
+	clsWork := parse(t, tbl.Rows[1][5])
+	if stepWork > clsWork {
+		t.Errorf("step CPF work/report %v should not exceed classical %v", stepWork, clsWork)
+	}
+}
+
+func TestPrivacyRates(t *testing.T) {
+	tbl := Privacy(cfg())
+	for _, row := range tbl.Rows {
+		rate := parse(t, row[2])
+		switch row[1] {
+		case "close":
+			if rate < 0.7 {
+				t.Errorf("close pair at alpha %s detected only %v", row[0], rate)
+			}
+		case "far":
+			if parse(t, row[0]) < 0 && rate > 0.3 {
+				t.Errorf("far pair at alpha %s false-alarmed %v", row[0], rate)
+			}
+		}
+	}
+}

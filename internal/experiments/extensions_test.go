@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnnulusJoinPrunesAndRecalls(t *testing.T) {
+	tbl := AnnulusJoin(cfg())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	joinRow, bruteRow := tbl.Rows[0], tbl.Rows[1]
+	if parse(t, joinRow[3]) < 0.6 {
+		t.Errorf("join recall %s too low", joinRow[3])
+	}
+	joinFrac := parse(t, joinRow[5])
+	if joinFrac >= 0.8 {
+		t.Errorf("join verified fraction %v not below brute force", joinFrac)
+	}
+	if bruteRow[5] != "1.0000" {
+		t.Errorf("brute force fraction = %s", bruteRow[5])
+	}
+}
+
+func TestCPFDesignFitsTargets(t *testing.T) {
+	tbl := CPFDesign(cfg())
+	for _, row := range tbl.Rows {
+		mass := parse(t, row[1])
+		if mass < 0 || mass > 1+1e-9 {
+			t.Errorf("%s: mass %v out of [0,1]", row[0], mass)
+		}
+		maxErr := parse(t, row[2])
+		// The ramp has a kink (not exactly representable); others are
+		// near-exact.
+		limit := 0.02
+		if row[0] == "ramp min(2t,1)/2" {
+			limit = 0.15
+		}
+		if maxErr > limit {
+			t.Errorf("%s: max error %v exceeds %v", row[0], maxErr, limit)
+		}
+	}
+}
+
+func TestTaylorCPFFeasibilityBoundary(t *testing.T) {
+	tbl := TaylorCPF(cfg())
+	feasible, infeasible := 0, 0
+	for _, row := range tbl.Rows {
+		switch {
+		case row[2] == "yes":
+			feasible++
+			if parse(t, row[4]) > 0.1 {
+				t.Errorf("c=%s deg=%s: truncation error %s too large", row[0], row[1], row[4])
+			}
+		default:
+			infeasible++
+			if row[1] == "2" {
+				t.Errorf("degree-2 truncation at c=%s should be feasible", row[0])
+			}
+		}
+	}
+	if feasible < 6 || infeasible < 3 {
+		t.Errorf("feasibility split %d/%d unexpected", feasible, infeasible)
+	}
+}
+
+func TestHyperplaneQueriesSublinear(t *testing.T) {
+	tbl := HyperplaneQueries(cfg())
+	for _, row := range tbl.Rows {
+		if parse(t, row[3]) < 0.5 {
+			t.Errorf("alpha=%s: recall %s below 1/2", row[0], row[3])
+		}
+		if parse(t, row[5]) > 0.25 {
+			t.Errorf("alpha=%s: candidate fraction %s not sublinear", row[0], row[5])
+		}
+		rho := parse(t, row[1])
+		if rho <= 0 || rho >= 1 {
+			t.Errorf("rho* = %v out of (0,1)", rho)
+		}
+	}
+}
+
+func TestKernelSpacesPeaksAtKernelHalf(t *testing.T) {
+	tbl := KernelSpaces(cfg())
+	var peakMeasured, nearMeasured, farMeasured float64
+	for _, row := range tbl.Rows {
+		dist := parse(t, row[0])
+		m := parse(t, row[3])
+		switch {
+		case math.Abs(dist-2.355) < 0.01:
+			peakMeasured = m
+		case dist == 0.5:
+			nearMeasured = m
+		case dist == 5:
+			farMeasured = m
+		}
+	}
+	if peakMeasured <= nearMeasured || peakMeasured <= farMeasured {
+		t.Errorf("lifted CPF not peaked: near=%v peak=%v far=%v",
+			nearMeasured, peakMeasured, farMeasured)
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"math"
+
+	"dsh/internal/core"
+	"dsh/internal/euclid"
+	"dsh/internal/poly"
+	"dsh/internal/sphere"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+// Figure1 reproduces Figure 1 of the paper: the CPF of the Euclidean
+// family R_{k,w} with k = 3, w = 1 as a function of distance -- unimodal,
+// peak ~0.08 near distance 2.5, steep on the left and slow on the right.
+func Figure1(cfg Config) *Table {
+	rng := xrand.New(cfg.Seed)
+	fam := euclid.NewPStable(16, 3, 1)
+	t := &Table{
+		ID:      "F1",
+		Title:   "Figure 1: CPF of R_{k,w}, k=3, w=1 (Euclidean)",
+		Columns: []string{"distance", "analytic_f", "measured_f", "ci_lo", "ci_hi"},
+	}
+	gen := func(r *xrand.Rand, delta float64) (euclid.Point, euclid.Point) {
+		return vec.PairAtDistance(r, 16, delta)
+	}
+	for _, delta := range []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10} {
+		est := core.EstimateCollision(rng, fam, gen, delta, cfg.Trials, 4)
+		t.AddRow(f3(delta), f4(fam.ExactCPF(delta)), f4(est.P), f4(est.Interval.Lo), f4(est.Interval.Hi))
+	}
+	peak := fam.PeakDistance()
+	t.AddNote("peak at distance %.3f with f = %.4f (paper: ~0.08 near 2-3)", peak, fam.ExactCPF(peak))
+	t.AddNote("left/right asymmetry: f(peak-1.2) = %.4f vs f(peak+1.2) = %.4f",
+		fam.ExactCPF(peak-1.2), fam.ExactCPF(peak+1.2))
+	return t
+}
+
+// Figure2 reproduces Figure 2: composing unimodal CPFs (R_{k,w} for a range
+// of k) via the Lemma 1.4(b) mixture into an approximate step-function CPF.
+func Figure2(cfg Config) *Table {
+	rng := xrand.New(cfg.Seed)
+	const d = 16
+	// Equal-height unimodal components, as drawn in the paper's left
+	// panel: the same R_{3,w} shape at geometrically spread widths w
+	// (R_{k,w}(Delta) = R_{k,1}(Delta/w), so all peaks have equal height),
+	// squared via Lemma 1.4(a) powering to sharpen the tails, then mixed
+	// with equal weights (Lemma 1.4(b)) into a step.
+	const power = 2
+	widths := []float64{1, 1.5, 2.25, 3.4, 5}
+	var parts []core.Family[euclid.Point]
+	weights := make([]float64, len(widths))
+	for i, w := range widths {
+		base := euclid.NewPStable(d, 3, w)
+		parts = append(parts, core.Power[euclid.Point](base, power))
+		weights[i] = 1 / float64(len(widths))
+	}
+	mix := core.Mixture(parts, weights)
+	t := &Table{
+		ID:      "F2",
+		Title:   "Figure 2: step-function CPF as a mixture of unimodal CPFs (Lemma 1.4b)",
+		Columns: []string{"distance", "analytic_mix", "measured_mix", "plateau?"},
+	}
+	gen := func(r *xrand.Rand, delta float64) (euclid.Point, euclid.Point) {
+		return vec.PairAtDistance(r, d, delta)
+	}
+	f := mix.CPF()
+	for _, delta := range []float64{0.5, 1, 3, 5, 8, 11, 13, 16, 20, 30, 40} {
+		est := core.EstimateCollision(rng, mix, gen, delta, cfg.Trials, 4)
+		in := "no"
+		if delta >= 3 && delta <= 13 {
+			in = "yes"
+		}
+		t.AddRow(f3(delta), f4(f.Eval(delta)), f4(est.P), in)
+	}
+	fmin, fmax := math.Inf(1), 0.0
+	for delta := 3.0; delta <= 13; delta += 0.25 {
+		v := f.Eval(delta)
+		fmin = math.Min(fmin, v)
+		fmax = math.Max(fmax, v)
+	}
+	t.AddNote("plateau over [3,13]: fmin=%.4f fmax=%.4f ratio=%.2f (flat step as in Fig 2 right)",
+		fmin, fmax, fmax/fmin)
+	t.AddNote("fall beyond the plateau: f(13)=%.4f f(20)=%.5f f(40)=%.6f",
+		f.Eval(13), f.Eval(20), f.Eval(40))
+	return t
+}
+
+// Figure3 reproduces Figure 3: the annulus boundaries alpha-(alphaMax, s)
+// and alpha+(alphaMax, s) of Theorem 6.2 for s = 2, 3, 4. Purely analytic.
+func Figure3(cfg Config) *Table {
+	t := &Table{
+		ID:      "F3",
+		Title:   "Figure 3: annuli [alpha-, alpha+] vs alphaMax for s = 2, 3, 4 (Thm 6.2)",
+		Columns: []string{"alphaMax", "s2_lo", "s2_hi", "s3_lo", "s3_hi", "s4_lo", "s4_hi"},
+	}
+	for a := -0.75; a <= 0.76; a += 0.25 {
+		row := []string{f3(a)}
+		for _, s := range []float64{2, 3, 4} {
+			lo, hi := sphere.AnnulusBounds(a, s)
+			row = append(row, f3(lo), f3(hi))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("each annulus contains alphaMax and widens with s, pinching near alphaMax = +/-1 (as drawn in Fig 3)")
+	return t
+}
+
+// Figure4 reproduces Figure 4: Theorem 5.1 CPFs sim(P(alpha)) under
+// SimHash for the paper's example polynomials -- t^2, -t^2,
+// (-t^3+t^2-t)/3 (left panel) and normalized Chebyshev T_2..T_5 (right).
+func Figure4(cfg Config) *Table {
+	rng := xrand.New(cfg.Seed)
+	// Embedding dimension is sum d^i over nonzero coefficients; d = 4 keeps
+	// the degree-5 Chebyshev embedding at ~1.4k dimensions.
+	const d = 4
+	polys := []struct {
+		name string
+		p    poly.Poly
+	}{
+		{"t^2", poly.New(0, 0, 1)},
+		{"-t^2", poly.New(0, 0, -1)},
+		{"(-t^3+t^2-t)/3", poly.New(0, -1.0/3, 1.0/3, -1.0/3)},
+		{"T2/3", poly.Chebyshev(2).NormalizeAbsSum()},
+		{"T3/7", poly.Chebyshev(3).NormalizeAbsSum()},
+		{"T4/17", poly.Chebyshev(4).NormalizeAbsSum()},
+		{"T5/41", poly.Chebyshev(5).NormalizeAbsSum()},
+	}
+	t := &Table{
+		ID:      "F4",
+		Title:   "Figure 4: polynomial CPFs sim(P(alpha)) via Valiant embeddings (Thm 5.1)",
+		Columns: []string{"P", "alpha", "analytic", "measured", "ci_lo", "ci_hi"},
+	}
+	gen := func(r *xrand.Rand, a float64) (sphere.Point, sphere.Point) {
+		return vec.UnitPairWithDot(r, d, a)
+	}
+	// Each draw samples a Gaussian in the embedded dimension; cap the
+	// budget so the degree-5 polynomials stay tractable.
+	trials := cfg.Trials
+	if trials > 20000 {
+		trials = 20000
+	}
+	for _, entry := range polys {
+		fam, err := sphere.NewValiant(d, entry.p)
+		if err != nil {
+			panic(err)
+		}
+		for _, alpha := range []float64{-0.9, -0.5, 0, 0.5, 0.9} {
+			est := core.EstimateCollision(rng, fam, gen, alpha, trials, 4)
+			want := sphere.SimHashCPF(entry.p.Eval(alpha))
+			t.AddRow(entry.name, f3(alpha), f4(want), f4(est.P), f4(est.Interval.Lo), f4(est.Interval.Hi))
+		}
+	}
+	t.AddNote("matches Figure 4: t^2 symmetric U-shape around 0.5 at alpha=0; -t^2 inverted; Chebyshev CPFs oscillate")
+	return t
+}

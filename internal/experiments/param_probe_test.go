@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"dsh/internal/index"
+	"dsh/internal/sphere"
+)
+
+func TestProbeParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, tt := range []float64{1.4, 1.6, 1.8, 2.0, 2.2} {
+		ann := sphere.NewAnnulus(24, 0.5, tt)
+		f := ann.CPF().Eval(0.5)
+		fmt.Printf("annulus t=%.1f: f(peak)=%.5f L=%d (m+=%d m-=%d)\n",
+			tt, f, index.RepetitionsForCPF(f), ann.Plus().M(), ann.Minus().M())
+	}
+	for _, tt := range []float64{1.4, 1.6, 1.8, 2.0} {
+		step := sphere.NewStep(24, 0.75, 0.97, 5, tt)
+		fmin, fmax := sphere.PlateauStats(step.CPF(), 0.75, 0.97, 30)
+		fmt.Printf("step[.75,.97] t=%.1f: fmin=%.5f fmax=%.5f L=%d\n", tt, fmin, fmax, index.RepetitionsForCPF(fmin))
+	}
+	for _, tt := range []float64{1.4, 1.6, 1.8, 2.2} {
+		step := sphere.NewStep(24, 0.5, 0.9, 4, tt)
+		fmin, _ := sphere.PlateauStats(step.CPF(), 0.5, 0.9, 30)
+		far := step.CPF().Eval(0)
+		fmt.Printf("step[.5,.9] t=%.1f: fmin=%.5f far=%.2g N(eps=.1)=%d\n", tt, fmin, far, int(2.303/fmin))
+	}
+}
+
+func TestProbeStepDecay(t *testing.T) {
+	for _, tt := range []float64{1.8, 2.0, 2.2} {
+		step := sphere.NewStep(24, 0.5, 0.9, 4, tt)
+		f := step.CPF()
+		fmin, _ := sphere.PlateauStats(f, 0.5, 0.9, 30)
+		fmt.Printf("step[.5,.9] t=%.1f: fmin=%.5f f(0.2)=%.5f f(0)=%.5f f(-0.2)=%.2g f(-0.5)=%.2g N=%d N*f(-0.2)=%.3f\n",
+			tt, fmin, f.Eval(0.2), f.Eval(0), f.Eval(-0.2), f.Eval(-0.5), int(2.303/fmin), 2.303/fmin*f.Eval(-0.2))
+	}
+}
+
+func TestProbeReportStep(t *testing.T) {
+	for _, tt := range []float64{1.6, 2.0, 2.4} {
+		step := sphere.NewStep(24, 0.75, 0.97, 5, tt)
+		f := step.CPF()
+		fmin, fmax := sphere.PlateauStats(f, 0.75, 0.97, 30)
+		fmt.Printf("step[.75,.97] t=%.1f: fmin=%.5f fmax=%.5f L=%d f(0.3)=%.2g f(0)=%.2g ratio0=%.1f\n",
+			tt, fmin, fmax, index.RepetitionsForCPF(fmin), f.Eval(0.3), f.Eval(0), fmin/f.Eval(0))
+	}
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/core"
+	"dsh/internal/euclid"
+	"dsh/internal/hamming"
+	"dsh/internal/poly"
+	"dsh/internal/sphere"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+// FilterCPF is experiment E1 (Theorem 1.2 / Theorem A.6): the filter
+// families' ln(1/f(alpha)) against the asymptotic (1 -/+ alpha)/(1 +/- alpha)
+// * t^2/2, with exact closed forms and Monte-Carlo estimates.
+func FilterCPF(cfg Config) *Table {
+	rng := xrand.New(cfg.Seed)
+	const d = 24
+	const tParam = 2.0
+	plus := sphere.NewFilterPlus(d, tParam)
+	minus := sphere.NewFilterMinus(d, tParam)
+	t := &Table{
+		ID:      "E1",
+		Title:   "Thm 1.2: filter family ln(1/f(alpha)) vs asymptotic (t=2)",
+		Columns: []string{"family", "alpha", "exact_lninv", "asym_lninv", "dev", "measured_f", "exact_f"},
+	}
+	gen := func(r *xrand.Rand, a float64) (sphere.Point, sphere.Point) {
+		return vec.UnitPairWithDot(r, d, a)
+	}
+	for _, fam := range []*sphere.Filter{plus, minus} {
+		name := "D+"
+		if fam == minus {
+			name = "D-"
+		}
+		for _, alpha := range []float64{-0.5, -0.25, 0, 0.25, 0.5} {
+			exact := fam.ExactCPF(alpha)
+			lninv := -math.Log(exact)
+			asym := fam.AsymptoticLogInvCPF(alpha)
+			est := core.EstimateCollision(rng, fam, gen, alpha, cfg.Trials, 4)
+			t.AddRow(name, f3(alpha), f3(lninv), f3(asym), f3(lninv-asym), f4(est.P), f4(exact))
+		}
+	}
+	t.AddNote("dev column is the Theta(log t) lower-order term of Thm 1.2; log(t)=%.3f", math.Log(tParam))
+	rho := math.Log(minus.ExactCPF(0)) / math.Log(minus.ExactCPF(0.5))
+	t.AddNote("rho- = ln f(0)/ln f(0.5) = %.3f >= optimal (1-a)/(1+a) = %.3f (Thm 1.3 bound)",
+		rho, (1-0.5)/(1+0.5))
+	return t
+}
+
+// CrossPolytopeExp is experiment E2 (Theorem 2.1 / Corollary 2.2): the
+// cross-polytope CPF satisfies ln(1/f(alpha)) ~ (1-alpha)/(1+alpha) * ln d,
+// verified by a slope fit across dimensions for CP+ and CP-.
+func CrossPolytopeExp(cfg Config) *Table {
+	rng := xrand.New(cfg.Seed)
+	t := &Table{
+		ID:      "E2",
+		Title:   "Thm 2.1/Cor 2.2: cross-polytope ln(1/f) vs (1-/+alpha)/(1+/-alpha) ln d",
+		Columns: []string{"family", "d", "alpha", "measured_f", "lninv/lnd", "predicted"},
+	}
+	dims := []int{16, 64, 128}
+	alphas := []float64{0, 0.5}
+	for _, negate := range []bool{false, true} {
+		name := "CP+"
+		fam := func(d int) core.Family[sphere.Point] { return sphere.CrossPolytope(d) }
+		if negate {
+			name = "CP-"
+			fam = func(d int) core.Family[sphere.Point] { return sphere.AntiCrossPolytope(d) }
+		}
+		for _, d := range dims {
+			gen := func(r *xrand.Rand, a float64) (sphere.Point, sphere.Point) {
+				return vec.UnitPairWithDot(r, d, a)
+			}
+			// Sampling a CP draw costs a d x d Gaussian matrix; cap the
+			// Monte-Carlo budget at large d to keep the sweep tractable.
+			trials := cfg.Trials
+			if d >= 64 && trials > 20000 {
+				trials = 20000
+			}
+			for _, alpha := range alphas {
+				est := core.EstimateCollision(rng, fam(d), gen, alpha, trials, 4)
+				if est.P <= 0 {
+					t.AddRow(name, fmt.Sprint(d), f3(alpha), "0", "-", "-")
+					continue
+				}
+				ratio := -math.Log(est.P) / math.Log(float64(d))
+				pred := (1 - alpha) / (1 + alpha)
+				if negate {
+					pred = (1 + alpha) / (1 - alpha)
+				}
+				t.AddRow(name, fmt.Sprint(d), f3(alpha), f4(est.P), f3(ratio), f3(pred))
+			}
+		}
+	}
+	t.AddNote("lninv/lnd approaches the prediction as d grows (the O(ln ln d) term shrinks relative to ln d)")
+	return t
+}
+
+// LowerBound is experiment E3 (Theorem 1.3 / Lemma 3.5): for every
+// implemented family on randomly alpha-correlated Hamming points,
+// fhat(alpha) >= fhat(0)^((1+alpha)/(1-alpha)), and the filter family D-
+// approaches the bound (it is optimal up to lower-order terms).
+func LowerBound(cfg Config) *Table {
+	rng := xrand.New(cfg.Seed)
+	const d = 512
+	t := &Table{
+		ID:      "E3",
+		Title:   "Thm 1.3: fhat(alpha) >= fhat(0)^((1+alpha)/(1-alpha)) on correlated bits",
+		Columns: []string{"family", "alpha", "fhat0", "fhatA", "bound", "ok", "rho_measured", "rho_bound"},
+	}
+	type famEntry struct {
+		name string
+		est  func(alpha float64) (p0, pa core.Estimate)
+	}
+	genBits := func(r *xrand.Rand, alpha float64) (bitvec.Vector, bitvec.Vector) {
+		return bitvec.Correlated(r, d, alpha)
+	}
+	entries := []famEntry{
+		{
+			name: "anti-bitsample",
+			est: func(alpha float64) (core.Estimate, core.Estimate) {
+				fam := hamming.AntiBitSampling(d)
+				p0 := core.EstimateCollision(rng, fam, genBits, 0, cfg.Trials, 4)
+				pa := core.EstimateCollision(rng, fam, genBits, alpha, cfg.Trials, 4)
+				return p0, pa
+			},
+		},
+		{
+			name: "anti-bitsample^4",
+			est: func(alpha float64) (core.Estimate, core.Estimate) {
+				fam := core.Power[bitvec.Vector](hamming.AntiBitSampling(d), 4)
+				p0 := core.EstimateCollision(rng, fam, genBits, 0, cfg.Trials, 4)
+				pa := core.EstimateCollision(rng, fam, genBits, alpha, cfg.Trials, 4)
+				return p0, pa
+			},
+		},
+		{
+			name: "filter-(t=2)-signembed",
+			est: func(alpha float64) (core.Estimate, core.Estimate) {
+				fam := sphere.NewFilterMinus(64, 2)
+				// Embed correlated bits onto the sphere: sim_H = <image>.
+				gen := func(r *xrand.Rand, a float64) (sphere.Point, sphere.Point) {
+					x, y := bitvec.Correlated(r, 64, a)
+					return bitvec.SignVector(x), bitvec.SignVector(y)
+				}
+				p0 := core.EstimateCollision(rng, fam, gen, 0, cfg.Trials, 4)
+				pa := core.EstimateCollision(rng, fam, gen, alpha, cfg.Trials, 4)
+				return p0, pa
+			},
+		},
+		{
+			name: "anti-simhash-signembed",
+			est: func(alpha float64) (core.Estimate, core.Estimate) {
+				fam := sphere.AntiSimHash(64)
+				gen := func(r *xrand.Rand, a float64) (sphere.Point, sphere.Point) {
+					x, y := bitvec.Correlated(r, 64, a)
+					return bitvec.SignVector(x), bitvec.SignVector(y)
+				}
+				p0 := core.EstimateCollision(rng, fam, gen, 0, cfg.Trials, 4)
+				pa := core.EstimateCollision(rng, fam, gen, alpha, cfg.Trials, 4)
+				return p0, pa
+			},
+		},
+	}
+	for _, e := range entries {
+		for _, alpha := range []float64{0.25, 0.5, 0.75} {
+			p0, pa := e.est(alpha)
+			bound, ok := core.CheckLowerBound(p0, pa, alpha)
+			okStr := "yes"
+			if !ok {
+				okStr = "VIOLATED"
+			}
+			rhoM := "-"
+			if pa.P > 0 && p0.P > 0 && p0.P < 1 && pa.P < 1 {
+				rhoM = f3(math.Log(p0.P) / math.Log(pa.P))
+			}
+			t.AddRow(e.name, f3(alpha), f4(p0.P), f4(pa.P), g4(bound), okStr,
+				rhoM, f3((1-alpha)/(1+alpha)))
+		}
+	}
+	t.AddNote("rho_measured = ln fhat(0)/ln fhat(alpha) must be >= rho_bound = (1-a)/(1+a); the filter family is closest (tight up to lower-order terms)")
+	return t
+}
+
+// AntiBit is experiment E4 (Section 4.1): anti bit-sampling's
+// rho- = ln(r)/ln(r/c) is Omega(1/ln c) and *worse* (larger) at small r
+// than the sphere-based construction's (1-alpha)/(1+alpha) ~ r/(1-r)
+// after the sim_H mapping alpha = 1 - 2r, and worse than the Euclidean
+// construction's 1/c^2.
+func AntiBit(cfg Config) *Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Sec 4.1: rho- of anti bit-sampling vs sphere filter vs Euclidean (c=2)",
+		Columns: []string{"rel_dist_r", "antibit_rho", "sphere_rho", "euclid_rho", "winner"},
+	}
+	const c = 2.0
+	euclidFam := euclid.NewPStable(16, 24, euclid.Theorem41Width(c))
+	euclidRho := euclidFam.RhoMinus(1, c)
+	for _, r := range []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3} {
+		antibit := math.Log(r) / math.Log(r/c)
+		// Sphere: alpha = 1 - 2r (similarity of the sign embedding);
+		// optimal rho- = (1-alpha)/(1+alpha) at alpha' vs alpha... the
+		// relevant gap is between distances r and r/c, i.e. similarities
+		// 1-2r and 1-2r/c: rho- = ln f(1-2r)/ln f(1-2r/c) with
+		// ln(1/f(a)) ~ (1+a)/(1-a):
+		aFar := 1 - 2*r
+		aNear := 1 - 2*r/c
+		sphereRho := ((1 + aFar) / (1 - aFar)) / ((1 + aNear) / (1 - aNear))
+		winner := "sphere"
+		if euclidRho < sphereRho {
+			winner = "euclid"
+		}
+		if antibit < math.Min(sphereRho, euclidRho) {
+			winner = "antibit"
+		}
+		t.AddRow(f3(r), f3(antibit), f3(sphereRho), f3(euclidRho), winner)
+	}
+	t.AddNote("paper: anti bit-sampling rho- = Omega(1/ln c) is suboptimal; sphere/Euclidean reach O(1/c): anti bit-sampling never wins")
+	return t
+}
+
+// EuclidRho is experiment E5 (Theorem 4.1): rho- * c^2 -> 1 as k grows.
+func EuclidRho(cfg Config) *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Thm 4.1: Euclidean R_{k,w}: rho- * c^2 -> 1 + O(1/k)",
+		Columns: []string{"c", "k", "w(c)", "rho", "rho*c^2", "paper_bound_(k+.5)^2/(k-1)^2"},
+	}
+	for _, c := range []float64{1.5, 2, 3} {
+		w := euclid.Theorem41Width(c)
+		for _, k := range []int{2, 4, 8, 16, 32} {
+			fam := euclid.NewPStable(16, k, w)
+			rho := fam.RhoMinus(1, c)
+			bound := math.Pow(float64(k)+0.5, 2) / math.Pow(float64(k)-1, 2)
+			t.AddRow(f3(c), fmt.Sprint(k), f4(w), f4(rho), f4(rho*c*c), f4(bound))
+		}
+	}
+	t.AddNote("rho*c^2 column approaches 1 from either side as k grows, within the paper's (k+1/2)^2/(k-1)^2 factor")
+	return t
+}
+
+// PolyCPF is experiment E6 (Theorem 5.2): Hamming families with CPF
+// P(t)/Delta for polynomials covering every root class.
+func PolyCPF(cfg Config) *Table {
+	rng := xrand.New(cfg.Seed)
+	const d = 256
+	t := &Table{
+		ID:      "E6",
+		Title:   "Thm 5.2: Hamming polynomial CPFs P(t)/Delta",
+		Columns: []string{"P", "Delta", "t", "target_P/Delta", "measured", "ci_lo", "ci_hi"},
+	}
+	gen := func(r *xrand.Rand, tt float64) (bitvec.Vector, bitvec.Vector) {
+		x := bitvec.Random(r, d)
+		return x, bitvec.AtDistance(r, x, int(math.Round(tt*d)))
+	}
+	cases := []struct {
+		name string
+		p    poly.Poly
+	}{
+		{"t+0.5 (neg real)", poly.New(0.5, 1)},
+		{"2-t (pos real)", poly.New(2, -1)},
+		{"t^2 (zero roots)", poly.New(0, 0, 1)},
+		{"t^2+2t+5 (complex)", poly.New(5, 2, 1)},
+		{"3(t+1)(2-t) (product)", poly.New(1, 1).Mul(poly.New(2, -1)).Scale(3)},
+	}
+	for _, cse := range cases {
+		scheme, err := hamming.PolynomialFamily(d, cse.p)
+		if err != nil {
+			panic(err)
+		}
+		for _, tt := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			tq := math.Round(tt*d) / d
+			est := core.EstimateCollision(rng, scheme.Family, gen, tt, cfg.Trials, 4)
+			want := scheme.P.Eval(tq) / scheme.Delta
+			t.AddRow(cse.name, f3(scheme.Delta), f3(tt), f4(want), f4(est.P),
+				f4(est.Interval.Lo), f4(est.Interval.Hi))
+		}
+	}
+	t.AddNote("Delta matches the Thm 5.2 formula |a_k| 2^psi prod_{|z|>1}|z| for every case (asserted in tests)")
+	return t
+}
+
+// Combinators is experiment E10 (Lemma 1.4): CPF algebra of concatenation
+// and mixtures, verified empirically.
+func Combinators(cfg Config) *Table {
+	rng := xrand.New(cfg.Seed)
+	const d = 256
+	t := &Table{
+		ID:      "E10",
+		Title:   "Lemma 1.4: Concat = product CPF, Mixture = convex CPF",
+		Columns: []string{"construction", "t", "analytic", "measured"},
+	}
+	gen := func(r *xrand.Rand, tt float64) (bitvec.Vector, bitvec.Vector) {
+		x := bitvec.Random(r, d)
+		return x, bitvec.AtDistance(r, x, int(math.Round(tt*d)))
+	}
+	concat := core.Concat[bitvec.Vector](hamming.BitSampling(d), hamming.AntiBitSampling(d))
+	mixture := core.Mixture(
+		[]core.Family[bitvec.Vector]{hamming.BitSampling(d), hamming.AntiBitSampling(d)},
+		[]float64{0.3, 0.7},
+	)
+	for _, tt := range []float64{0.2, 0.5, 0.8} {
+		est := core.EstimateCollision(rng, concat, gen, tt, cfg.Trials, 4)
+		t.AddRow("concat: (1-t)*t", f3(tt), f4((1-tt)*tt), f4(est.P))
+	}
+	for _, tt := range []float64{0.2, 0.5, 0.8} {
+		est := core.EstimateCollision(rng, mixture, gen, tt, cfg.Trials, 4)
+		t.AddRow("mix: 0.3(1-t)+0.7t", f3(tt), f4(0.3*(1-tt)+0.7*tt), f4(est.P))
+	}
+	return t
+}

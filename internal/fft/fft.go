@@ -1,0 +1,157 @@
+// Package fft implements an iterative radix-2 complex fast Fourier
+// transform and circular convolution. It is the computational substrate for
+// TensorSketch (internal/sketch), which the paper cites ([42], Pham & Pagh)
+// as the way to evaluate the Valiant polynomial embeddings of Theorem 5.1 in
+// near-linear time.
+package fft
+
+import "math"
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPowerOfTwo returns the smallest power of two >= n (and >= 1).
+func NextPowerOfTwo(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FFT computes the in-place forward discrete Fourier transform of x.
+// len(x) must be a power of two; it panics otherwise.
+func FFT(x []complex128) { transform(x, false) }
+
+// IFFT computes the in-place inverse discrete Fourier transform of x,
+// including the 1/n scaling. len(x) must be a power of two.
+func IFFT(x []complex128) { transform(x, true) }
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if !IsPowerOfTwo(n) {
+		panic("fft: length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Cooley-Tukey butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// Convolve returns the circular convolution of a and b, which must have the
+// same power-of-two length n: out[k] = sum_i a[i] * b[(k-i) mod n].
+func Convolve(a, b []complex128) []complex128 {
+	if len(a) != len(b) {
+		panic("fft: convolution length mismatch")
+	}
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	if !IsPowerOfTwo(n) {
+		panic("fft: length must be a power of two")
+	}
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	copy(fa, a)
+	copy(fb, b)
+	FFT(fa)
+	FFT(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	IFFT(fa)
+	return fa
+}
+
+// ConvolveReal circularly convolves real-valued sequences of equal
+// power-of-two length and returns the real part of the result.
+func ConvolveReal(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("fft: convolution length mismatch")
+	}
+	ca := make([]complex128, len(a))
+	cb := make([]complex128, len(b))
+	for i := range a {
+		ca[i] = complex(a[i], 0)
+		cb[i] = complex(b[i], 0)
+	}
+	out := Convolve(ca, cb)
+	res := make([]float64, len(a))
+	for i, v := range out {
+		res[i] = real(v)
+	}
+	return res
+}
+
+// PointwiseMulFFT computes the element-wise product of the FFTs of the given
+// real sequences and returns the inverse transform: the circular convolution
+// of all of them. All sequences must share the same power-of-two length.
+// This is the core TensorSketch operation for degree-k monomials.
+func PointwiseMulFFT(seqs ...[]float64) []float64 {
+	if len(seqs) == 0 {
+		return nil
+	}
+	n := len(seqs[0])
+	if !IsPowerOfTwo(n) {
+		panic("fft: length must be a power of two")
+	}
+	acc := make([]complex128, n)
+	for i := range acc {
+		acc[i] = complex(1, 0)
+	}
+	buf := make([]complex128, n)
+	for _, s := range seqs {
+		if len(s) != n {
+			panic("fft: length mismatch")
+		}
+		for i, v := range s {
+			buf[i] = complex(v, 0)
+		}
+		FFT(buf)
+		for i := range acc {
+			acc[i] *= buf[i]
+		}
+	}
+	IFFT(acc)
+	out := make([]float64, n)
+	for i, v := range acc {
+		out[i] = real(v)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"dsh/internal/xrand"
+)
+
+func TestPowerOfTwoHelpers(t *testing.T) {
+	if !IsPowerOfTwo(1) || !IsPowerOfTwo(64) || IsPowerOfTwo(0) || IsPowerOfTwo(3) || IsPowerOfTwo(-4) {
+		t.Fatal("IsPowerOfTwo wrong")
+	}
+	cases := []struct{ in, want int }{{0, 1}, {1, 1}, {2, 2}, {3, 4}, {17, 32}, {64, 64}}
+	for _, c := range cases {
+		if got := NextPowerOfTwo(c.in); got != c.want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of [1,0,0,0] is all ones.
+	x := []complex128{1, 0, 0, 0}
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("impulse FFT[%d] = %v", i, v)
+		}
+	}
+	// FFT of constant is impulse at 0.
+	y := []complex128{2, 2, 2, 2}
+	FFT(y)
+	if cmplx.Abs(y[0]-8) > 1e-12 {
+		t.Errorf("DC term = %v", y[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(y[i]) > 1e-12 {
+			t.Errorf("nonzero bin %d: %v", i, y[i])
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("should panic for length 3")
+		}
+	}()
+	FFT(make([]complex128, 3))
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed uint64, logN uint8) bool {
+		n := 1 << (logN%8 + 1)
+		rng := xrand.New(seed)
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := xrand.New(3)
+	n := 64
+	x := make([]complex128, n)
+	var timeEnergy float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		timeEnergy += real(x[i]) * real(x[i])
+	}
+	FFT(x)
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqEnergy/float64(n)-timeEnergy) > 1e-9*timeEnergy {
+		t.Fatalf("Parseval violated: %v vs %v", freqEnergy/float64(n), timeEnergy)
+	}
+}
+
+func TestConvolveMatchesNaive(t *testing.T) {
+	rng := xrand.New(4)
+	n := 16
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Float64Range(-1, 1)
+		b[i] = rng.Float64Range(-1, 1)
+	}
+	got := ConvolveReal(a, b)
+	for k := 0; k < n; k++ {
+		var want float64
+		for i := 0; i < n; i++ {
+			want += a[i] * b[(k-i+n)%n]
+		}
+		if math.Abs(got[k]-want) > 1e-9 {
+			t.Fatalf("conv[%d] = %v, want %v", k, got[k], want)
+		}
+	}
+}
+
+func TestConvolveMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	Convolve(make([]complex128, 4), make([]complex128, 8))
+}
+
+func TestPointwiseMulFFTAssociativity(t *testing.T) {
+	rng := xrand.New(5)
+	n := 32
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Float64Range(-1, 1)
+		b[i] = rng.Float64Range(-1, 1)
+		c[i] = rng.Float64Range(-1, 1)
+	}
+	// conv(conv(a,b),c) == PointwiseMulFFT(a,b,c)
+	ab := ConvolveReal(a, b)
+	want := ConvolveReal(ab, c)
+	got := PointwiseMulFFT(a, b, c)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("triple conv mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPointwiseMulFFTSingle(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	got := PointwiseMulFFT(a)
+	for i := range a {
+		if math.Abs(got[i]-a[i]) > 1e-10 {
+			t.Fatalf("identity failed: %v", got)
+		}
+	}
+	if PointwiseMulFFT() != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestEmptyFFT(t *testing.T) {
+	FFT(nil) // must not panic
+	IFFT(nil)
+	if out := Convolve(nil, nil); out != nil {
+		t.Fatal("empty convolution should be nil")
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	rng := xrand.New(1)
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}

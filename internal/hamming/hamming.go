@@ -1,0 +1,398 @@
+// Package hamming implements the paper's distance-sensitive hash families
+// for d-dimensional Hamming space, with CPFs expressed in the relative
+// Hamming distance t = dist(x,y)/d in [0, 1]:
+//
+//   - BitSampling: the classical Indyk-Motwani LSH, CPF f(t) = 1 - t.
+//   - AntiBitSampling (Section 4.1): the pair (x -> x_i, y -> 1 - y_i),
+//     CPF f(t) = t, the simplest increasing CPF.
+//   - Scaled and biased variants used as building blocks by Theorem 5.2.
+//   - PolynomialFamily (Theorem 5.2): for any polynomial P with no roots
+//     having real part in (0, 1), a family with CPF P(t)/Delta where
+//     Delta depends only on the roots of P.
+//   - MonotonePolynomialFamily: the Lemma 1.4 mixture construction for
+//     polynomials with non-negative coefficients summing to 1.
+package hamming
+
+import (
+	"fmt"
+	"math"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/core"
+	"dsh/internal/poly"
+	"dsh/internal/xrand"
+)
+
+// Point is the point type for Hamming-space families.
+type Point = bitvec.Vector
+
+// bitHasher returns x_i as a hash value.
+type bitHasher struct{ i int }
+
+func (b bitHasher) Hash(p Point) uint64 {
+	if p.Bit(b.i) {
+		return 1
+	}
+	return 0
+}
+
+// negBitHasher returns 1 - y_i.
+type negBitHasher struct{ i int }
+
+func (b negBitHasher) Hash(p Point) uint64 {
+	if p.Bit(b.i) {
+		return 0
+	}
+	return 1
+}
+
+// constHasher ignores its input.
+type constHasher uint64
+
+func (c constHasher) Hash(Point) uint64 { return uint64(c) }
+
+// bitSampling implements the classical bit-sampling LSH.
+type bitSampling struct{ d int }
+
+// BitSampling returns the bit-sampling LSH of Indyk and Motwani for
+// dimension d, wrapped as a (symmetric) DSH family. Its CPF is exactly
+// f(t) = 1 - t in the relative Hamming distance.
+func BitSampling(d int) core.Family[Point] {
+	if d <= 0 {
+		panic("hamming: dimension must be positive")
+	}
+	return bitSampling{d: d}
+}
+
+func (b bitSampling) Name() string { return fmt.Sprintf("bitsample(d=%d)", b.d) }
+
+func (b bitSampling) Sample(rng *xrand.Rand) core.Pair[Point] {
+	h := bitHasher{i: rng.Intn(b.d)}
+	return core.Pair[Point]{H: h, G: h}
+}
+
+func (b bitSampling) CPF() core.CPF {
+	return core.CPF{Domain: core.DomainRelativeHamming, Eval: func(t float64) float64 {
+		return 1 - t
+	}}
+}
+
+// antiBitSampling implements the asymmetric pair of Section 4.1.
+type antiBitSampling struct{ d int }
+
+// AntiBitSampling returns the anti bit-sampling DSH family of Section 4.1:
+// h samples a bit of the data point while g samples the *negated* bit of
+// the query point, giving the monotonically increasing CPF f(t) = t.
+func AntiBitSampling(d int) core.Family[Point] {
+	if d <= 0 {
+		panic("hamming: dimension must be positive")
+	}
+	return antiBitSampling{d: d}
+}
+
+func (b antiBitSampling) Name() string { return fmt.Sprintf("antibit(d=%d)", b.d) }
+
+func (b antiBitSampling) Sample(rng *xrand.Rand) core.Pair[Point] {
+	i := rng.Intn(b.d)
+	return core.Pair[Point]{H: bitHasher{i: i}, G: negBitHasher{i: i}}
+}
+
+func (b antiBitSampling) CPF() core.CPF {
+	return core.CPF{Domain: core.DomainRelativeHamming, Eval: func(t float64) float64 {
+		return t
+	}}
+}
+
+// scaledBitSampling has CPF 1 - alpha*t.
+type scaledBitSampling struct {
+	d     int
+	alpha float64
+}
+
+// ScaledBitSampling returns a family with CPF f(t) = 1 - alpha*t for
+// alpha in [0, 1]: with probability alpha it behaves as bit-sampling and
+// otherwise always collides. This is the "bit-sampling with scaling factor
+// alpha" primitive of Theorem 5.2's proof.
+func ScaledBitSampling(d int, alpha float64) core.Family[Point] {
+	if d <= 0 {
+		panic("hamming: dimension must be positive")
+	}
+	if alpha < 0 || alpha > 1 {
+		panic("hamming: scaling factor out of [0,1]")
+	}
+	return scaledBitSampling{d: d, alpha: alpha}
+}
+
+func (b scaledBitSampling) Name() string {
+	return fmt.Sprintf("bitsample(d=%d,alpha=%.3g)", b.d, b.alpha)
+}
+
+func (b scaledBitSampling) Sample(rng *xrand.Rand) core.Pair[Point] {
+	if rng.Bernoulli(b.alpha) {
+		h := bitHasher{i: rng.Intn(b.d)}
+		return core.Pair[Point]{H: h, G: h}
+	}
+	return core.Pair[Point]{H: constHasher(0), G: constHasher(0)}
+}
+
+func (b scaledBitSampling) CPF() core.CPF {
+	alpha := b.alpha
+	return core.CPF{Domain: core.DomainRelativeHamming, Eval: func(t float64) float64 {
+		return 1 - alpha*t
+	}}
+}
+
+// scaledAntiBitSampling has CPF alpha*t.
+type scaledAntiBitSampling struct {
+	d     int
+	alpha float64
+}
+
+// ScaledAntiBitSampling returns a family with CPF f(t) = alpha*t for alpha
+// in [0, 1]: with probability alpha it behaves as anti bit-sampling and
+// otherwise never collides.
+func ScaledAntiBitSampling(d int, alpha float64) core.Family[Point] {
+	if d <= 0 {
+		panic("hamming: dimension must be positive")
+	}
+	if alpha < 0 || alpha > 1 {
+		panic("hamming: scaling factor out of [0,1]")
+	}
+	return scaledAntiBitSampling{d: d, alpha: alpha}
+}
+
+func (b scaledAntiBitSampling) Name() string {
+	return fmt.Sprintf("antibit(d=%d,alpha=%.3g)", b.d, b.alpha)
+}
+
+func (b scaledAntiBitSampling) Sample(rng *xrand.Rand) core.Pair[Point] {
+	if rng.Bernoulli(b.alpha) {
+		i := rng.Intn(b.d)
+		return core.Pair[Point]{H: bitHasher{i: i}, G: negBitHasher{i: i}}
+	}
+	return core.Pair[Point]{H: constHasher(0), G: constHasher(1)}
+}
+
+func (b scaledAntiBitSampling) CPF() core.CPF {
+	alpha := b.alpha
+	return core.CPF{Domain: core.DomainRelativeHamming, Eval: func(t float64) float64 {
+		return alpha * t
+	}}
+}
+
+// constantFamily collides with a fixed probability regardless of distance.
+type constantFamily struct{ beta float64 }
+
+// ConstantFamily returns a family whose CPF is identically beta in [0, 1]:
+// with probability beta the sampled pair always collides and otherwise it
+// never does. It is the "standard hashing" primitive in Theorem 5.2's proof.
+func ConstantFamily(beta float64) core.Family[Point] {
+	if beta < 0 || beta > 1 {
+		panic("hamming: constant probability out of [0,1]")
+	}
+	return constantFamily{beta: beta}
+}
+
+func (c constantFamily) Name() string { return fmt.Sprintf("const(%.3g)", c.beta) }
+
+func (c constantFamily) Sample(rng *xrand.Rand) core.Pair[Point] {
+	if rng.Bernoulli(c.beta) {
+		return core.Pair[Point]{H: constHasher(0), G: constHasher(0)}
+	}
+	return core.Pair[Point]{H: constHasher(0), G: constHasher(1)}
+}
+
+func (c constantFamily) CPF() core.CPF {
+	return core.Constant(core.DomainRelativeHamming, c.beta)
+}
+
+// MonotonePolynomialFamily builds, via the Lemma 1.4 mixture of powered
+// anti bit-sampling, a family whose CPF equals P(t) = sum a_i t^i for a
+// polynomial with a_i >= 0 and sum a_i = 1 (Section 5 of the paper).
+func MonotonePolynomialFamily(d int, p poly.Poly) (core.Family[Point], error) {
+	if p.IsZero() {
+		return nil, fmt.Errorf("hamming: zero polynomial")
+	}
+	var parts []core.Family[Point]
+	var weights []float64
+	for i, a := range p.Coeffs {
+		if a < 0 {
+			return nil, fmt.Errorf("hamming: coefficient of t^%d is negative (%v); use PolynomialFamily", i, a)
+		}
+		if a == 0 {
+			continue
+		}
+		if i == 0 {
+			parts = append(parts, ConstantFamily(1))
+		} else {
+			parts = append(parts, core.Power(AntiBitSampling(d), i))
+		}
+		weights = append(weights, a)
+	}
+	if s := p.CoeffSum(); math.Abs(s-1) > 1e-9 {
+		return nil, fmt.Errorf("hamming: coefficients sum to %v, want 1", s)
+	}
+	fam := core.Mixture(parts, weights)
+	return core.Renamed[Point]{Inner: fam, NewName: fmt.Sprintf("monopoly(d=%d,%s)", d, p)}, nil
+}
+
+// PolynomialScheme is the result of the Theorem 5.2 construction: a family
+// whose CPF is P(t)/Delta.
+type PolynomialScheme struct {
+	Family core.Family[Point]
+	// Delta is the scaling factor: Pr[h(x)=g(y)] = P(t)/Delta.
+	Delta float64
+	// P is the target polynomial.
+	P poly.Poly
+}
+
+// PolynomialFamily implements Theorem 5.2: given a polynomial P(t) that is
+// positive on (0, 1) and has no roots with real part in (0, 1), it returns
+// a DSH family with CPF exactly P(t)/Delta, where
+// Delta = |a_k| * 2^psi * prod_{|z| > 1} |z| over the multiset of roots,
+// psi counting roots with negative real part.
+//
+// The construction factors P over its roots and assigns each root class the
+// corresponding sub-scheme (the S1..S7 schemes of Appendix C.3), realized
+// here as explicit mixtures of the scaled/biased bit-sampling primitives
+// and concatenated with core.Concat.
+func PolynomialFamily(d int, p poly.Poly) (*PolynomialScheme, error) {
+	if p.Degree() < 1 {
+		return nil, fmt.Errorf("hamming: polynomial must have degree >= 1")
+	}
+	// Strip roots at zero: P(t) = t^ell * P'(t).
+	work := p
+	ell := 0
+	for !work.IsZero() && work.Coeffs[0] == 0 {
+		work = poly.New(work.Coeffs[1:]...)
+		ell++
+	}
+	var parts []core.Family[Point]
+	for i := 0; i < ell; i++ {
+		parts = append(parts, AntiBitSampling(d))
+	}
+	delta := math.Abs(work.Leading())
+	if work.Degree() >= 1 {
+		if poly.HasRootWithRealPartIn(work, 1e-9, 1-1e-9) {
+			return nil, fmt.Errorf("hamming: polynomial has a root with real part in (0,1): %s", p)
+		}
+		rc := poly.ClassifyRoots(work)
+		for _, z := range rc.Real {
+			fam, dz, err := realRootScheme(d, z)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, fam)
+			delta *= dz
+		}
+		for _, z := range rc.ComplexPairs {
+			fam, dz, err := complexPairScheme(d, z)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, fam)
+			delta *= dz
+		}
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("hamming: polynomial %s has no usable factors", p)
+	}
+	fam := core.Concat(parts...)
+	named := core.Renamed[Point]{Inner: fam, NewName: fmt.Sprintf("poly(d=%d,%s)", d, p)}
+	return &PolynomialScheme{Family: named, Delta: delta, P: p}, nil
+}
+
+// TheoreticalCPF returns the target CPF P(t)/Delta.
+func (ps *PolynomialScheme) TheoreticalCPF() core.CPF {
+	return core.CPF{Domain: core.DomainRelativeHamming, Eval: func(t float64) float64 {
+		return ps.P.Eval(t) / ps.Delta
+	}}
+}
+
+// realRootScheme maps one real root z to its sub-scheme and per-root scale:
+// the scheme's CPF S(t) satisfies |t - z| ... specifically
+// (t + |z|) = scale * S(t) for negative roots and (z - t) = scale * S(t)
+// for roots z >= 1.
+func realRootScheme(d int, z float64) (core.Family[Point], float64, error) {
+	switch {
+	case z < -1:
+		// S1: (t + |z|) = 2|z| * (1/2 + t/(2|z|)).
+		fam := core.Mixture(
+			[]core.Family[Point]{ConstantFamily(1), ScaledAntiBitSampling(d, 1/-z)},
+			[]float64{0.5, 0.5},
+		)
+		return fam, 2 * -z, nil
+	case z < 0:
+		// S2: (t + |z|) = 2 * (|z|/2 + t/2).
+		fam := core.Mixture(
+			[]core.Family[Point]{ConstantFamily(-z), ScaledAntiBitSampling(d, 1)},
+			[]float64{0.5, 0.5},
+		)
+		return fam, 2, nil
+	case z >= 1:
+		// S3: (z - t) = z * (1 - t/z).
+		return ScaledBitSampling(d, 1/z), z, nil
+	default:
+		return nil, 0, fmt.Errorf("hamming: real root %v lies in [0,1)", z)
+	}
+}
+
+// complexPairScheme maps one conjugate pair z = a+bi (b > 0) to a scheme
+// whose CPF S(t) satisfies t^2 - 2at + a^2 + b^2 = scale * S(t).
+//
+// The a < -1 and a >= 1 regimes follow the paper's S4/S5 schemes. For
+// -1 <= a <= 0 (the paper's S6/S7) both cases unify with s = max(1, |z|^2):
+//
+//	factor = 4s * [ r2/(4s) + |a|t/(2s) + t^2/(4s) ]
+//
+// realized as a (1/4, 1/2, 1/4) mixture of a constant-(r2/s) scheme, a
+// scaled anti bit-sampling with factor |a|/s, and a concatenation of two
+// scaled anti bit-samplings with factor 1/sqrt(s). All scales lie in [0,1]
+// because s >= 1 >= |a| and s >= r2.
+func complexPairScheme(d int, z complex128) (core.Family[Point], float64, error) {
+	a := real(z)
+	b := imag(z)
+	r2 := a*a + b*b // |z|^2
+	switch {
+	case a < -1:
+		// S4: factor = 4 r2 * [ b^2/(4 r2) + a^2/r2 * ((t+|a|)/(2|a|))^2 ].
+		s1 := core.Mixture(
+			[]core.Family[Point]{ConstantFamily(1), ScaledAntiBitSampling(d, 1/-a)},
+			[]float64{0.5, 0.5},
+		)
+		fam := core.Mixture(
+			[]core.Family[Point]{
+				ConstantFamily(0.25),
+				core.Concat(s1, s1),
+			},
+			[]float64{b * b / r2, a * a / r2},
+		)
+		return fam, 4 * r2, nil
+	case a >= 1:
+		// S5: factor = r2 * [ b^2/r2 + a^2/r2 * (1 - t/a)^2 ].
+		bit := ScaledBitSampling(d, 1/a)
+		fam := core.Mixture(
+			[]core.Family[Point]{
+				ConstantFamily(1),
+				core.Concat(bit, bit),
+			},
+			[]float64{b * b / r2, a * a / r2},
+		)
+		return fam, r2, nil
+	case a <= 0:
+		// Unified S6/S7.
+		s := math.Max(1, r2)
+		inv := 1 / math.Sqrt(s)
+		fam := core.Mixture(
+			[]core.Family[Point]{
+				ConstantFamily(r2 / s),
+				ScaledAntiBitSampling(d, -a/s),
+				core.Concat(ScaledAntiBitSampling(d, inv), ScaledAntiBitSampling(d, inv)),
+			},
+			[]float64{0.25, 0.5, 0.25},
+		)
+		return fam, 4 * s, nil
+	default:
+		return nil, 0, fmt.Errorf("hamming: complex root %v has real part in (0,1)", z)
+	}
+}

@@ -1,0 +1,359 @@
+package hamming
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/core"
+	"dsh/internal/poly"
+	"dsh/internal/xrand"
+)
+
+const testDim = 256
+
+// pairsAt produces bit-vector pairs at exact relative Hamming distance t.
+func pairsAt(rng *xrand.Rand, t float64) (Point, Point) {
+	x := bitvec.Random(rng, testDim)
+	r := int(math.Round(t * testDim))
+	y := bitvec.AtDistance(rng, x, r)
+	return x, y
+}
+
+func checkCPF(t *testing.T, fam core.Family[Point], ts []float64, trials int) {
+	t.Helper()
+	rng := xrand.NewFromString(t.Name() + fam.Name())
+	for _, tt := range ts {
+		est := core.EstimateCollision(rng, fam, pairsAt, tt, trials, 5)
+		// Quantize the target to the lattice the generator can hit.
+		tq := math.Round(tt*testDim) / testDim
+		want := fam.CPF().Eval(tq)
+		if !est.Interval.Contains(want) {
+			t.Errorf("%s at t=%v: estimate %v (interval [%v,%v]) excludes analytic %v",
+				fam.Name(), tt, est.P, est.Interval.Lo, est.Interval.Hi, want)
+		}
+	}
+}
+
+func TestBitSamplingCPF(t *testing.T) {
+	checkCPF(t, BitSampling(testDim), []float64{0, 0.1, 0.25, 0.5, 0.9, 1}, 20000)
+}
+
+func TestAntiBitSamplingCPF(t *testing.T) {
+	checkCPF(t, AntiBitSampling(testDim), []float64{0, 0.1, 0.25, 0.5, 0.9, 1}, 20000)
+}
+
+func TestAntiBitSamplingZeroDistanceNeverCollides(t *testing.T) {
+	rng := xrand.New(1)
+	fam := AntiBitSampling(testDim)
+	x := bitvec.Random(rng, testDim)
+	for i := 0; i < 2000; i++ {
+		pair := fam.Sample(rng)
+		if pair.Collides(x, x) {
+			t.Fatal("anti bit-sampling must never collide at distance 0")
+		}
+	}
+}
+
+func TestScaledBitSamplingCPF(t *testing.T) {
+	checkCPF(t, ScaledBitSampling(testDim, 0.6), []float64{0, 0.3, 0.7, 1}, 20000)
+	checkCPF(t, ScaledBitSampling(testDim, 0), []float64{0.5}, 5000) // always collides
+}
+
+func TestScaledAntiBitSamplingCPF(t *testing.T) {
+	checkCPF(t, ScaledAntiBitSampling(testDim, 0.4), []float64{0, 0.3, 0.7, 1}, 20000)
+	checkCPF(t, ScaledAntiBitSampling(testDim, 0), []float64{0.5}, 5000) // never collides
+}
+
+func TestConstantFamilyCPF(t *testing.T) {
+	checkCPF(t, ConstantFamily(0.35), []float64{0, 0.5, 1}, 20000)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { BitSampling(0) },
+		func() { AntiBitSampling(-1) },
+		func() { ScaledBitSampling(8, 1.5) },
+		func() { ScaledAntiBitSampling(8, -0.1) },
+		func() { ConstantFamily(2) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRhoMinusAntiBitSampling(t *testing.T) {
+	// Section 4.1: rho^- = ln f(r) / ln f(r/c) for f(t) = t.
+	f := AntiBitSampling(testDim).CPF()
+	r, c := 0.1, 2.0
+	got := core.RhoMinus(f, r, r/c)
+	want := math.Log(r) / math.Log(r/c)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("rho- = %v, want %v", got, want)
+	}
+	// The paper: for r < 1/e, rho^- = Omega(1/ln c): here ln(0.1)/ln(0.05) ~ 0.77.
+	if got < 1/(3*math.Log(c)) {
+		t.Errorf("rho- = %v suspiciously small", got)
+	}
+}
+
+func TestMonotonePolynomialFamily(t *testing.T) {
+	// P(t) = 0.2 + 0.3 t + 0.5 t^2.
+	p := poly.New(0.2, 0.3, 0.5)
+	fam, err := MonotonePolynomialFamily(testDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fam.CPF()
+	for _, tt := range []float64{0, 0.25, 0.5, 1} {
+		if got, want := f.Eval(tt), p.Eval(tt); math.Abs(got-want) > 1e-12 {
+			t.Errorf("CPF(%v) = %v, want %v", tt, got, want)
+		}
+	}
+	checkCPF(t, fam, []float64{0, 0.3, 0.8}, 20000)
+}
+
+func TestMonotonePolynomialFamilyErrors(t *testing.T) {
+	if _, err := MonotonePolynomialFamily(8, poly.New(0.5, -0.5, 1)); err == nil {
+		t.Error("negative coefficient should error")
+	}
+	if _, err := MonotonePolynomialFamily(8, poly.New(0.5, 0.2)); err == nil {
+		t.Error("coefficients not summing to 1 should error")
+	}
+	if _, err := MonotonePolynomialFamily(8, poly.Poly{}); err == nil {
+		t.Error("zero polynomial should error")
+	}
+}
+
+func TestPolynomialFamilyLinearNegativeRoot(t *testing.T) {
+	// P(t) = t + 0.5, root -0.5 (S2 case): Delta = 2, CPF = (t+0.5)/2.
+	p := poly.New(0.5, 1)
+	scheme, err := PolynomialFamily(testDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scheme.Delta-2) > 1e-9 {
+		t.Errorf("Delta = %v, want 2", scheme.Delta)
+	}
+	fam := scheme.Family
+	f := fam.CPF()
+	target := scheme.TheoreticalCPF()
+	for _, tt := range []float64{0, 0.25, 0.5, 1} {
+		if got, want := f.Eval(tt), target.Eval(tt); math.Abs(got-want) > 1e-9 {
+			t.Errorf("CPF(%v) = %v, want %v", tt, got, want)
+		}
+	}
+	checkCPF(t, fam, []float64{0, 0.4, 1}, 20000)
+}
+
+func TestPolynomialFamilyBigNegativeRoot(t *testing.T) {
+	// P(t) = t + 3, root -3 (S1 case): Delta = 2*3 = 6.
+	scheme, err := PolynomialFamily(testDim, poly.New(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scheme.Delta-6) > 1e-9 {
+		t.Errorf("Delta = %v, want 6", scheme.Delta)
+	}
+	checkCPF(t, scheme.Family, []float64{0, 0.5, 1}, 20000)
+}
+
+func TestPolynomialFamilyPositiveRoot(t *testing.T) {
+	// P(t) = 2 - t = (2 - t), root 2 (S3): Delta = 2 * |a_k|=1 -> 2.
+	scheme, err := PolynomialFamily(testDim, poly.New(2, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scheme.Delta-2) > 1e-9 {
+		t.Errorf("Delta = %v, want 2", scheme.Delta)
+	}
+	// CPF should be (2-t)/2 = 1 - t/2.
+	if got := scheme.Family.CPF().Eval(0.5); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("CPF(0.5) = %v", got)
+	}
+	checkCPF(t, scheme.Family, []float64{0, 0.5, 1}, 20000)
+}
+
+func TestPolynomialFamilyRootAtZero(t *testing.T) {
+	// P(t) = t^2 (double root at 0): CPF = t^2, Delta = 1.
+	scheme, err := PolynomialFamily(testDim, poly.New(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scheme.Delta-1) > 1e-9 {
+		t.Errorf("Delta = %v, want 1", scheme.Delta)
+	}
+	if got := scheme.Family.CPF().Eval(0.5); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("CPF(0.5) = %v", got)
+	}
+	checkCPF(t, scheme.Family, []float64{0.3, 0.9}, 20000)
+}
+
+func TestPolynomialFamilyComplexRootsNegativeRealPart(t *testing.T) {
+	// P(t) = t^2 + 2t + 5: roots -1 +/- 2i, |z|^2 = 5 >= 1, a = -1 <= 0.
+	// Unified S6: Delta = 4*5 = 20.
+	p := poly.New(5, 2, 1)
+	scheme, err := PolynomialFamily(testDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scheme.Delta-20) > 1e-6 {
+		t.Errorf("Delta = %v, want 20", scheme.Delta)
+	}
+	f := scheme.Family.CPF()
+	target := scheme.TheoreticalCPF()
+	for _, tt := range []float64{0, 0.3, 0.7, 1} {
+		if got, want := f.Eval(tt), target.Eval(tt); math.Abs(got-want) > 1e-6 {
+			t.Errorf("CPF(%v) = %v, want %v", tt, got, want)
+		}
+	}
+	checkCPF(t, scheme.Family, []float64{0, 0.5, 1}, 20000)
+}
+
+func TestPolynomialFamilyComplexRootsSmallModulus(t *testing.T) {
+	// P(t) = t^2 + t + 0.5: roots -0.5 +/- 0.5i, |z|^2 = 0.5 < 1 (S7).
+	// Delta = 4 * max(1, 0.5) = 4.
+	p := poly.New(0.5, 1, 1)
+	scheme, err := PolynomialFamily(testDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scheme.Delta-4) > 1e-6 {
+		t.Errorf("Delta = %v, want 4", scheme.Delta)
+	}
+	checkCPF(t, scheme.Family, []float64{0, 0.5, 1}, 20000)
+}
+
+func TestPolynomialFamilyComplexRootsLargeNegative(t *testing.T) {
+	// P(t) = t^2 + 4t + 8: roots -2 +/- 2i, a = -2 < -1 (S4).
+	// Delta = 4 * |z|^2 = 4*8 = 32.
+	p := poly.New(8, 4, 1)
+	scheme, err := PolynomialFamily(testDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scheme.Delta-32) > 1e-6 {
+		t.Errorf("Delta = %v, want 32", scheme.Delta)
+	}
+	checkCPF(t, scheme.Family, []float64{0, 0.5, 1}, 20000)
+}
+
+func TestPolynomialFamilyComplexRootsPositive(t *testing.T) {
+	// P(t) = t^2 - 4t + 8: roots 2 +/- 2i, a = 2 >= 1 (S5).
+	// Delta = |z|^2 = 8.
+	p := poly.New(8, -4, 1)
+	scheme, err := PolynomialFamily(testDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scheme.Delta-8) > 1e-6 {
+		t.Errorf("Delta = %v, want 8", scheme.Delta)
+	}
+	checkCPF(t, scheme.Family, []float64{0, 0.5, 1}, 20000)
+}
+
+func TestPolynomialFamilyProduct(t *testing.T) {
+	// P(t) = (t + 1)(2 - t) * 3: mixed roots, leading coeff -3.
+	p := poly.New(1, 1).Mul(poly.New(2, -1)).Scale(3)
+	scheme, err := PolynomialFamily(testDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delta = |a_k| * 2^psi * prod_{|z|>1}|z| = 3 * 2 * 2 = 12.
+	if math.Abs(scheme.Delta-12) > 1e-6 {
+		t.Errorf("Delta = %v, want 12", scheme.Delta)
+	}
+	f := scheme.Family.CPF()
+	for _, tt := range []float64{0, 0.5, 1} {
+		want := p.Eval(tt) / scheme.Delta
+		if got := f.Eval(tt); math.Abs(got-want) > 1e-6 {
+			t.Errorf("CPF(%v) = %v, want %v", tt, got, want)
+		}
+	}
+	checkCPF(t, scheme.Family, []float64{0, 0.5, 1}, 20000)
+}
+
+func TestPolynomialFamilyDeltaMatchesTheorem(t *testing.T) {
+	// Verify Delta = |a_k| 2^psi prod_{|z|>1} |z| for an assorted set.
+	cases := []struct {
+		p    poly.Poly
+		want float64
+	}{
+		{poly.New(0.5, 1), 2},                           // root -0.5: psi=1
+		{poly.New(3, 1), 6},                             // root -3: psi=1, |z|=3
+		{poly.New(2, -1), 2},                            // root 2: |z|=2
+		{poly.New(5, 2, 1), 20},                         // -1±2i: psi=2, |z|^2=5
+		{poly.New(8, 4, 1), 32},                         // -2±2i: psi=2, |z|^2=8
+		{poly.New(8, -4, 1), 8},                         // 2±2i: |z|^2=8
+		{poly.New(1, 1).Mul(poly.New(3, 1)), 2 * 2 * 3}, // roots -1,-3
+	}
+	for _, c := range cases {
+		scheme, err := PolynomialFamily(64, c.p)
+		if err != nil {
+			t.Errorf("%s: %v", c.p, err)
+			continue
+		}
+		if math.Abs(scheme.Delta-c.want) > 1e-6 {
+			t.Errorf("%s: Delta = %v, want %v", c.p, scheme.Delta, c.want)
+		}
+	}
+}
+
+func TestPolynomialFamilyRejectsRootsInUnitInterval(t *testing.T) {
+	// Root at 0.5.
+	if _, err := PolynomialFamily(64, poly.New(-0.5, 1)); err == nil {
+		t.Error("root in (0,1) should be rejected")
+	}
+	// Complex pair with real part 0.5: t^2 - t + 0.5.
+	if _, err := PolynomialFamily(64, poly.New(0.5, -1, 1)); err == nil {
+		t.Error("complex root with real part in (0,1) should be rejected")
+	}
+	// Constant polynomial.
+	if _, err := PolynomialFamily(64, poly.New(3)); err == nil {
+		t.Error("degree 0 should be rejected")
+	}
+}
+
+func TestPolynomialCPFStaysInUnitRange(t *testing.T) {
+	// The scheme CPF is a probability by construction; check numerically.
+	ps := []poly.Poly{
+		poly.New(5, 2, 1),
+		poly.New(0.5, 1, 1),
+		poly.New(1, 1).Mul(poly.New(2, -1)),
+		poly.New(0, 0, 1),
+	}
+	for _, p := range ps {
+		scheme, err := PolynomialFamily(64, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := scheme.Family.CPF()
+		for tt := 0.0; tt <= 1.0001; tt += 0.05 {
+			v := f.Eval(tt)
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Errorf("%s: CPF(%v) = %v out of [0,1]", p, tt, v)
+			}
+		}
+	}
+}
+
+func BenchmarkAntiBitSamplingSampleAndHash(b *testing.B) {
+	rng := xrand.New(1)
+	fam := AntiBitSampling(1024)
+	x := bitvec.Random(rng, 1024)
+	y := bitvec.Random(rng, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pair := fam.Sample(rng)
+		if pair.Collides(x, y) {
+			_ = pair
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package hamming
+
+import (
+	"fmt"
+	"math"
+
+	"dsh/internal/core"
+	"dsh/internal/poly"
+)
+
+// TaylorScheme approximates an arbitrary analytic target CPF on Hamming
+// space, following the closing remark of Section 5 of the paper: truncate
+// the function's Taylor series to a polynomial and apply the Theorem 5.2
+// construction to it. The achieved CPF is P_k(t)/Delta where P_k is the
+// degree-k truncation.
+type TaylorScheme struct {
+	*PolynomialScheme
+	// Target is the analytic function being approximated (pre-scaling).
+	Target func(float64) float64
+	// TruncationError bounds |Target(t) - P(t)| over [0, 1], estimated on
+	// a grid.
+	TruncationError float64
+}
+
+// NewTaylorScheme builds the scheme for the Taylor coefficients
+// c(0), c(1), ..., c(degree) of the target function around 0. It fails if
+// the truncated polynomial violates the Theorem 5.2 root condition (no
+// roots with real part strictly inside (0, 1)).
+func NewTaylorScheme(d int, target func(float64) float64, coeff func(i int) float64, degree int) (*TaylorScheme, error) {
+	if degree < 1 {
+		return nil, fmt.Errorf("hamming: Taylor degree must be >= 1")
+	}
+	p := poly.MonomialTaylor(degree, coeff)
+	scheme, err := PolynomialFamily(d, p)
+	if err != nil {
+		return nil, fmt.Errorf("hamming: truncated Taylor polynomial unusable: %w", err)
+	}
+	ts := &TaylorScheme{
+		PolynomialScheme: scheme,
+		Target:           target,
+	}
+	for i := 0; i <= 64; i++ {
+		t := float64(i) / 64
+		if e := math.Abs(target(t) - p.Eval(t)); e > ts.TruncationError {
+			ts.TruncationError = e
+		}
+	}
+	return ts, nil
+}
+
+// TargetCPF returns the idealized CPF Target(t)/Delta the scheme
+// approaches as the truncation degree grows.
+func (ts *TaylorScheme) TargetCPF() core.CPF {
+	return core.CPF{Domain: core.DomainRelativeHamming, Eval: func(t float64) float64 {
+		return ts.Target(t) / ts.Delta
+	}}
+}
+
+// ExpDecayScheme is a ready-made Taylor scheme for the exponential-decay
+// CPF shape exp(-c*t) (up to the Theorem 5.2 scaling), a natural target
+// for distance estimation with geometric accuracy. The Taylor coefficients
+// (-c)^i / i! alternate in sign, which Lemma 1.4 mixtures cannot express;
+// the root-factorization construction handles them.
+//
+// Feasibility depends irregularly on (c, degree): the roots of the
+// truncated exponential series scale like 1/c, and the Theorem 5.2 root
+// condition (no real parts in (0, 1)) fails whenever some root pair lands
+// in that strip. Notably the degree-4 truncation has a conjugate pair with
+// real part ~0.27/c, so degree 4 is infeasible for all c >= 0.27; degrees
+// 2, 3, 5, 6, 7 work for moderate c. The constructor surfaces this as an
+// error rather than guessing.
+func ExpDecayScheme(d int, c float64, degree int) (*TaylorScheme, error) {
+	if c <= 0 {
+		return nil, fmt.Errorf("hamming: decay rate must be positive")
+	}
+	target := func(t float64) float64 { return math.Exp(-c * t) }
+	coeff := func(i int) float64 {
+		f := 1.0
+		for j := 2; j <= i; j++ {
+			f *= float64(j)
+		}
+		return math.Pow(-c, float64(i)) / f
+	}
+	return NewTaylorScheme(d, target, coeff, degree)
+}

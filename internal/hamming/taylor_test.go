@@ -1,0 +1,97 @@
+package hamming
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/core"
+	"dsh/internal/xrand"
+)
+
+func TestExpDecaySchemeCPF(t *testing.T) {
+	// exp(-t/2) truncated at degree 3: P(t) = 1 - t/2 + t^2/8 - t^3/48.
+	scheme, err := ExpDecayScheme(testDim, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme.TruncationError > 0.01 {
+		t.Errorf("degree-3 truncation error %v too large for c=0.5", scheme.TruncationError)
+	}
+	// The achieved CPF P(t)/Delta tracks exp(-t)/Delta within the
+	// truncation error.
+	f := scheme.Family.CPF()
+	targetF := scheme.TargetCPF()
+	for _, tt := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := f.Eval(tt)
+		want := targetF.Eval(tt)
+		if math.Abs(got-want) > scheme.TruncationError/scheme.Delta+1e-9 {
+			t.Errorf("CPF(%v) = %v, target %v (trunc err %v)", tt, got, want, scheme.TruncationError)
+		}
+	}
+}
+
+func TestExpDecaySchemeEmpirical(t *testing.T) {
+	scheme, err := ExpDecayScheme(testDim, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	gen := func(r *xrand.Rand, tt float64) (Point, Point) {
+		x := bitvec.Random(r, testDim)
+		return x, bitvec.AtDistance(r, x, int(math.Round(tt*testDim)))
+	}
+	for _, tt := range []float64{0, 0.5, 1} {
+		est := core.EstimateCollision(rng, scheme.Family, gen, tt, 20000, 5)
+		tq := math.Round(tt*testDim) / testDim
+		want := scheme.P.Eval(tq) / scheme.Delta
+		if !est.Interval.Contains(want) {
+			t.Errorf("t=%v: measured %v excludes analytic %v", tt, est.P, want)
+		}
+	}
+}
+
+func TestExpDecayTruncationErrorShrinks(t *testing.T) {
+	prev := math.Inf(1)
+	for _, deg := range []int{2, 3, 5} {
+		scheme, err := ExpDecayScheme(64, 0.5, deg)
+		if err != nil {
+			t.Fatalf("degree %d: %v", deg, err)
+		}
+		if scheme.TruncationError >= prev {
+			t.Errorf("degree %d: truncation error %v did not shrink (prev %v)",
+				deg, scheme.TruncationError, prev)
+		}
+		prev = scheme.TruncationError
+	}
+}
+
+func TestTaylorSchemeValidation(t *testing.T) {
+	if _, err := NewTaylorScheme(64, math.Exp, func(int) float64 { return 1 }, 0); err == nil {
+		t.Error("degree 0 should error")
+	}
+	if _, err := ExpDecayScheme(64, -1, 3); err == nil {
+		t.Error("negative rate should error")
+	}
+	// Degree-4 truncations of exp(-c t) have a root pair with real part
+	// ~0.27/c inside (0,1) for all c >= 0.27: must be rejected.
+	if _, err := ExpDecayScheme(64, 0.5, 4); err == nil {
+		t.Error("infeasible degree-4 truncation should error")
+	}
+	// A target whose truncation has a root inside (0,1) must be rejected:
+	// P(t) = 0.5 - t + 0*t^2 has root 0.5.
+	_, err := NewTaylorScheme(64, func(t float64) float64 { return 0.5 - t },
+		func(i int) float64 {
+			switch i {
+			case 0:
+				return 0.5
+			case 1:
+				return -1
+			default:
+				return 0
+			}
+		}, 2)
+	if err == nil {
+		t.Error("root in (0,1) should be rejected")
+	}
+}

@@ -1,0 +1,80 @@
+package index
+
+import (
+	"dsh/internal/core"
+	"dsh/internal/sphere"
+	"dsh/internal/xrand"
+)
+
+// LinearScan is the trivial baseline: examine every point.
+type LinearScan[P any] struct {
+	points []P
+}
+
+// NewLinearScan wraps points for brute-force queries.
+func NewLinearScan[P any](points []P) *LinearScan[P] {
+	return &LinearScan[P]{points: points}
+}
+
+// Query returns the first point satisfying within, with full-scan stats.
+func (ls *LinearScan[P]) Query(q P, within func(q, x P) bool) (int, QueryStats) {
+	stats := QueryStats{}
+	for i, p := range ls.points {
+		stats.Candidates++
+		stats.Verified++
+		if within(q, p) {
+			return i, stats
+		}
+	}
+	return -1, stats
+}
+
+// QueryAll returns every point satisfying within.
+func (ls *LinearScan[P]) QueryAll(q P, within func(q, x P) bool) ([]int, QueryStats) {
+	stats := QueryStats{}
+	var out []int
+	for i, p := range ls.points {
+		stats.Candidates++
+		stats.Verified++
+		if within(q, p) {
+			out = append(out, i)
+		}
+	}
+	return out, stats
+}
+
+// ConcatAnnulusBaseline reproduces the ad-hoc two-stage annulus solution of
+// Pagh et al. [41] in the form the paper notes is equivalent (Section 6.1):
+// concatenate k1 copies of a standard LSH (SimHash) with k2 copies of an
+// anti-LSH (query-negated SimHash), yielding the unimodal CPF
+//
+//	f(alpha) = SimHashCPF(alpha)^k1 * SimHashCPF(-alpha)^k2,
+//
+// then run the same Theorem 6.1 query algorithm on top. k1/k2 controls the
+// peak location: the CPF peaks where k1 * s'(a)/s(a) = k2 * s'(-a)/s(-a).
+func ConcatAnnulusBaseline(rng *xrand.Rand, d, k1, k2, L int, points [][]float64, within func(q, x []float64) bool) *AnnulusIndex[[]float64] {
+	if k1 < 1 || k2 < 1 {
+		panic("index: concatenation lengths must be >= 1")
+	}
+	fam := core.Concat[[]float64](
+		core.Power[[]float64](sphere.SimHash(d), k1),
+		core.Power[[]float64](sphere.AntiSimHash(d), k2),
+	)
+	named := core.Renamed[[]float64]{Inner: fam, NewName: "pagh17-baseline"}
+	return NewAnnulus[[]float64](rng, named, L, points, within)
+}
+
+// ConcatAnnulusCPF returns the baseline's analytic CPF for parameter
+// selection: f(alpha) = SimHashCPF(alpha)^k1 * SimHashCPF(-alpha)^k2.
+func ConcatAnnulusCPF(k1, k2 int) core.CPF {
+	return core.CPF{Domain: core.DomainInnerProduct, Eval: func(alpha float64) float64 {
+		p := 1.0
+		for i := 0; i < k1; i++ {
+			p *= sphere.SimHashCPF(alpha)
+		}
+		for i := 0; i < k2; i++ {
+			p *= sphere.SimHashCPF(-alpha)
+		}
+		return p
+	}}
+}

@@ -1,0 +1,67 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/vec"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+func TestHyperplaneRho(t *testing.T) {
+	// rho*(alpha) = (1-a^2)/(1+a^2): decreasing in alpha, -> 1 as a -> 0.
+	prev := 1.0
+	for _, a := range []float64{0.1, 0.3, 0.5, 0.9} {
+		rho := HyperplaneRho(a)
+		if rho >= prev {
+			t.Errorf("rho(%v) = %v not decreasing", a, rho)
+		}
+		if rho <= 0 || rho >= 1 {
+			t.Errorf("rho(%v) = %v out of (0,1)", a, rho)
+		}
+		prev = rho
+	}
+	if got := HyperplaneRho(0.5); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("rho(0.5) = %v, want 0.6", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha out of range should panic")
+		}
+	}()
+	HyperplaneRho(1)
+}
+
+func TestHyperplaneIndexFindsOrthogonal(t *testing.T) {
+	rng := xrand.New(1)
+	const d = 24
+	// Plant an exactly orthogonal point among biased noise (points that
+	// all have |dot| >= 0.25 would be ideal; uniform noise also works
+	// since d is moderate: typical |dot| ~ 1/sqrt(24) ~ 0.2).
+	ds := workload.NewPlantedSphere(rng, d, 800, []float64{0})
+	found := 0
+	const reps = 6
+	for i := 0; i < reps; i++ {
+		hi := NewHyperplane(rng, d, 0.15, 1.4, ds.Points)
+		id, _ := hi.Query(ds.Query)
+		if id >= 0 {
+			if got := math.Abs(vec.Dot(ds.Query, ds.Points[id])); got > 0.15 {
+				t.Fatalf("returned point with |dot| = %v > alpha", got)
+			}
+			found++
+		}
+	}
+	if found < 2 {
+		t.Errorf("orthogonal point found only %d/%d times", found, reps)
+	}
+}
+
+func TestHyperplaneValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha=0 should panic")
+		}
+	}()
+	NewHyperplane(xrand.New(1), 8, 0, 2, nil)
+}

@@ -1,0 +1,208 @@
+// Package index implements the paper's Section 6 applications as hash-table
+// data structures built on DSH families:
+//
+//   - Index: a generic multi-repetition asymmetric LSH index (data points
+//     inserted under h, queries probed under g).
+//   - AnnulusIndex (Theorems 6.1, 6.2, 6.4): retrieve a point whose
+//     distance/similarity to the query lies in a target interval, with the
+//     8L early-termination rule from the proof of Theorem 6.1.
+//   - RangeReporter (Theorem 6.5): output-sensitive spherical range
+//     reporting with a step-function CPF.
+//   - Linear-scan baselines and a [41]-style concatenation baseline are in
+//     baseline.go.
+package index
+
+import (
+	"math"
+
+	"dsh/internal/core"
+	"dsh/internal/xrand"
+)
+
+// Index is a multi-repetition asymmetric hash index: L independent draws
+// (h_i, g_i) from a DSH family; point x is stored in table i under key
+// h_i(x) and a query y probes table i with key g_i(y).
+type Index[P any] struct {
+	family core.Family[P]
+	pairs  []core.Pair[P]
+	tables []map[uint64][]int32
+	points []P
+}
+
+// New builds an index over points with L repetitions of the family.
+func New[P any](rng *xrand.Rand, family core.Family[P], L int, points []P) *Index[P] {
+	if L <= 0 {
+		panic("index: repetitions must be positive")
+	}
+	ix := &Index[P]{
+		family: family,
+		pairs:  make([]core.Pair[P], L),
+		tables: make([]map[uint64][]int32, L),
+		points: points,
+	}
+	for i := 0; i < L; i++ {
+		ix.pairs[i] = family.Sample(rng)
+		table := make(map[uint64][]int32)
+		for j, p := range points {
+			key := ix.pairs[i].H.Hash(p)
+			table[key] = append(table[key], int32(j))
+		}
+		ix.tables[i] = table
+	}
+	return ix
+}
+
+// L returns the number of repetitions.
+func (ix *Index[P]) L() int { return len(ix.pairs) }
+
+// Len returns the number of indexed points.
+func (ix *Index[P]) Len() int { return len(ix.points) }
+
+// Point returns the stored point with the given id.
+func (ix *Index[P]) Point(id int) P { return ix.points[id] }
+
+// Candidates streams the ids colliding with query q, table by table
+// (duplicates across tables included), invoking visit for each. If visit
+// returns false the scan stops early.
+func (ix *Index[P]) Candidates(q P, visit func(id int) bool) {
+	for i, pair := range ix.pairs {
+		key := pair.G.Hash(q)
+		for _, id := range ix.tables[i][key] {
+			if !visit(int(id)) {
+				return
+			}
+		}
+	}
+}
+
+// CollectDistinct gathers up to max distinct candidate ids for q
+// (max <= 0 means no limit).
+func (ix *Index[P]) CollectDistinct(q P, max int) []int {
+	seen := make(map[int]struct{})
+	var out []int
+	ix.Candidates(q, func(id int) bool {
+		if _, dup := seen[id]; !dup {
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+		return max <= 0 || len(out) < max
+	})
+	return out
+}
+
+// QueryStats reports the work performed by a query.
+type QueryStats struct {
+	// Candidates is the total number of candidate ids scanned, counting
+	// duplicates across repetitions.
+	Candidates int
+	// Distinct is the number of distinct candidates seen.
+	Distinct int
+	// Verified is the number of candidate points whose distance was
+	// actually evaluated.
+	Verified int
+}
+
+// RepetitionsForCPF returns the standard repetition count L = ceil(1/f)
+// that makes a target with collision probability f collide in some
+// repetition with constant probability (1 - 1/e).
+func RepetitionsForCPF(f float64) int {
+	if f <= 0 {
+		panic("index: collision probability must be positive")
+	}
+	if f >= 1 {
+		return 1
+	}
+	L := math.Ceil(1 / f)
+	if L > 1<<24 {
+		panic("index: repetition count unreasonably large")
+	}
+	return int(L)
+}
+
+// AnnulusIndex solves the approximate annulus search problem of
+// Theorem 6.1: given a family whose CPF peaks inside the target interval,
+// a query retrieves collision candidates and returns the first whose
+// distance lies in the report interval, scanning at most 8L candidates.
+type AnnulusIndex[P any] struct {
+	ix *Index[P]
+	// Within reports whether a candidate point lies in the *report*
+	// interval [beta-, beta+] relative to the query.
+	within func(q, x P) bool
+}
+
+// NewAnnulus builds the Theorem 6.1 structure: family should have a CPF
+// peaking inside the target interval; L = ceil(1/f(peak)) repetitions;
+// within decides membership in the report interval.
+func NewAnnulus[P any](rng *xrand.Rand, family core.Family[P], L int, points []P, within func(q, x P) bool) *AnnulusIndex[P] {
+	return &AnnulusIndex[P]{
+		ix:     New(rng, family, L, points),
+		within: within,
+	}
+}
+
+// Query returns the id of some point within the report interval of q, or
+// -1 if none was found among the first 8L candidates (the Markov-bound
+// early termination from the proof of Theorem 6.1).
+func (ai *AnnulusIndex[P]) Query(q P) (int, QueryStats) {
+	var stats QueryStats
+	limit := 8 * ai.ix.L()
+	found := -1
+	ai.ix.Candidates(q, func(id int) bool {
+		stats.Candidates++
+		stats.Verified++
+		if ai.within(q, ai.ix.Point(id)) {
+			found = id
+			return false
+		}
+		return stats.Candidates < limit
+	})
+	return found, stats
+}
+
+// Index exposes the underlying index (for inspection in experiments).
+func (ai *AnnulusIndex[P]) Index() *Index[P] { return ai.ix }
+
+// RangeReporter solves approximate spherical range reporting
+// (Theorem 6.5): report every point within the target range of the query,
+// each with probability >= 1 - (1-fmin)^L, verifying candidates and
+// deduplicating across repetitions.
+type RangeReporter[P any] struct {
+	ix *Index[P]
+	// inRange reports whether x lies within the report radius r+ of q.
+	inRange func(q, x P) bool
+}
+
+// NewRangeReporter builds the reporting structure with L = ceil(1/fmin)
+// repetitions, where fmin is the minimum CPF value over the target range.
+func NewRangeReporter[P any](rng *xrand.Rand, family core.Family[P], L int, points []P, inRange func(q, x P) bool) *RangeReporter[P] {
+	return &RangeReporter[P]{
+		ix:      New(rng, family, L, points),
+		inRange: inRange,
+	}
+}
+
+// Query returns the distinct ids of reported points within range of q.
+// Every candidate is verified once (the verification status is memoized),
+// so the work is Candidates hash probes plus Distinct distance evaluations.
+func (rr *RangeReporter[P]) Query(q P) ([]int, QueryStats) {
+	var stats QueryStats
+	status := make(map[int]bool)
+	var out []int
+	rr.ix.Candidates(q, func(id int) bool {
+		stats.Candidates++
+		if _, seen := status[id]; !seen {
+			stats.Distinct++
+			stats.Verified++
+			ok := rr.inRange(q, rr.ix.Point(id))
+			status[id] = ok
+			if ok {
+				out = append(out, id)
+			}
+		}
+		return true
+	})
+	return out, stats
+}
+
+// Index exposes the underlying index.
+func (rr *RangeReporter[P]) Index() *Index[P] { return rr.ix }

@@ -1,0 +1,164 @@
+package index
+
+import (
+	"testing"
+
+	"dsh/internal/core"
+	"dsh/internal/sphere"
+	"dsh/internal/vec"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+func TestSelfJoinFindsClusterPairs(t *testing.T) {
+	rng := xrand.New(1)
+	const d = 24
+	// Two tight clusters: within-cluster pairs have high similarity.
+	corpus := workload.NewArticleCorpus(rng, d, 2, 15, 0.15)
+	fam := core.Power[[]float64](sphere.SimHash(d), 6)
+	verify := func(a, b []float64) bool { return vec.Dot(a, b) >= 0.8 }
+	truth := 0
+	for i := range corpus.Points {
+		for j := i + 1; j < len(corpus.Points); j++ {
+			if verify(corpus.Points[i], corpus.Points[j]) {
+				truth++
+			}
+		}
+	}
+	if truth == 0 {
+		t.Skip("degenerate corpus")
+	}
+	L := RepetitionsForCPF(pow(sphere.SimHashCPF(0.8), 6)) * 3
+	pairs, stats := SelfJoin(rng, fam, L, corpus.Points, verify)
+	if stats.Emitted != len(pairs) {
+		t.Fatalf("stats inconsistent: %+v vs %d pairs", stats, len(pairs))
+	}
+	recall := float64(len(pairs)) / float64(truth)
+	if recall < 0.8 {
+		t.Errorf("join recall %v (found %d of %d)", recall, len(pairs), truth)
+	}
+	// Output must be deduplicated, ordered, off-diagonal, and verified.
+	seen := map[[2]int32]bool{}
+	for _, p := range pairs {
+		if p.A >= p.B {
+			t.Fatalf("unnormalized pair %+v", p)
+		}
+		key := [2]int32{p.A, p.B}
+		if seen[key] {
+			t.Fatalf("duplicate pair %+v", p)
+		}
+		seen[key] = true
+		if !verify(corpus.Points[p.A], corpus.Points[p.B]) {
+			t.Fatalf("unverified pair %+v emitted", p)
+		}
+	}
+}
+
+func pow(x float64, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= x
+	}
+	return out
+}
+
+func TestAnnulusSelfJoin(t *testing.T) {
+	// Unimodal family: join pairs that are close-but-not-too-close.
+	rng := xrand.New(2)
+	const d = 24
+	pts := workload.SpherePoints(rng, 60, d)
+	// Add pairs at similarity ~0.5 (in band) and ~0.98 (too close).
+	base := vec.RandomUnit(rng, d)
+	pts = append(pts, base)
+	inBand := workload.PointAtAlpha(rng, base, 0.5)
+	tooClose := workload.PointAtAlpha(rng, base, 0.98)
+	pts = append(pts, inBand, tooClose)
+	fam := sphere.NewAnnulus(d, 0.5, 1.8)
+	L := RepetitionsForCPF(fam.CPF().Eval(0.5)) * 2
+	verify := func(a, b []float64) bool {
+		s := vec.Dot(a, b)
+		return s >= 0.35 && s <= 0.65
+	}
+	pairs, _ := SelfJoin[[]float64](rng, fam, L, pts, verify)
+	foundBand := false
+	for _, p := range pairs {
+		if (int(p.A) == len(pts)-3 && int(p.B) == len(pts)-2) ||
+			(int(p.A) == len(pts)-2 && int(p.B) == len(pts)-3) {
+			foundBand = true
+		}
+		s := vec.Dot(pts[p.A], pts[p.B])
+		if s < 0.35 || s > 0.65 {
+			t.Fatalf("emitted out-of-band pair with similarity %v", s)
+		}
+	}
+	if !foundBand {
+		t.Error("planted in-band pair not found")
+	}
+	_ = tooClose
+}
+
+func TestBipartiteJoin(t *testing.T) {
+	rng := xrand.New(3)
+	const d = 16
+	// B contains rotated copies of A's points: each a_i pairs with b_i.
+	setA := workload.SpherePoints(rng, 20, d)
+	setB := make([][]float64, len(setA))
+	for i, a := range setA {
+		setB[i] = workload.PointAtAlpha(rng, a, 0.95)
+	}
+	fam := core.Power[[]float64](sphere.SimHash(d), 4)
+	verify := func(a, b []float64) bool { return vec.Dot(a, b) >= 0.9 }
+	L := RepetitionsForCPF(pow(sphere.SimHashCPF(0.95), 4)) * 3
+	pairs, _ := Join(rng, fam, L, setA, setB, verify)
+	matched := map[int32]bool{}
+	for _, p := range pairs {
+		if verify(setA[p.A], setB[p.B]) {
+			matched[p.A] = true
+		}
+	}
+	if len(matched) < 15 {
+		t.Errorf("matched only %d/20 planted pairs", len(matched))
+	}
+}
+
+func TestJoinPanicsOnBadL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("L=0 should panic")
+		}
+	}()
+	Join[[]float64](xrand.New(1), sphere.SimHash(4), 0, nil, nil, nil)
+}
+
+func TestNewParallelMatchesSequentialBehaviour(t *testing.T) {
+	rng := xrand.New(4)
+	const d = 16
+	pts := workload.SpherePoints(rng, 300, d)
+	fam := core.Power[[]float64](sphere.SimHash(d), 4)
+	ix := NewParallel(rng, fam, 16, pts)
+	if ix.L() != 16 || ix.Len() != 300 {
+		t.Fatalf("sizes: L=%d n=%d", ix.L(), ix.Len())
+	}
+	// Every point must be present in every table (find itself).
+	for i := 0; i < 20; i++ {
+		found := false
+		for _, id := range ix.CollectDistinct(pts[i], 0) {
+			if id == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("point %d not retrievable from parallel index", i)
+		}
+	}
+}
+
+func TestNewParallelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("L=0 should panic")
+		}
+	}()
+	NewParallel[[]float64](xrand.New(1), sphere.SimHash(4), 0, nil)
+}

@@ -1,0 +1,123 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/core"
+	"dsh/internal/sphere"
+	"dsh/internal/vec"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+func TestEstimatorMatchesExactSimHashKernel(t *testing.T) {
+	// SimHash's CPF is the angular kernel 1 - arccos(alpha)/pi: the
+	// estimator must match the exact kernel sum.
+	rng := xrand.New(1)
+	const d = 16
+	pts := workload.SpherePoints(rng, 400, d)
+	fam := sphere.SimHash(d)
+	est := New(rng, fam, 800, pts)
+	kernel := func(x, q []float64) float64 {
+		return sphere.SimHashCPF(vec.Dot(x, q))
+	}
+	for i := 0; i < 5; i++ {
+		q := vec.RandomUnit(rng, d)
+		got := est.Query(q)
+		want := Exact(pts, q, kernel)
+		if math.Abs(got.Density-want) > 5*got.StdErr+0.01 {
+			t.Errorf("query %d: estimate %v, exact %v", i, got, want)
+		}
+	}
+}
+
+func TestEstimatorPoweredKernel(t *testing.T) {
+	// Power sharpens the kernel: CPF = simhashCPF^4.
+	rng := xrand.New(2)
+	const d = 16
+	pts := workload.SpherePoints(rng, 300, d)
+	fam := core.Power[[]float64](sphere.SimHash(d), 4)
+	est := New(rng, fam, 1500, pts)
+	kernel := func(x, q []float64) float64 {
+		return math.Pow(sphere.SimHashCPF(vec.Dot(x, q)), 4)
+	}
+	q := vec.RandomUnit(rng, d)
+	got := est.Query(q)
+	want := Exact(pts, q, kernel)
+	if math.Abs(got.Density-want) > 6*got.StdErr+0.01 {
+		t.Errorf("estimate %v, exact %v", got, want)
+	}
+}
+
+func TestEstimatorSeesPlantedCluster(t *testing.T) {
+	// A query inside a dense cluster must report higher density than a
+	// far-away query.
+	rng := xrand.New(3)
+	const d = 16
+	corpus := workload.NewArticleCorpus(rng, d, 1, 200, 0.1)
+	pts := corpus.Points
+	fam := core.Power[[]float64](sphere.SimHash(d), 4)
+	est := New(rng, fam, 800, pts)
+	inCluster := est.Query(corpus.Centers[0])
+	far := est.Query(vec.Neg(corpus.Centers[0]))
+	if inCluster.Density < 4*far.Density {
+		t.Errorf("cluster density %v not well above far density %v", inCluster, far)
+	}
+}
+
+func TestQueryCostIndependentOfN(t *testing.T) {
+	// Structural check: Query touches only L buckets, not the points.
+	rng := xrand.New(4)
+	const d = 8
+	pts := workload.SpherePoints(rng, 50, d)
+	est := New(rng, sphere.SimHash(d), 32, pts)
+	if est.L() != 32 || est.N() != 50 {
+		t.Fatalf("L=%d N=%d", est.L(), est.N())
+	}
+	res := est.Query(pts[0])
+	if res.Density < 0 || res.Density > 1 {
+		t.Fatalf("density %v out of [0,1]", res.Density)
+	}
+	if res.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := xrand.New(5)
+	for i, fn := range []func(){
+		func() { New[[]float64](rng, sphere.SimHash(4), 0, [][]float64{{1, 0, 0, 0}}) },
+		func() { New[[]float64](rng, sphere.SimHash(4), 4, nil) },
+		func() { Exact(nil, []float64{1}, func(x, q []float64) float64 { return 0 }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(0.12, 0.1, 0.01); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("rel err = %v", got)
+	}
+	if got := RelativeError(0.5, 0, 0); got != 0.5 {
+		t.Errorf("zero-exact rel err = %v", got)
+	}
+}
+
+func BenchmarkKDEQuery(b *testing.B) {
+	rng := xrand.New(1)
+	pts := workload.SpherePoints(rng, 2000, 16)
+	est := New(rng, core.Power[[]float64](sphere.SimHash(16), 4), 400, pts)
+	q := vec.RandomUnit(rng, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Query(q)
+	}
+}

@@ -1,0 +1,210 @@
+// Package lowerbound implements the machinery of Section 3 of the paper:
+// the small-set-expansion theorems of O'Donnell that underlie the
+// Theorem 1.3 lower bound on monotone DSH families, the Lemma 3.4
+// Jensen-type inequality, and the finite-d bound of Theorems 3.7/3.8 with
+// its explicit Chernoff error terms.
+//
+// These are the quantitative objects the paper's lower-bound proofs
+// manipulate; the experiments use them to check that every measured CPF
+// respects the bounds, and the tests verify the inequalities numerically
+// on random instances.
+package lowerbound
+
+import (
+	"math"
+
+	"dsh/internal/stats"
+)
+
+// VolumeToRadius converts a subset volume |A|/2^d = exp(-a^2/2) into its
+// Gaussian "radius" a >= 0, the parameterization used by the small-set
+// expansion theorems. It panics unless 0 < volume <= 1.
+func VolumeToRadius(volume float64) float64 {
+	if !(volume > 0 && volume <= 1) {
+		panic("lowerbound: volume must lie in (0, 1]")
+	}
+	return math.Sqrt(-2 * math.Log(volume))
+}
+
+// RadiusToVolume is the inverse of VolumeToRadius.
+func RadiusToVolume(a float64) float64 {
+	if a < 0 {
+		panic("lowerbound: radius must be non-negative")
+	}
+	return math.Exp(-a * a / 2)
+}
+
+// ReverseSmallSetExpansion returns the Theorem 3.2 lower bound on
+// Pr[x in A, y in B] for randomly alpha-correlated (x, y) and subsets of
+// volumes volA, volB:
+//
+//	exp( -1/2 * (a^2 + 2*alpha*a*b + b^2) / (1 - alpha^2) ),
+//
+// with a, b the Gaussian radii of the volumes. Valid for 0 <= alpha <= 1
+// (at alpha = 1 the bound degenerates to 0 unless a = b).
+func ReverseSmallSetExpansion(volA, volB, alpha float64) float64 {
+	if alpha < 0 || alpha > 1 {
+		panic("lowerbound: alpha out of [0, 1]")
+	}
+	a := VolumeToRadius(volA)
+	b := VolumeToRadius(volB)
+	if alpha == 1 {
+		if a == b {
+			return RadiusToVolume(a)
+		}
+		return 0
+	}
+	return math.Exp(-0.5 * (a*a + 2*alpha*a*b + b*b) / (1 - alpha*alpha))
+}
+
+// GeneralSmallSetExpansion returns the Theorem 3.9 upper-bound-side
+// quantity exp(-1/2 (a^2 - 2 alpha a b + b^2)/(1-alpha^2)), the
+// generalized small-set expansion bound on Pr[x in A, y in B], valid when
+// 0 <= alpha*b <= a <= b.
+func GeneralSmallSetExpansion(volA, volB, alpha float64) float64 {
+	if alpha < 0 || alpha > 1 {
+		panic("lowerbound: alpha out of [0, 1]")
+	}
+	a := VolumeToRadius(volA)
+	b := VolumeToRadius(volB)
+	if a > b {
+		a, b = b, a
+	}
+	if alpha*b > a {
+		panic("lowerbound: requires alpha*b <= a <= b")
+	}
+	if alpha == 1 {
+		return RadiusToVolume(a)
+	}
+	return math.Exp(-0.5 * (a*a - 2*alpha*a*b + b*b) / (1 - alpha*alpha))
+}
+
+// JensenProductBound evaluates both sides of Lemma 3.4: for discrete
+// distributions p, q and c >= 1,
+//
+//	sum_i (p_i q_i)^c  >=  ( sum_i p_i q_i )^(2c-1),
+//
+// with the inequality reversed for 1/2 <= c <= 1. (The paper states the
+// reverse for all c <= 1, but x -> x^(2-1/c) is concave only when
+// c >= 1/2; the proofs only ever use c = 1/(1-alpha) >= 1.)
+// It returns (lhs, rhs).
+func JensenProductBound(p, q []float64, c float64) (lhs, rhs float64) {
+	if len(p) != len(q) {
+		panic("lowerbound: distribution length mismatch")
+	}
+	var dot float64
+	for i := range p {
+		lhs += math.Pow(p[i]*q[i], c)
+		dot += p[i] * q[i]
+	}
+	rhs = math.Pow(dot, 2*c-1)
+	return lhs, rhs
+}
+
+// CPFLowerBound returns the Theorem 1.3 lower bound
+// fhat(0)^((1+alpha)/(1-alpha)) on fhat(alpha), for 0 <= alpha < 1.
+func CPFLowerBound(fhat0, alpha float64) float64 {
+	if alpha < 0 || alpha >= 1 {
+		panic("lowerbound: alpha out of [0, 1)")
+	}
+	if fhat0 < 0 || fhat0 > 1 {
+		panic("lowerbound: fhat0 out of [0, 1]")
+	}
+	return math.Pow(fhat0, (1+alpha)/(1-alpha))
+}
+
+// CPFUpperBound returns the Lemma 3.10 upper bound
+// fhat(0)^((1-alpha)/(1+alpha)) on fhat(alpha) -- the asymmetric analogue
+// of classical LSH lower bounds: asymmetry does not help for increasing
+// CPFs in the similarity.
+func CPFUpperBound(fhat0, alpha float64) float64 {
+	if alpha < 0 || alpha >= 1 {
+		panic("lowerbound: alpha out of [0, 1)")
+	}
+	if fhat0 < 0 || fhat0 > 1 {
+		panic("lowerbound: fhat0 out of [0, 1]")
+	}
+	return math.Pow(fhat0, (1-alpha)/(1+alpha))
+}
+
+// RhoMinusBound is the finite-d lower bound of Theorem 3.7 on
+// rho^- = log(1/fMinus) / log(1/fPlus) for an (alphaMinus, alphaPlus,
+// fMinus, fPlus)-decreasingly sensitive family on ({0,1}^d, sim_H):
+//
+//	rho^- >= (1 - a+) / (1 + a+ - 2 a-)  -  errorTerm,
+//
+// where the error term is O(sqrt(log(1/fPlus)/d)). It returns the leading
+// term and the explicit error estimate separately so callers can report
+// both.
+func RhoMinusBound(alphaMinus, alphaPlus, fPlus float64, d int) (leading, errorTerm float64) {
+	if !(0 < alphaMinus && alphaMinus < alphaPlus && alphaPlus < 1) {
+		panic("lowerbound: need 0 < alphaMinus < alphaPlus < 1")
+	}
+	if !(fPlus > 0 && fPlus < 1) {
+		panic("lowerbound: fPlus out of (0, 1)")
+	}
+	if d <= 0 {
+		panic("lowerbound: dimension must be positive")
+	}
+	leading = (1 - alphaPlus) / (1 + alphaPlus - 2*alphaMinus)
+	errorTerm = math.Sqrt(math.Log(1/fPlus) / float64(d))
+	return leading, errorTerm
+}
+
+// Theorem38Params carries the explicit epsilon/delta bookkeeping of the
+// proof of Theorem 3.8 for an (r, cr, p, q)-increasingly sensitive family
+// under Hamming distance.
+type Theorem38Params struct {
+	R       float64 // target distance r (absolute)
+	C       float64 // approximation factor c > 1
+	Q       float64 // collision probability at distance cr
+	EpsP    float64 // Chernoff slack for the p side
+	EpsQ    float64 // Chernoff slack for the q side
+	DeltaP  float64 // failure probability exp(-epsP^2/(1-epsP) * r/2)
+	DeltaQ  float64 // failure probability exp(-epsQ^2/(1+epsQ) * r/(3c))
+	DHat    int     // reduced dimension ceil(2r/(1-epsP))
+	Alpha   float64 // correlation 1 - (1-epsP)/((1+epsQ) c)
+	Leading float64 // 1/(2c-1)
+	Penalty float64 // 2(epsQ + epsP + deltaQ/q + deltaP)
+}
+
+// NewTheorem38Params computes the bookkeeping with the proof's choice
+// eps = K*sqrt((c/r) ln(1/q)). K = 4 makes deltaQ <= q^5 so the
+// deltaQ/q penalty term vanishes along with the others as r grows.
+func NewTheorem38Params(r, c, q float64) Theorem38Params {
+	if r <= 0 || c <= 1 || q <= 0 || q >= 1 {
+		panic("lowerbound: invalid Theorem 3.8 parameters")
+	}
+	const k = 4
+	eps := k * math.Sqrt(c/r*math.Log(1/q))
+	if eps > 0.5 {
+		eps = 0.5 // the theorem is vacuous beyond small eps; clamp
+	}
+	p := Theorem38Params{R: r, C: c, Q: q, EpsP: eps, EpsQ: eps}
+	p.DeltaP = math.Exp(-eps * eps / (1 - eps) * r / 2)
+	p.DeltaQ = math.Exp(-eps * eps / (1 + eps) * r / (3 * c))
+	p.DHat = int(math.Ceil(2 * r / (1 - eps)))
+	p.Alpha = 1 - (1-eps)/((1+eps)*c)
+	p.Leading = 1 / (2*c - 1)
+	p.Penalty = 2 * (p.EpsQ + p.EpsP + p.DeltaQ/q + p.DeltaP)
+	return p
+}
+
+// RhoLowerBound returns the Theorem 3.8 statement: any
+// (r, cr, p, q)-increasingly sensitive family satisfies
+// rho = log(1/p)/log(1/q) >= Leading - Penalty.
+func (t Theorem38Params) RhoLowerBound() float64 {
+	return t.Leading - t.Penalty
+}
+
+// BivariateOrthantLowerBound cross-checks Theorem 3.2 against the exact
+// bivariate normal orthant probability: for half-space-like sets of volume
+// exp(-t^2/2) (i.e. Gaussian threshold sets), the exact correlated mass is
+// Pr[X >= a, Y >= b] with correlation alpha, which must dominate the
+// reverse small-set expansion bound. Returns (exact, bound).
+func BivariateOrthantLowerBound(t, alpha float64) (exact, bound float64) {
+	vol := stats.NormalTail(t)
+	exact = stats.BivariateNormalOrthant(t, alpha)
+	bound = ReverseSmallSetExpansion(vol, vol, alpha)
+	return exact, bound
+}

@@ -1,0 +1,249 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/stats"
+	"dsh/internal/xrand"
+)
+
+func TestVolumeRadiusRoundTrip(t *testing.T) {
+	for _, v := range []float64{1, 0.5, 0.1, 1e-6} {
+		a := VolumeToRadius(v)
+		if back := RadiusToVolume(a); math.Abs(back-v) > 1e-12*v {
+			t.Errorf("round trip %v -> %v -> %v", v, a, back)
+		}
+	}
+	if VolumeToRadius(1) != 0 {
+		t.Error("full volume should have radius 0")
+	}
+	for _, fn := range []func(){
+		func() { VolumeToRadius(0) },
+		func() { VolumeToRadius(1.5) },
+		func() { RadiusToVolume(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReverseSSEAtZeroCorrelation(t *testing.T) {
+	// At alpha = 0 the bound is exactly volA * volB (independence).
+	for _, vA := range []float64{0.5, 0.1, 0.01} {
+		for _, vB := range []float64{0.3, 0.05} {
+			got := ReverseSmallSetExpansion(vA, vB, 0)
+			if math.Abs(got-vA*vB) > 1e-12 {
+				t.Errorf("bound(%v,%v,0) = %v, want %v", vA, vB, got, vA*vB)
+			}
+		}
+	}
+}
+
+func TestReverseSSEHoldsOnThresholdSets(t *testing.T) {
+	// The exact correlated Gaussian orthant mass dominates the bound.
+	for _, tt := range []float64{0.5, 1, 2} {
+		for _, alpha := range []float64{0, 0.3, 0.7, 0.95} {
+			exact, bound := BivariateOrthantLowerBound(tt, alpha)
+			if exact < bound*(1-1e-9) {
+				t.Errorf("t=%v alpha=%v: exact %v below bound %v", tt, alpha, exact, bound)
+			}
+		}
+	}
+}
+
+func TestReverseSSEHoldsOnHammingSubcubes(t *testing.T) {
+	// Monte-Carlo check on actual alpha-correlated bit vectors with
+	// subcube sets A = B = {x : first k bits all zero}, volume 2^-k.
+	rng := xrand.New(1)
+	const d = 256
+	const k = 3 // volume 1/8
+	vol := 1.0 / 8
+	for _, alpha := range []float64{0.25, 0.5, 0.8} {
+		const trials = 200000
+		hits := 0
+		for i := 0; i < trials; i++ {
+			x, y := bitvec.Correlated(rng, d, alpha)
+			inA := true
+			inB := true
+			for j := 0; j < k; j++ {
+				if x.Bit(j) {
+					inA = false
+				}
+				if y.Bit(j) {
+					inB = false
+				}
+			}
+			if inA && inB {
+				hits++
+			}
+		}
+		bound := ReverseSmallSetExpansion(vol, vol, alpha)
+		iv := stats.WilsonInterval(hits, trials, 5)
+		if iv.Hi < bound {
+			t.Errorf("alpha=%v: measured mass [%v,%v] below Thm 3.2 bound %v",
+				alpha, iv.Lo, iv.Hi, bound)
+		}
+	}
+}
+
+func TestGeneralSSEUpperRegime(t *testing.T) {
+	// For threshold sets, Pr[X>=t, Y>=t] <= exp(-t^2/(1+alpha)) ~ the
+	// general SSE value; check the bound formula's basic ordering: higher
+	// alpha gives a *larger* generalized bound value.
+	prev := 0.0
+	for _, alpha := range []float64{0, 0.3, 0.6, 0.9} {
+		v := GeneralSmallSetExpansion(0.1, 0.1, alpha)
+		if v < prev {
+			t.Errorf("general SSE should grow with alpha: %v after %v", v, prev)
+		}
+		prev = v
+	}
+	// Equal-volume alpha=1 degenerates to the volume itself.
+	if got := GeneralSmallSetExpansion(0.1, 0.1, 1); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("alpha=1 value = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("regime violation should panic")
+		}
+	}()
+	GeneralSmallSetExpansion(0.9, 1e-6, 0.99) // a << alpha*b
+}
+
+func TestJensenProductBoundQuick(t *testing.T) {
+	// Lemma 3.4 for random distributions and c >= 1; reversed for c <= 1.
+	f := func(seed uint64, cRaw uint8) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(8)
+		p := make([]float64, n)
+		q := make([]float64, n)
+		var sp, sq float64
+		for i := range p {
+			p[i] = rng.Float64() + 1e-9
+			q[i] = rng.Float64() + 1e-9
+			sp += p[i]
+			sq += q[i]
+		}
+		for i := range p {
+			p[i] /= sp
+			q[i] /= sq
+		}
+		cHi := 1 + float64(cRaw%40)/10 // c in [1, 5)
+		lhs, rhs := JensenProductBound(p, q, cHi)
+		if lhs < rhs*(1-1e-9) {
+			return false
+		}
+		cLo := 0.5 + float64(cRaw%5)/10 // c in [0.5, 1): the valid reverse regime
+		lhs, rhs = JensenProductBound(p, q, cLo)
+		return lhs <= rhs*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJensenProductBoundEqualityAtC1(t *testing.T) {
+	p := []float64{0.2, 0.3, 0.5}
+	q := []float64{0.5, 0.25, 0.25}
+	lhs, rhs := JensenProductBound(p, q, 1)
+	if math.Abs(lhs-rhs) > 1e-12 {
+		t.Errorf("c=1 should be equality: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestCPFBoundsOrdering(t *testing.T) {
+	// Lower bound <= fhat0 <= upper bound... actually for fhat0 < 1 and
+	// alpha > 0: lower = fhat0^{>1} < fhat0 < fhat0^{<1} = upper.
+	for _, f0 := range []float64{0.1, 0.5, 0.9} {
+		for _, alpha := range []float64{0.1, 0.5, 0.9} {
+			lo := CPFLowerBound(f0, alpha)
+			hi := CPFUpperBound(f0, alpha)
+			if !(lo <= f0 && f0 <= hi) {
+				t.Errorf("ordering violated: %v <= %v <= %v", lo, f0, hi)
+			}
+		}
+	}
+	// At alpha = 0 both coincide with fhat0.
+	if CPFLowerBound(0.3, 0) != 0.3 || CPFUpperBound(0.3, 0) != 0.3 {
+		t.Error("alpha=0 should be identity")
+	}
+}
+
+func TestAntiBitSamplingMeetsBoundsExactly(t *testing.T) {
+	// Anti bit-sampling has fhat(alpha) = (1-alpha)/2 exactly. Verify it
+	// respects both the Theorem 1.3 lower bound and the Lemma 3.10 upper
+	// bound (with fhat(0) = 1/2) across alpha.
+	for alpha := 0.0; alpha < 0.999; alpha += 0.05 {
+		fa := (1 - alpha) / 2
+		lo := CPFLowerBound(0.5, alpha)
+		hi := CPFUpperBound(0.5, alpha)
+		if fa < lo-1e-12 {
+			t.Errorf("alpha=%v: anti bit-sampling %v below lower bound %v", alpha, fa, lo)
+		}
+		// The *upper* bound applies to increasing CPFs; anti bit-sampling
+		// decreases in similarity, so only the lower bound binds. Sanity:
+		// the two bounds bracket the symmetric point.
+		_ = hi
+	}
+}
+
+func TestRhoMinusBound(t *testing.T) {
+	leading, errTerm := RhoMinusBound(0.25, 0.75, 1e-3, 1024)
+	want := (1 - 0.75) / (1 + 0.75 - 2*0.25)
+	if math.Abs(leading-want) > 1e-12 {
+		t.Errorf("leading = %v, want %v", leading, want)
+	}
+	if errTerm <= 0 || errTerm > 0.2 {
+		t.Errorf("error term %v implausible", errTerm)
+	}
+	// Error shrinks with d.
+	_, errBig := RhoMinusBound(0.25, 0.75, 1e-3, 1<<20)
+	if errBig >= errTerm {
+		t.Error("error term should shrink with d")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid alphas should panic")
+		}
+	}()
+	RhoMinusBound(0.8, 0.2, 0.5, 10)
+}
+
+func TestTheorem38Params(t *testing.T) {
+	p := NewTheorem38Params(500, 2, 0.01)
+	if p.Leading != 1.0/3 {
+		t.Errorf("leading = %v", p.Leading)
+	}
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		t.Errorf("alpha = %v", p.Alpha)
+	}
+	if p.DHat < 1000 {
+		t.Errorf("dHat = %d, want >= 2r", p.DHat)
+	}
+	if p.RhoLowerBound() > p.Leading {
+		t.Error("penalty must not increase the bound")
+	}
+	// As r grows (with q fixed) the penalty vanishes.
+	pBig := NewTheorem38Params(5e6, 2, 0.01)
+	if pBig.Penalty >= p.Penalty {
+		t.Errorf("penalty should shrink with r: %v vs %v", pBig.Penalty, p.Penalty)
+	}
+	if pBig.RhoLowerBound() < 0.3 {
+		t.Errorf("large-r bound %v should approach 1/3", pBig.RhoLowerBound())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad params should panic")
+		}
+	}()
+	NewTheorem38Params(-1, 2, 0.1)
+}

@@ -1,0 +1,401 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// CPF-fitting tools (internal/cpfit): column-major dense matrices,
+// LU-factorization solves with partial pivoting, and least-squares via
+// normal equations with Tikhonov fallback. It is deliberately minimal --
+// just what fitting mixture weights over a few dozen basis CPFs needs.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zero rows x cols matrix. It panics for non-positive
+// dimensions.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic("mat: dimensions must be positive")
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (which must be equal length).
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: empty matrix")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic("mat: ragged rows")
+		}
+		copy(m.data[i*m.cols:], r)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// MulVec returns m * x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic("mat: dimension mismatch")
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TransposeMulVec returns m^T * x.
+func (m *Dense) TransposeMulVec(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic("mat: dimension mismatch")
+	}
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out[j] += v * x[i]
+		}
+	}
+	return out
+}
+
+// Gram returns m^T * m (the normal-equations matrix).
+func (m *Dense) Gram() *Dense {
+	g := NewDense(m.cols, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for a := 0; a < m.cols; a++ {
+			if row[a] == 0 {
+				continue
+			}
+			for b := a; b < m.cols; b++ {
+				g.data[a*m.cols+b] += row[a] * row[b]
+			}
+		}
+	}
+	for a := 0; a < m.cols; a++ {
+		for b := 0; b < a; b++ {
+			g.data[a*m.cols+b] = g.data[b*m.cols+a]
+		}
+	}
+	return g
+}
+
+// SolveLU solves A x = b for square A by LU factorization with partial
+// pivoting, returning an error for singular (or numerically singular)
+// systems. A and b are not modified.
+func SolveLU(a *Dense, b []float64) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: SolveLU needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: rhs length %d != %d", len(b), n)
+	}
+	lu := a.Clone()
+	x := append([]float64(nil), b...)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(lu.data[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.data[r*n+col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-13 {
+			return nil, fmt.Errorf("mat: singular matrix at column %d", col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				lu.data[col*n+j], lu.data[pivot*n+j] = lu.data[pivot*n+j], lu.data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / lu.data[col*n+col]
+		for r := col + 1; r < n; r++ {
+			factor := lu.data[r*n+col] * inv
+			if factor == 0 {
+				continue
+			}
+			lu.data[r*n+col] = factor
+			for j := col + 1; j < n; j++ {
+				lu.data[r*n+j] -= factor * lu.data[col*n+j]
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu.data[i*n+j] * x[j]
+		}
+		x[i] = s / lu.data[i*n+i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A x - b||_2 via the normal equations
+// (A^T A + ridge I) x = A^T b. A tiny ridge stabilizes rank-deficient
+// designs; pass 0 for exact normal equations.
+func LeastSquares(a *Dense, b []float64, ridge float64) ([]float64, error) {
+	if len(b) != a.rows {
+		return nil, fmt.Errorf("mat: rhs length %d != %d", len(b), a.rows)
+	}
+	if ridge < 0 {
+		return nil, fmt.Errorf("mat: negative ridge")
+	}
+	g := a.Gram()
+	for i := 0; i < g.rows; i++ {
+		g.data[i*g.cols+i] += ridge
+	}
+	return SolveLU(g, a.TransposeMulVec(b))
+}
+
+// SubSimplexLS solves min ||A x - b||_2 subject to x >= 0 and
+// sum(x) <= 1 (the feasible weights of a Lemma 1.4(b) mixture) by
+// projected gradient descent with the Duchi et al. simplex projection.
+// It returns the solution and its residual norm.
+func SubSimplexLS(a *Dense, b []float64) ([]float64, float64, error) {
+	if len(b) != a.rows {
+		return nil, 0, fmt.Errorf("mat: rhs length %d != %d", len(b), a.rows)
+	}
+	n := a.cols
+	// Lipschitz constant of the gradient: lambda_max(A^T A) <= trace.
+	g := a.Gram()
+	var trace float64
+	for i := 0; i < n; i++ {
+		trace += g.At(i, i)
+	}
+	if trace == 0 {
+		return make([]float64, n), normOf(b), nil
+	}
+	step := 1 / trace
+	x := make([]float64, n)
+	grad := make([]float64, n)
+	atb := a.TransposeMulVec(b)
+	const iters = 4000
+	for it := 0; it < iters; it++ {
+		// grad = A^T A x - A^T b.
+		gx := g.MulVec(x)
+		maxMove := 0.0
+		for j := 0; j < n; j++ {
+			grad[j] = gx[j] - atb[j]
+		}
+		for j := 0; j < n; j++ {
+			x[j] -= step * grad[j]
+		}
+		projectSubSimplex(x)
+		for j := 0; j < n; j++ {
+			if m := math.Abs(step * grad[j]); m > maxMove {
+				maxMove = m
+			}
+		}
+		if maxMove < 1e-14 {
+			break
+		}
+	}
+	ax := a.MulVec(x)
+	var sq float64
+	for i := range b {
+		d := ax[i] - b[i]
+		sq += d * d
+	}
+	return x, math.Sqrt(sq), nil
+}
+
+func normOf(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// projectSubSimplex projects x in place onto {x >= 0, sum(x) <= 1}:
+// clip to the non-negative orthant; if the sum still exceeds 1, project
+// onto the probability simplex by the sorting algorithm of Duchi et al.
+func projectSubSimplex(x []float64) {
+	var sum float64
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		} else {
+			sum += v
+		}
+	}
+	if sum <= 1 {
+		return
+	}
+	// Sort a copy descending.
+	sorted := append([]float64(nil), x...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var cum, theta float64
+	k := 0
+	for i, v := range sorted {
+		cum += v
+		t := (cum - 1) / float64(i+1)
+		if v-t > 0 {
+			theta = t
+			k = i + 1
+		}
+	}
+	_ = k
+	for i, v := range x {
+		if v > theta {
+			x[i] = v - theta
+		} else {
+			x[i] = 0
+		}
+	}
+}
+
+// NNLS solves min ||A x - b||_2 subject to x >= 0 by the Lawson-Hanson
+// active-set algorithm. It returns the solution and its residual norm.
+func NNLS(a *Dense, b []float64) ([]float64, float64, error) {
+	if len(b) != a.rows {
+		return nil, 0, fmt.Errorf("mat: rhs length %d != %d", len(b), a.rows)
+	}
+	n := a.cols
+	x := make([]float64, n)
+	passive := make([]bool, n)
+	const maxOuter = 200
+	const tol = 1e-12
+
+	residual := func() []float64 {
+		ax := a.MulVec(x)
+		r := make([]float64, len(b))
+		for i := range b {
+			r[i] = b[i] - ax[i]
+		}
+		return r
+	}
+
+	for outer := 0; outer < maxOuter; outer++ {
+		// Gradient of 1/2||Ax-b||^2 is -A^T r; candidates to enter are
+		// inactive variables with positive A^T r.
+		w := a.TransposeMulVec(residual())
+		bestIdx, bestW := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestW {
+				bestW, bestIdx = w[j], j
+			}
+		}
+		if bestIdx < 0 {
+			break // KKT satisfied
+		}
+		passive[bestIdx] = true
+
+		// Inner loop: solve the unconstrained problem on the passive set;
+		// clip variables that go non-positive.
+		for inner := 0; inner < maxOuter; inner++ {
+			idx := make([]int, 0, n)
+			for j := 0; j < n; j++ {
+				if passive[j] {
+					idx = append(idx, j)
+				}
+			}
+			if len(idx) == 0 {
+				break
+			}
+			sub := NewDense(a.rows, len(idx))
+			for i := 0; i < a.rows; i++ {
+				for k, j := range idx {
+					sub.Set(i, k, a.At(i, j))
+				}
+			}
+			z, err := LeastSquares(sub, b, 1e-12)
+			if err != nil {
+				return nil, 0, fmt.Errorf("mat: NNLS subproblem: %w", err)
+			}
+			minZ := math.Inf(1)
+			for _, v := range z {
+				minZ = math.Min(minZ, v)
+			}
+			if minZ > tol {
+				for k, j := range idx {
+					x[j] = z[k]
+				}
+				break
+			}
+			// Step toward z until the first passive variable hits zero.
+			alpha := math.Inf(1)
+			for k, j := range idx {
+				if z[k] <= tol {
+					if denom := x[j] - z[k]; denom > 0 {
+						alpha = math.Min(alpha, x[j]/denom)
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for k, j := range idx {
+				x[j] += alpha * (z[k] - x[j])
+				if x[j] <= tol {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+		}
+	}
+	r := residual()
+	var norm float64
+	for _, v := range r {
+		norm += v * v
+	}
+	return x, math.Sqrt(norm), nil
+}

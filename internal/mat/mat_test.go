@@ -1,0 +1,337 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsh/internal/xrand"
+)
+
+func TestBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.Rows() != 2 || m.Cols() != 3 || m.At(0, 0) != 1 || m.At(1, 2) != 5 {
+		t.Fatal("basic accessors wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func TestFromRowsAndPanics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatal("FromRows wrong")
+	}
+	for i, fn := range []func(){
+		func() { NewDense(0, 1) },
+		func() { FromRows(nil) },
+		func() { FromRows([][]float64{{1}, {1, 2}}) },
+		func() { m.At(2, 0) },
+		func() { m.MulVec([]float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.MulVec([]float64{1, -1})
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVec = %v", got)
+		}
+	}
+	gt := m.TransposeMulVec([]float64{1, 1, 1})
+	if gt[0] != 9 || gt[1] != 12 {
+		t.Fatalf("TransposeMulVec = %v", gt)
+	}
+}
+
+func TestGram(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	g := m.Gram() // [[10, 14], [14, 20]]
+	if g.At(0, 0) != 10 || g.At(0, 1) != 14 || g.At(1, 0) != 14 || g.At(1, 1) != 20 {
+		t.Fatalf("Gram wrong: %+v", g)
+	}
+}
+
+func TestSolveLUKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLU(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("solution = %v", x)
+	}
+}
+
+func TestSolveLUNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLU(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("solution = %v", x)
+	}
+}
+
+func TestSolveLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLU(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular matrix should error")
+	}
+	if _, err := SolveLU(FromRows([][]float64{{1, 2}}), []float64{1}); err == nil {
+		t.Fatal("non-square should error")
+	}
+}
+
+func TestSolveLURandomQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(6)
+		a := NewDense(n, n)
+		xTrue := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xTrue[i] = rng.Float64Range(-2, 2)
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Float64Range(-1, 1))
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant
+		}
+		b := a.MulVec(xTrue)
+		x, err := SolveLU(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 from noisy-free samples: exact recovery.
+	a := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	b := []float64{1, 3, 5, 7}
+	x, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
+		t.Fatalf("coefficients = %v", x)
+	}
+}
+
+func TestLeastSquaresRidgeRankDeficient(t *testing.T) {
+	// Duplicate columns: exact normal equations are singular; the ridge
+	// fallback must still produce a finite solution with small residual.
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	b := []float64{2, 4, 6}
+	if _, err := LeastSquares(a, b, 0); err == nil {
+		t.Fatal("exact normal equations should be singular")
+	}
+	x, err := LeastSquares(a, b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := a.MulVec(x)
+	for i := range b {
+		if math.Abs(pred[i]-b[i]) > 1e-3 {
+			t.Fatalf("ridge fit residual too large: %v", pred)
+		}
+	}
+}
+
+func TestNNLSRecoversNonNegativeSolution(t *testing.T) {
+	rng := xrand.New(3)
+	const m, n = 20, 5
+	a := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.Float64())
+		}
+	}
+	xTrue := []float64{0.5, 0, 1.25, 0, 2}
+	b := a.MulVec(xTrue)
+	x, resid, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resid > 1e-6 {
+		t.Fatalf("residual = %v", resid)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+			t.Fatalf("x = %v, want %v", x, xTrue)
+		}
+	}
+}
+
+func TestNNLSClipsNegatives(t *testing.T) {
+	// Unconstrained solution has a negative coefficient; NNLS must return
+	// a non-negative vector with the best achievable residual.
+	a := FromRows([][]float64{{1, 1}, {0, 1}})
+	b := []float64{1, -1} // unconstrained x = (2, -1)
+	x, _, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if v < 0 {
+			t.Fatalf("x[%d] = %v negative", i, v)
+		}
+	}
+	// KKT check: gradient A^T(b - Ax) must be <= 0 on inactive vars.
+	ax := a.MulVec(x)
+	r := []float64{b[0] - ax[0], b[1] - ax[1]}
+	grad := a.TransposeMulVec(r)
+	for i, g := range grad {
+		if x[i] == 0 && g > 1e-9 {
+			t.Fatalf("KKT violated at %d: grad %v", i, g)
+		}
+		if x[i] > 0 && math.Abs(g) > 1e-9 {
+			t.Fatalf("active gradient nonzero at %d: %v", i, g)
+		}
+	}
+}
+
+func TestNNLSQuickNonNegativeAndKKT(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		m := 3 + rng.Intn(10)
+		n := 2 + rng.Intn(5)
+		a := NewDense(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Float64Range(-1, 1))
+			}
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.Float64Range(-1, 1)
+		}
+		x, _, err := NNLS(a, b)
+		if err != nil {
+			return true // singular subproblems are acceptable exits
+		}
+		ax := a.MulVec(x)
+		r := make([]float64, m)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+		grad := a.TransposeMulVec(r)
+		for i := range x {
+			if x[i] < 0 {
+				return false
+			}
+			if x[i] == 0 && grad[i] > 1e-6 {
+				return false
+			}
+			if x[i] > 0 && math.Abs(grad[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubSimplexLSRespectsConstraints(t *testing.T) {
+	rng := xrand.New(9)
+	const m, n = 25, 6
+	a := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.Float64())
+		}
+	}
+	// Target requiring total mass > 1: solution must saturate at sum = 1.
+	want := []float64{1, 1, 0.5, 0, 0, 0}
+	b := a.MulVec(want)
+	x, _, err := SubSimplexLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range x {
+		if v < -1e-12 {
+			t.Fatalf("negative weight %v", v)
+		}
+		sum += v
+	}
+	if sum > 1+1e-9 {
+		t.Fatalf("weights sum to %v > 1", sum)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("constraint should be active: sum = %v", sum)
+	}
+}
+
+func TestSubSimplexLSExactInteriorSolution(t *testing.T) {
+	rng := xrand.New(10)
+	const m, n = 30, 4
+	a := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.Float64Range(-1, 1))
+		}
+	}
+	want := []float64{0.2, 0, 0.3, 0.1} // interior of the sub-simplex
+	b := a.MulVec(want)
+	x, resid, err := SubSimplexLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resid > 1e-6 {
+		t.Fatalf("residual %v", resid)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-5 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestProjectSubSimplex(t *testing.T) {
+	cases := []struct{ in, want []float64 }{
+		{[]float64{0.2, 0.3}, []float64{0.2, 0.3}},    // already feasible
+		{[]float64{-0.5, 0.5}, []float64{0, 0.5}},     // clip negative
+		{[]float64{1, 1}, []float64{0.5, 0.5}},        // project to simplex
+		{[]float64{2, 0}, []float64{1, 0}},            // corner
+		{[]float64{1.5, 0.5, -1}, []float64{1, 0, 0}}, // mixed
+	}
+	for _, c := range cases {
+		x := append([]float64(nil), c.in...)
+		projectSubSimplex(x)
+		for i := range c.want {
+			if math.Abs(x[i]-c.want[i]) > 1e-12 {
+				t.Errorf("project(%v) = %v, want %v", c.in, x, c.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,418 @@
+// Package poly implements real-coefficient polynomial arithmetic and complex
+// root finding. The Theorem 5.2 construction in the paper builds a Hamming
+// DSH family whose collision probability is P(t)/Delta by factoring P over
+// its complex roots; this package supplies the factorization, the root
+// classification (positive real, negative real, conjugate complex pairs),
+// and the Chebyshev generators used by Figure 4.
+package poly
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Poly is a polynomial with real coefficients. Coeffs[i] is the coefficient
+// of t^i. The zero value represents the zero polynomial.
+type Poly struct {
+	Coeffs []float64
+}
+
+// New returns a polynomial with the given coefficients (constant term
+// first), trimming trailing zero coefficients.
+func New(coeffs ...float64) Poly {
+	p := Poly{Coeffs: append([]float64(nil), coeffs...)}
+	p.trim()
+	return p
+}
+
+func (p *Poly) trim() {
+	n := len(p.Coeffs)
+	for n > 0 && p.Coeffs[n-1] == 0 {
+		n--
+	}
+	p.Coeffs = p.Coeffs[:n]
+}
+
+// Degree returns the degree of p, with -1 for the zero polynomial.
+func (p Poly) Degree() int { return len(p.Coeffs) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.Coeffs) == 0 }
+
+// Leading returns the leading coefficient, 0 for the zero polynomial.
+func (p Poly) Leading() float64 {
+	if p.IsZero() {
+		return 0
+	}
+	return p.Coeffs[len(p.Coeffs)-1]
+}
+
+// Eval evaluates p at x by Horner's rule.
+func (p Poly) Eval(x float64) float64 {
+	var acc float64
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		acc = acc*x + p.Coeffs[i]
+	}
+	return acc
+}
+
+// EvalC evaluates p at a complex point by Horner's rule.
+func (p Poly) EvalC(z complex128) complex128 {
+	var acc complex128
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		acc = acc*z + complex(p.Coeffs[i], 0)
+	}
+	return acc
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := max(len(p.Coeffs), len(q.Coeffs))
+	out := make([]float64, n)
+	for i := range out {
+		if i < len(p.Coeffs) {
+			out[i] += p.Coeffs[i]
+		}
+		if i < len(q.Coeffs) {
+			out[i] += q.Coeffs[i]
+		}
+	}
+	return New(out...)
+}
+
+// Scale returns c * p.
+func (p Poly) Scale(c float64) Poly {
+	out := make([]float64, len(p.Coeffs))
+	for i, v := range p.Coeffs {
+		out[i] = c * v
+	}
+	return New(out...)
+}
+
+// Mul returns p * q by schoolbook convolution.
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return Poly{}
+	}
+	out := make([]float64, len(p.Coeffs)+len(q.Coeffs)-1)
+	for i, a := range p.Coeffs {
+		for j, b := range q.Coeffs {
+			out[i+j] += a * b
+		}
+	}
+	return New(out...)
+}
+
+// Derivative returns p'.
+func (p Poly) Derivative() Poly {
+	if len(p.Coeffs) <= 1 {
+		return Poly{}
+	}
+	out := make([]float64, len(p.Coeffs)-1)
+	for i := 1; i < len(p.Coeffs); i++ {
+		out[i-1] = float64(i) * p.Coeffs[i]
+	}
+	return New(out...)
+}
+
+// String renders p in conventional notation, e.g. "2t^3 - t + 1".
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var parts []string
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		c := p.Coeffs[i]
+		if c == 0 {
+			continue
+		}
+		var term string
+		abs := math.Abs(c)
+		switch {
+		case i == 0:
+			term = fmt.Sprintf("%g", abs)
+		case i == 1:
+			if abs == 1 {
+				term = "t"
+			} else {
+				term = fmt.Sprintf("%gt", abs)
+			}
+		default:
+			if abs == 1 {
+				term = fmt.Sprintf("t^%d", i)
+			} else {
+				term = fmt.Sprintf("%gt^%d", abs, i)
+			}
+		}
+		if len(parts) == 0 {
+			if c < 0 {
+				term = "-" + term
+			}
+		} else if c < 0 {
+			term = "- " + term
+		} else {
+			term = "+ " + term
+		}
+		parts = append(parts, term)
+	}
+	return strings.Join(parts, " ")
+}
+
+// AbsCoeffSum returns the sum of absolute values of the coefficients; the
+// Theorem 5.1 construction requires this to be 1.
+func (p Poly) AbsCoeffSum() float64 {
+	var s float64
+	for _, c := range p.Coeffs {
+		s += math.Abs(c)
+	}
+	return s
+}
+
+// CoeffSum returns the plain sum of coefficients, i.e. p(1).
+func (p Poly) CoeffSum() float64 {
+	var s float64
+	for _, c := range p.Coeffs {
+		s += c
+	}
+	return s
+}
+
+// NormalizeAbsSum returns p scaled so its absolute coefficient sum is 1.
+// It panics for the zero polynomial.
+func (p Poly) NormalizeAbsSum() Poly {
+	s := p.AbsCoeffSum()
+	if s == 0 {
+		panic("poly: cannot normalize zero polynomial")
+	}
+	return p.Scale(1 / s)
+}
+
+// FromRoots returns leading * prod (t - r_i) for real roots r_i.
+func FromRoots(leading float64, roots ...float64) Poly {
+	p := New(leading)
+	for _, r := range roots {
+		p = p.Mul(New(-r, 1))
+	}
+	return p
+}
+
+// Chebyshev returns the Chebyshev polynomial of the first kind T_n, the
+// family used in Figure 4 of the paper (after absolute-sum normalization).
+func Chebyshev(n int) Poly {
+	if n < 0 {
+		panic("poly: negative Chebyshev index")
+	}
+	t0 := New(1)
+	if n == 0 {
+		return t0
+	}
+	t1 := New(0, 1)
+	if n == 1 {
+		return t1
+	}
+	two := New(0, 2)
+	for i := 2; i <= n; i++ {
+		t2 := two.Mul(t1).Add(t0.Scale(-1))
+		t0, t1 = t1, t2
+	}
+	return t1
+}
+
+// MonomialTaylor returns the degree-k truncation of the Taylor series given
+// by coefficient function c(i), as a convenience for approximating analytic
+// CPFs (Section 5 of the paper notes any Taylor-representable f can be
+// matched after truncation).
+func MonomialTaylor(k int, c func(i int) float64) Poly {
+	coeffs := make([]float64, k+1)
+	for i := 0; i <= k; i++ {
+		coeffs[i] = c(i)
+	}
+	return New(coeffs...)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Roots returns the complex roots of p (with multiplicity) computed by the
+// Durand-Kerner (Weierstrass) iteration, polished with Newton steps.
+// It panics for polynomials of degree < 1.
+func (p Poly) Roots() []complex128 {
+	n := p.Degree()
+	if n < 1 {
+		panic("poly: Roots requires degree >= 1")
+	}
+	// Normalize to monic to improve conditioning.
+	monic := make([]complex128, n+1)
+	lead := p.Coeffs[n]
+	for i, c := range p.Coeffs {
+		monic[i] = complex(c/lead, 0)
+	}
+	evalMonic := func(z complex128) complex128 {
+		acc := complex(1, 0)
+		for i := n - 1; i >= 0; i-- {
+			acc = acc*z + monic[i]
+		}
+		return acc
+	}
+
+	// Initial guesses on a circle of radius related to the coefficient
+	// bound, with an irrational angle offset to break symmetry.
+	radius := 0.0
+	for i := 0; i < n; i++ {
+		radius = math.Max(radius, math.Abs(real(monic[i])))
+	}
+	radius = 1 + radius
+	roots := make([]complex128, n)
+	for i := range roots {
+		theta := 2*math.Pi*float64(i)/float64(n) + 0.3951827
+		roots[i] = complex(radius*math.Cos(theta), radius*math.Sin(theta))
+	}
+
+	// Durand-Kerner iterations.
+	const maxIter = 500
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for i := range roots {
+			num := evalMonic(roots[i])
+			den := complex(1, 0)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if den == 0 {
+				// Perturb coincident estimates.
+				roots[i] += complex(1e-8, 1e-8)
+				continue
+			}
+			delta := num / den
+			roots[i] -= delta
+			if d := cmplx.Abs(delta); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta < 1e-14*radius {
+			break
+		}
+	}
+
+	// Newton polish against the original polynomial.
+	deriv := p.Derivative()
+	for i := range roots {
+		z := roots[i]
+		for it := 0; it < 20; it++ {
+			f := p.EvalC(z)
+			df := deriv.EvalC(z)
+			if df == 0 {
+				break
+			}
+			step := f / df
+			z -= step
+			if cmplx.Abs(step) < 1e-15*(1+cmplx.Abs(z)) {
+				break
+			}
+		}
+		// Only accept the polish if it did not drift to another root's
+		// basin leaving a worse residual.
+		if cmplx.Abs(p.EvalC(z)) <= cmplx.Abs(p.EvalC(roots[i])) {
+			roots[i] = z
+		}
+	}
+
+	// Snap tiny imaginary parts to the real axis.
+	for i, z := range roots {
+		if math.Abs(imag(z)) < 1e-9*(1+math.Abs(real(z))) {
+			roots[i] = complex(real(z), 0)
+		}
+	}
+	return roots
+}
+
+// RootClassification partitions the roots of a polynomial for the
+// Theorem 5.2 construction.
+type RootClassification struct {
+	Real []float64 // real roots with multiplicity
+	// ComplexPairs holds one representative (positive imaginary part)
+	// per conjugate pair.
+	ComplexPairs []complex128
+	// NumNegativeRealPart counts roots (with multiplicity, pairs counting
+	// twice) whose real part is negative; this is the exponent psi in the
+	// scaling factor Delta = a_k * 2^psi * prod_{|z|>1} |z|.
+	NumNegativeRealPart int
+}
+
+// ClassifyRoots computes the root classification of p. Conjugate pairs are
+// matched greedily; the polynomial must have real coefficients (guaranteed
+// by the Poly type).
+func ClassifyRoots(p Poly) RootClassification {
+	roots := p.Roots()
+	var rc RootClassification
+	var pending []complex128
+	for _, z := range roots {
+		if imag(z) == 0 {
+			rc.Real = append(rc.Real, real(z))
+			if real(z) < 0 {
+				rc.NumNegativeRealPart++
+			}
+			continue
+		}
+		pending = append(pending, z)
+	}
+	// Pair complex roots with their conjugates.
+	used := make([]bool, len(pending))
+	for i, z := range pending {
+		if used[i] {
+			continue
+		}
+		best := -1
+		bestDist := math.Inf(1)
+		for j := i + 1; j < len(pending); j++ {
+			if used[j] {
+				continue
+			}
+			d := cmplx.Abs(pending[j] - cmplx.Conj(z))
+			if d < bestDist {
+				bestDist = d
+				best = j
+			}
+		}
+		if best >= 0 {
+			used[i], used[best] = true, true
+			rep := z
+			if imag(rep) < 0 {
+				rep = cmplx.Conj(rep)
+			}
+			rc.ComplexPairs = append(rc.ComplexPairs, rep)
+			if real(rep) < 0 {
+				rc.NumNegativeRealPart += 2
+			}
+		} else {
+			// Unpaired complex root: numerically this is a nearly-real
+			// root; treat as real.
+			used[i] = true
+			rc.Real = append(rc.Real, real(z))
+			if real(z) < 0 {
+				rc.NumNegativeRealPart++
+			}
+		}
+	}
+	return rc
+}
+
+// HasRootWithRealPartIn reports whether p has a root whose real part lies
+// strictly inside (lo, hi). The Theorem 5.2 construction requires no roots
+// with real part in (0, 1).
+func HasRootWithRealPartIn(p Poly, lo, hi float64) bool {
+	for _, z := range p.Roots() {
+		if re := real(z); re > lo && re < hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,305 @@
+package poly
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dsh/internal/xrand"
+)
+
+func TestNewTrimsZeros(t *testing.T) {
+	p := New(1, 2, 0, 0)
+	if p.Degree() != 1 {
+		t.Fatalf("degree = %d, want 1", p.Degree())
+	}
+	z := New(0, 0)
+	if !z.IsZero() || z.Degree() != -1 {
+		t.Fatal("zero polynomial not recognized")
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	p := New(1, -2, 3) // 3t^2 - 2t + 1
+	cases := []struct{ x, want float64 }{
+		{0, 1}, {1, 2}, {2, 9}, {-1, 6},
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.x); got != c.want {
+			t.Errorf("p(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEvalC(t *testing.T) {
+	p := New(1, 0, 1) // t^2 + 1
+	got := p.EvalC(complex(0, 1))
+	if cmplx.Abs(got) > 1e-15 {
+		t.Errorf("p(i) = %v, want 0", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	p := New(1, 1)  // 1 + t
+	q := New(-1, 1) // -1 + t
+	sum := p.Add(q)
+	if sum.Degree() != 1 || sum.Coeffs[0] != 0 || sum.Coeffs[1] != 2 {
+		t.Errorf("Add = %v", sum)
+	}
+	prod := p.Mul(q) // t^2 - 1
+	if prod.Degree() != 2 || prod.Coeffs[0] != -1 || prod.Coeffs[1] != 0 || prod.Coeffs[2] != 1 {
+		t.Errorf("Mul = %v", prod)
+	}
+	if got := p.Scale(3); got.Coeffs[0] != 3 || got.Coeffs[1] != 3 {
+		t.Errorf("Scale = %v", got)
+	}
+	if !p.Mul(Poly{}).IsZero() {
+		t.Error("p * 0 should be zero")
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	p := New(5, 3, 0, 2) // 2t^3 + 3t + 5
+	d := p.Derivative()  // 6t^2 + 3
+	if d.Degree() != 2 || d.Coeffs[0] != 3 || d.Coeffs[1] != 0 || d.Coeffs[2] != 6 {
+		t.Errorf("Derivative = %v", d)
+	}
+	if !New(7).Derivative().IsZero() {
+		t.Error("derivative of constant should be zero")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want string
+	}{
+		{New(1, -1, 2), "2t^2 - t + 1"},
+		{New(0), "0"},
+		{New(0, 1), "t"},
+		{New(-1), "-1"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCoeffSums(t *testing.T) {
+	p := New(-0.5, 0.25, 0.25)
+	if got := p.AbsCoeffSum(); got != 1 {
+		t.Errorf("AbsCoeffSum = %v", got)
+	}
+	if got := p.CoeffSum(); got != 0 {
+		t.Errorf("CoeffSum = %v", got)
+	}
+	q := New(2, 2).NormalizeAbsSum()
+	if q.AbsCoeffSum() != 1 {
+		t.Errorf("normalized sum = %v", q.AbsCoeffSum())
+	}
+}
+
+func TestFromRoots(t *testing.T) {
+	p := FromRoots(2, 1, -3) // 2(t-1)(t+3) = 2t^2 + 4t - 6
+	if p.Coeffs[0] != -6 || p.Coeffs[1] != 4 || p.Coeffs[2] != 2 {
+		t.Errorf("FromRoots = %v", p)
+	}
+}
+
+func TestChebyshev(t *testing.T) {
+	// T_2 = 2t^2 - 1; T_3 = 4t^3 - 3t; T_5 = 16t^5 - 20t^3 + 5t.
+	t2 := Chebyshev(2)
+	if t2.Coeffs[0] != -1 || t2.Coeffs[2] != 2 {
+		t.Errorf("T2 = %v", t2)
+	}
+	t3 := Chebyshev(3)
+	if t3.Coeffs[1] != -3 || t3.Coeffs[3] != 4 {
+		t.Errorf("T3 = %v", t3)
+	}
+	t5 := Chebyshev(5)
+	if t5.Coeffs[1] != 5 || t5.Coeffs[3] != -20 || t5.Coeffs[5] != 16 {
+		t.Errorf("T5 = %v", t5)
+	}
+	// Defining property: T_n(cos x) = cos(n x).
+	for n := 0; n <= 6; n++ {
+		tn := Chebyshev(n)
+		for _, x := range []float64{0.1, 0.9, 2.0} {
+			got := tn.Eval(math.Cos(x))
+			want := math.Cos(float64(n) * x)
+			if math.Abs(got-want) > 1e-10 {
+				t.Errorf("T_%d(cos %v) = %v, want %v", n, x, got, want)
+			}
+		}
+	}
+}
+
+func sortComplex(zs []complex128) {
+	sort.Slice(zs, func(i, j int) bool {
+		if real(zs[i]) != real(zs[j]) {
+			return real(zs[i]) < real(zs[j])
+		}
+		return imag(zs[i]) < imag(zs[j])
+	})
+}
+
+func TestRootsQuadratic(t *testing.T) {
+	p := New(-6, 1, 1) // (t-2)(t+3)
+	roots := p.Roots()
+	sortComplex(roots)
+	if cmplx.Abs(roots[0]-complex(-3, 0)) > 1e-9 || cmplx.Abs(roots[1]-complex(2, 0)) > 1e-9 {
+		t.Errorf("roots = %v", roots)
+	}
+}
+
+func TestRootsComplexPair(t *testing.T) {
+	p := New(1, 0, 1) // t^2 + 1 => +/- i
+	roots := p.Roots()
+	sortComplex(roots)
+	if cmplx.Abs(roots[0]-complex(0, -1)) > 1e-9 || cmplx.Abs(roots[1]-complex(0, 1)) > 1e-9 {
+		t.Errorf("roots = %v", roots)
+	}
+}
+
+func TestRootsRepeated(t *testing.T) {
+	p := FromRoots(1, 2, 2, 2) // (t-2)^3
+	roots := p.Roots()
+	for _, z := range roots {
+		if cmplx.Abs(z-complex(2, 0)) > 1e-4 {
+			t.Errorf("repeated root estimate %v too far from 2", z)
+		}
+	}
+}
+
+func TestRootsReconstructQuick(t *testing.T) {
+	// Random polynomials from well-separated random real roots: the found
+	// roots must reproduce the originals as a multiset. (Repeated roots are
+	// inherently ill-conditioned and are covered by TestRootsRepeated.)
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(5)
+		var want []float64
+	draw:
+		for len(want) < n {
+			c := rng.Float64Range(-3, 3)
+			for _, w := range want {
+				if math.Abs(c-w) < 0.3 {
+					continue draw
+				}
+			}
+			want = append(want, c)
+		}
+		p := FromRoots(1+rng.Float64(), want...)
+		got := p.Roots()
+		re := make([]float64, len(got))
+		for i, z := range got {
+			if math.Abs(imag(z)) > 1e-7 {
+				return false
+			}
+			re[i] = real(z)
+		}
+		sort.Float64s(want)
+		sort.Float64s(re)
+		for i := range want {
+			if math.Abs(want[i]-re[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootsResidualQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(6)
+		coeffs := make([]float64, n+1)
+		for i := range coeffs {
+			coeffs[i] = rng.Float64Range(-2, 2)
+		}
+		if math.Abs(coeffs[n]) < 0.1 {
+			coeffs[n] = 1
+		}
+		p := New(coeffs...)
+		if p.Degree() < 1 {
+			return true
+		}
+		scale := 0.0
+		for _, c := range p.Coeffs {
+			scale += math.Abs(c)
+		}
+		for _, z := range p.Roots() {
+			zn := math.Pow(cmplx.Abs(z)+1, float64(p.Degree()))
+			if cmplx.Abs(p.EvalC(z)) > 1e-6*scale*zn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootsPanicsOnConstant(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Roots of constant should panic")
+		}
+	}()
+	New(3).Roots()
+}
+
+func TestClassifyRoots(t *testing.T) {
+	// P(t) = (t+2)(t-3)(t^2+2t+5): complex pair -1±2i.
+	p := FromRoots(1, -2, 3).Mul(New(5, 2, 1))
+	rc := ClassifyRoots(p)
+	if len(rc.Real) != 2 {
+		t.Fatalf("real roots = %v", rc.Real)
+	}
+	sort.Float64s(rc.Real)
+	if math.Abs(rc.Real[0]+2) > 1e-8 || math.Abs(rc.Real[1]-3) > 1e-8 {
+		t.Fatalf("real roots = %v", rc.Real)
+	}
+	if len(rc.ComplexPairs) != 1 {
+		t.Fatalf("complex pairs = %v", rc.ComplexPairs)
+	}
+	z := rc.ComplexPairs[0]
+	if math.Abs(real(z)+1) > 1e-8 || math.Abs(imag(z)-2) > 1e-8 {
+		t.Fatalf("complex pair representative = %v", z)
+	}
+	// Negative real parts: root -2 (1) + pair -1±2i (2) = 3.
+	if rc.NumNegativeRealPart != 3 {
+		t.Fatalf("NumNegativeRealPart = %d, want 3", rc.NumNegativeRealPart)
+	}
+}
+
+func TestHasRootWithRealPartIn(t *testing.T) {
+	p := FromRoots(1, 0.5, -2) // root at 0.5 inside (0,1)
+	if !HasRootWithRealPartIn(p, 0, 1) {
+		t.Error("should detect root in (0,1)")
+	}
+	q := FromRoots(1, -0.5, 2)
+	if HasRootWithRealPartIn(q, 0, 1) {
+		t.Error("no root in (0,1) expected")
+	}
+}
+
+func TestMonomialTaylor(t *testing.T) {
+	// exp truncation: 1 + t + t^2/2.
+	p := MonomialTaylor(2, func(i int) float64 {
+		f := 1.0
+		for j := 2; j <= i; j++ {
+			f *= float64(j)
+		}
+		return 1 / f
+	})
+	if math.Abs(p.Eval(0.1)-1.105) > 1e-12 {
+		t.Errorf("Taylor eval = %v", p.Eval(0.1))
+	}
+}

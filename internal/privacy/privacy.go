@@ -1,0 +1,151 @@
+// Package privacy implements the paper's Section 6.4 application:
+// privacy-preserving distance estimation via the reduction from a
+// step-function DSH to private set intersection.
+//
+// Two parties hold points x and q and want to decide "is dist(x, q) <= r?"
+// while revealing as little else as possible. The protocol:
+//
+//  1. Agree on N independent draws (h_i, g_i) from a DSH family whose CPF
+//     is flat (~pClose) on [0, r] and at most pFar beyond cr.
+//  2. Party A computes the set {(i, h_i(x))}; party B computes
+//     {(i, g_i(q))}.
+//  3. They run PSI; answer "Yes" iff the intersection is non-empty.
+//
+// With N ~ ln(1/eps)/pClose, close pairs are detected with probability
+// >= 1-eps while far pairs produce a false "Yes" with probability at most
+// N*pFar (union bound). Because the CPF is flat on [0, r], the size of the
+// intersection leaks essentially nothing about *how* close the points are
+// -- the property distinguishing this protocol from standard-LSH
+// approaches, whose collision rates grow as points get closer (cf. the
+// triangulation attack of Riazi et al. discussed in the paper).
+package privacy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dsh/internal/core"
+	"dsh/internal/psi"
+	"dsh/internal/xrand"
+)
+
+// Estimator is a configured distance-estimation protocol instance. The
+// sampled hash pairs constitute the shared randomness of the two parties.
+type Estimator[P any] struct {
+	pairs  []core.Pair[P]
+	pClose float64
+	pFar   float64
+	eps    float64
+}
+
+// NewEstimator samples the shared randomness for a protocol with the given
+// family. pClose must lower-bound the CPF over the "close" range [0, r];
+// pFar must upper-bound it over the "far" range [cr, inf); eps is the
+// target false-negative probability. The number of hash pairs is
+// N = ceil(ln(1/eps) / pClose).
+func NewEstimator[P any](rng *xrand.Rand, fam core.Family[P], pClose, pFar, eps float64) (*Estimator[P], error) {
+	if !(pClose > 0 && pClose <= 1) {
+		return nil, fmt.Errorf("privacy: pClose = %v out of (0, 1]", pClose)
+	}
+	if !(pFar >= 0 && pFar <= pClose) {
+		return nil, fmt.Errorf("privacy: pFar = %v must lie in [0, pClose]", pFar)
+	}
+	if !(eps > 0 && eps < 1) {
+		return nil, fmt.Errorf("privacy: eps = %v out of (0, 1)", eps)
+	}
+	n := int(math.Ceil(math.Log(1/eps) / pClose))
+	if n < 1 {
+		n = 1
+	}
+	if n > 1<<22 {
+		return nil, fmt.Errorf("privacy: N = %d unreasonably large; increase pClose", n)
+	}
+	e := &Estimator[P]{pClose: pClose, pFar: pFar, eps: eps}
+	for i := 0; i < n; i++ {
+		e.pairs = append(e.pairs, fam.Sample(rng))
+	}
+	return e, nil
+}
+
+// N returns the number of hash-function pairs.
+func (e *Estimator[P]) N() int { return len(e.pairs) }
+
+// PredictedFalseNegative returns the analytic bound (1 - pClose)^N on
+// missing a close pair.
+func (e *Estimator[P]) PredictedFalseNegative() float64 {
+	return math.Pow(1-e.pClose, float64(e.N()))
+}
+
+// PredictedFalsePositive returns the union bound min(1, N * pFar) on
+// answering "Yes" for a far pair.
+func (e *Estimator[P]) PredictedFalsePositive() float64 {
+	return math.Min(1, float64(e.N())*e.pFar)
+}
+
+// item serializes one (index, hash value) element for PSI.
+func item(i int, v uint64) []byte {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(i))
+	binary.LittleEndian.PutUint64(buf[8:], v)
+	return buf[:]
+}
+
+// DataVector returns party A's PSI input {(i, h_i(x))}.
+func (e *Estimator[P]) DataVector(x P) [][]byte {
+	out := make([][]byte, len(e.pairs))
+	for i, pair := range e.pairs {
+		out[i] = item(i, pair.H.Hash(x))
+	}
+	return out
+}
+
+// QueryVector returns party B's PSI input {(i, g_i(q))}.
+func (e *Estimator[P]) QueryVector(q P) [][]byte {
+	out := make([][]byte, len(e.pairs))
+	for i, pair := range e.pairs {
+		out[i] = item(i, pair.G.Hash(q))
+	}
+	return out
+}
+
+// Outcome reports one protocol execution.
+type Outcome struct {
+	// Close is the protocol's answer: true means "distance <= r".
+	Close bool
+	// IntersectionSize is the number of colliding hash positions; its
+	// distribution is what an adversary observes.
+	IntersectionSize int
+	// TranscriptBytes is the PSI communication volume.
+	TranscriptBytes int
+}
+
+// Estimate runs the protocol between data point x and query q over the
+// given PSI implementation.
+func (e *Estimator[P]) Estimate(x, q P, proto psi.Protocol) (Outcome, error) {
+	res, err := proto.Intersect(e.DataVector(x), e.QueryVector(q))
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Close:            len(res.IndicesA) > 0,
+		IntersectionSize: len(res.IndicesA),
+		TranscriptBytes:  res.TranscriptBytes,
+	}, nil
+}
+
+// ExpectedIntersection returns the expected number of colliding positions
+// for a pair whose CPF value is f: N * f. For a flat (step) CPF this is
+// (approximately) the same for every close pair -- the privacy property.
+func (e *Estimator[P]) ExpectedIntersection(f float64) float64 {
+	return float64(e.N()) * f
+}
+
+// LeakageBits bounds the information revealed to A by the intersection
+// contents for a pair with CPF value f: each revealed position identifies
+// one of N indices plus a shared hash value, so the expected leakage is at
+// most E[|I|] * (log2 N + hashBits) bits. The paper's point is that this is
+// O(log(1/eps) * log t) for close pairs -- independent of the distance.
+func (e *Estimator[P]) LeakageBits(f float64, hashBits int) float64 {
+	return e.ExpectedIntersection(f) * (math.Log2(float64(e.N())) + float64(hashBits))
+}

@@ -1,0 +1,189 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/psi"
+	"dsh/internal/sphere"
+	"dsh/internal/stats"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+const testDim = 24
+
+// newTestEstimator builds an estimator over a step family flat on
+// alpha in [0.5, 0.9] (the "close" regime) and tiny below 0 (the "far"
+// regime), returning it with the plateau min and max.
+func newTestEstimator(t *testing.T, rng *xrand.Rand, eps float64) (*Estimator[[]float64], float64, float64) {
+	t.Helper()
+	fam := sphere.NewStep(testDim, 0.5, 0.9, 4, 2.2)
+	fmin, fmax := sphere.PlateauStats(fam.CPF(), 0.5, 0.9, 30)
+	// Far regime: alpha <= 0.
+	pFar := fam.CPF().Eval(0)
+	if pFar > fmin {
+		t.Fatalf("far CPF %v not below plateau %v", pFar, fmin)
+	}
+	est, err := NewEstimator[[]float64](rng, fam, fmin, pFar, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est, fmin, fmax
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	rng := xrand.New(1)
+	fam := sphere.SimHash(testDim)
+	cases := []struct{ pClose, pFar, eps float64 }{
+		{0, 0, 0.1},
+		{0.5, 0.6, 0.1},
+		{0.5, 0.1, 0},
+		{0.5, 0.1, 1},
+		{1e-9, 0, 0.0000001}, // N too large
+	}
+	for i, c := range cases {
+		if _, err := NewEstimator[[]float64](rng, fam, c.pClose, c.pFar, c.eps); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestNMatchesFormula(t *testing.T) {
+	rng := xrand.New(2)
+	fam := sphere.SimHash(testDim)
+	est, err := NewEstimator[[]float64](rng, fam, 0.1, 0.01, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(math.Log(20.0) / 0.1))
+	if est.N() != want {
+		t.Errorf("N = %d, want %d", est.N(), want)
+	}
+	if fn := est.PredictedFalseNegative(); fn > 0.05+1e-9 {
+		t.Errorf("predicted false negative %v exceeds eps", fn)
+	}
+}
+
+func TestCloseDetection(t *testing.T) {
+	rng := xrand.New(3)
+	est, _, _ := newTestEstimator(t, rng, 0.1)
+	// A pair at alpha = 0.7 (inside the plateau) should be detected.
+	misses := 0
+	const reps = 60
+	for i := 0; i < reps; i++ {
+		x, q := vec.UnitPairWithDot(rng, testDim, 0.7)
+		out, err := est.Estimate(x, q, psi.Plaintext{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Close {
+			misses++
+		}
+	}
+	// eps = 0.1: expect <= ~6 misses; allow generous 6-sigma slack.
+	if misses > 18 {
+		t.Errorf("missed %d/%d close pairs (eps=0.1)", misses, reps)
+	}
+}
+
+func TestFarRejection(t *testing.T) {
+	rng := xrand.New(4)
+	est, _, _ := newTestEstimator(t, rng, 0.1)
+	falseAlarms := 0
+	const reps = 60
+	for i := 0; i < reps; i++ {
+		x, q := vec.UnitPairWithDot(rng, testDim, -0.5)
+		out, err := est.Estimate(x, q, psi.Plaintext{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Close {
+			falseAlarms++
+		}
+	}
+	pred := est.PredictedFalsePositive()
+	// Allow noise: the union bound is loose, but alpha=-0.5 is far below
+	// the far boundary so alarms should be rare.
+	bound := int(pred*reps) + 10
+	if falseAlarms > bound {
+		t.Errorf("false alarms %d/%d exceed predicted %v", falseAlarms, reps, pred)
+	}
+}
+
+func TestIntersectionSizeFlatAcrossPlateau(t *testing.T) {
+	// The privacy property: pairs at different close similarities produce
+	// statistically similar intersection sizes.
+	rng := xrand.New(5)
+	est, fmin, fmax := newTestEstimator(t, rng, 0.05)
+	meanSize := func(alpha float64) float64 {
+		var sizes []float64
+		for i := 0; i < 40; i++ {
+			x, q := vec.UnitPairWithDot(rng, testDim, alpha)
+			out, err := est.Estimate(x, q, psi.Plaintext{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes = append(sizes, float64(out.IntersectionSize))
+		}
+		return stats.Mean(sizes)
+	}
+	m1 := meanSize(0.55)
+	m2 := meanSize(0.85)
+	// Expected sizes are N*f(alpha); both lie within [N*fmin, N*fmax].
+	lo := float64(est.N()) * fmin * 0.4
+	hi := float64(est.N()) * fmax * 2.5
+	if m1 < lo || m1 > hi || m2 < lo || m2 > hi {
+		t.Errorf("intersection means %v, %v outside [%v, %v]", m1, m2, lo, hi)
+	}
+	if ratio := math.Max(m1, m2) / math.Min(m1, m2); ratio > fmax/fmin*2 {
+		t.Errorf("intersection size ratio %v reveals distance (fmax/fmin=%v)", ratio, fmax/fmin)
+	}
+}
+
+func TestEstimateOverDHPSI(t *testing.T) {
+	// One end-to-end run over the real commutative-encryption PSI.
+	rng := xrand.New(6)
+	fam := sphere.NewStep(testDim, 0.5, 0.9, 3, 2.0)
+	fmin, _ := sphere.PlateauStats(fam.CPF(), 0.5, 0.9, 20)
+	est, err := NewEstimator[[]float64](rng, fam, math.Max(fmin, 0.02), fam.CPF().Eval(0), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, q := vec.UnitPairWithDot(rng, testDim, 0.8)
+	outPlain, err := est.Estimate(x, q, psi.Plaintext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDH, err := est.Estimate(x, q, psi.DH{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outPlain.Close != outDH.Close || outPlain.IntersectionSize != outDH.IntersectionSize {
+		t.Errorf("DH PSI disagrees with plaintext: %+v vs %+v", outDH, outPlain)
+	}
+	if outDH.TranscriptBytes <= outPlain.TranscriptBytes {
+		t.Errorf("DH transcript %d should exceed plaintext %d",
+			outDH.TranscriptBytes, outPlain.TranscriptBytes)
+	}
+}
+
+func TestLeakageAccounting(t *testing.T) {
+	rng := xrand.New(7)
+	fam := sphere.SimHash(testDim)
+	est, err := NewEstimator[[]float64](rng, fam, 0.2, 0.05, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.ExpectedIntersection(0.2); math.Abs(got-float64(est.N())*0.2) > 1e-12 {
+		t.Errorf("ExpectedIntersection = %v", got)
+	}
+	bits := est.LeakageBits(0.2, 8)
+	if bits <= 0 {
+		t.Errorf("LeakageBits = %v", bits)
+	}
+	// Leakage grows with the CPF value: flat CPFs equalize it.
+	if est.LeakageBits(0.4, 8) <= bits {
+		t.Error("leakage should increase with collision rate")
+	}
+}

@@ -1,0 +1,188 @@
+package psi
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"testing"
+
+	"dsh/internal/xrand"
+)
+
+func toBytes(items []string) [][]byte {
+	out := make([][]byte, len(items))
+	for i, s := range items {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func protocols() []Protocol {
+	return []Protocol{Plaintext{}, DH{}}
+}
+
+func TestIntersectBasic(t *testing.T) {
+	a := toBytes([]string{"apple", "banana", "cherry", "date"})
+	b := toBytes([]string{"banana", "date", "elderberry"})
+	for _, p := range protocols() {
+		res, err := p.Intersect(a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		sort.Ints(res.IndicesA)
+		if len(res.IndicesA) != 2 || res.IndicesA[0] != 1 || res.IndicesA[1] != 3 {
+			t.Errorf("%s: intersection indices = %v, want [1 3]", p.Name(), res.IndicesA)
+		}
+		if res.TranscriptBytes <= 0 {
+			t.Errorf("%s: no transcript recorded", p.Name())
+		}
+	}
+}
+
+func TestIntersectEmpty(t *testing.T) {
+	for _, p := range protocols() {
+		res, err := p.Intersect(nil, toBytes([]string{"x"}))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if len(res.IndicesA) != 0 {
+			t.Errorf("%s: expected empty intersection", p.Name())
+		}
+		res, err = p.Intersect(toBytes([]string{"x"}), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if len(res.IndicesA) != 0 {
+			t.Errorf("%s: expected empty intersection", p.Name())
+		}
+	}
+}
+
+func TestIntersectDisjoint(t *testing.T) {
+	a := toBytes([]string{"a", "b", "c"})
+	b := toBytes([]string{"d", "e"})
+	for _, p := range protocols() {
+		res, err := p.Intersect(a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if len(res.IndicesA) != 0 {
+			t.Errorf("%s: disjoint sets intersected: %v", p.Name(), res.IndicesA)
+		}
+	}
+}
+
+func TestIntersectIdentical(t *testing.T) {
+	a := toBytes([]string{"x", "y", "z"})
+	for _, p := range protocols() {
+		res, err := p.Intersect(a, a)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if len(res.IndicesA) != 3 {
+			t.Errorf("%s: self intersection = %v", p.Name(), res.IndicesA)
+		}
+	}
+}
+
+func TestDHAgreesWithPlaintextRandomized(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 10; trial++ {
+		var a, b [][]byte
+		for i := 0; i < 12; i++ {
+			a = append(a, []byte(fmt.Sprintf("item-%d", rng.Intn(20))))
+		}
+		for i := 0; i < 9; i++ {
+			b = append(b, []byte(fmt.Sprintf("item-%d", rng.Intn(20))))
+		}
+		want, err := Plaintext{}.Intersect(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DH{}.Intersect(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Ints(want.IndicesA)
+		sort.Ints(got.IndicesA)
+		if len(want.IndicesA) != len(got.IndicesA) {
+			t.Fatalf("trial %d: plaintext %v vs dh %v", trial, want.IndicesA, got.IndicesA)
+		}
+		for i := range want.IndicesA {
+			if want.IndicesA[i] != got.IndicesA[i] {
+				t.Fatalf("trial %d: plaintext %v vs dh %v", trial, want.IndicesA, got.IndicesA)
+			}
+		}
+	}
+}
+
+func TestHashToGroupIsQuadraticResidue(t *testing.T) {
+	// Every output must be a QR mod p: v^((p-1)/2) == 1.
+	for _, item := range []string{"", "a", "hello world", "\x00\x01\x02"} {
+		v := hashToGroup([]byte(item))
+		if v.Sign() <= 0 || v.Cmp(prime) >= 0 {
+			t.Fatalf("hash out of range for %q", item)
+		}
+		legendre := new(big.Int).Exp(v, subOrder, prime)
+		if legendre.Cmp(big.NewInt(1)) != 0 {
+			t.Fatalf("hash of %q is not a quadratic residue", item)
+		}
+	}
+}
+
+func TestHashToGroupDeterministicAndDistinct(t *testing.T) {
+	a1 := hashToGroup([]byte("alpha"))
+	a2 := hashToGroup([]byte("alpha"))
+	if a1.Cmp(a2) != 0 {
+		t.Fatal("hash not deterministic")
+	}
+	b := hashToGroup([]byte("beta"))
+	if a1.Cmp(b) == 0 {
+		t.Fatal("distinct items should hash differently")
+	}
+}
+
+func TestDHTranscriptLargerThanPlaintext(t *testing.T) {
+	a := toBytes([]string{"a", "b", "c"})
+	b := toBytes([]string{"c", "d"})
+	plain, _ := Plaintext{}.Intersect(a, b)
+	private, err := DH{}.Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if private.TranscriptBytes <= plain.TranscriptBytes {
+		t.Errorf("DH transcript %d should exceed plaintext %d",
+			private.TranscriptBytes, plain.TranscriptBytes)
+	}
+	// 2*|A| + |B| group elements of 192 bytes.
+	want := (2*3 + 2) * 192
+	if private.TranscriptBytes != want {
+		t.Errorf("DH transcript = %d, want %d", private.TranscriptBytes, want)
+	}
+}
+
+func TestSafePrimeStructure(t *testing.T) {
+	if !prime.ProbablyPrime(32) {
+		t.Fatal("p not prime")
+	}
+	if !subOrder.ProbablyPrime(32) {
+		t.Fatal("(p-1)/2 not prime: not a safe prime")
+	}
+	if prime.BitLen() != 1536 {
+		t.Fatalf("prime is %d bits", prime.BitLen())
+	}
+}
+
+func BenchmarkDHIntersect16(b *testing.B) {
+	var setA, setB [][]byte
+	for i := 0; i < 16; i++ {
+		setA = append(setA, []byte(fmt.Sprintf("a%d", i)))
+		setB = append(setB, []byte(fmt.Sprintf("b%d", i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (DH{}).Intersect(setA, setB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package rff implements random Fourier features (Rahimi and Recht),
+// the embedding the paper invokes in Section 2 to transfer its unit-sphere
+// DSH constructions to l_s spaces for 0 < s <= 2:
+//
+//	"Results on the unit sphere can be extended to l_s-spaces ... through
+//	 Rahimi and Recht's embedding version of Bochner's Theorem applied to
+//	 the characteristic functions of s-stable distributions."
+//
+// A feature map phi: R^d -> R^D with
+//
+//	phi(x)_j = sqrt(2/D) * cos(<w_j, x> + b_j)
+//
+// has E[<phi(x), phi(y)>] = kappa(x - y), the kernel whose spectral measure
+// the w_j are drawn from. Gaussian w gives the Gaussian kernel
+// exp(-||x-y||_2^2 / (2 sigma^2)); Cauchy (1-stable) w gives the Laplacian
+// kernel exp(-||x-y||_1 / sigma). Composing the embedding with any sphere
+// DSH family F yields a family for l_s whose CPF is approximately
+// f_F(kappa(distance)).
+package rff
+
+import (
+	"fmt"
+	"math"
+
+	"dsh/internal/core"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+// Kernel identifies the shift-invariant kernel approximated by a feature
+// map, i.e. the s-stable spectral distribution the projections are drawn
+// from.
+type Kernel int
+
+const (
+	// Gaussian is the l_2 kernel exp(-||x-y||_2^2 / (2 sigma^2))
+	// (2-stable spectral distribution).
+	Gaussian Kernel = iota
+	// Laplacian is the l_1 kernel exp(-||x-y||_1 / sigma)
+	// (1-stable / Cauchy spectral distribution).
+	Laplacian
+)
+
+// String returns the kernel name.
+func (k Kernel) String() string {
+	switch k {
+	case Gaussian:
+		return "gaussian"
+	case Laplacian:
+		return "laplacian"
+	default:
+		return "unknown"
+	}
+}
+
+// FeatureMap is one sampled random Fourier feature embedding
+// R^d -> R^D.
+type FeatureMap struct {
+	kernel Kernel
+	sigma  float64
+	w      [][]float64
+	b      []float64
+	scale  float64
+}
+
+// NewFeatureMap samples a feature map with D features for inputs of
+// dimension d at bandwidth sigma > 0.
+func NewFeatureMap(rng *xrand.Rand, kernel Kernel, d, features int, sigma float64) *FeatureMap {
+	if d <= 0 || features <= 0 {
+		panic("rff: dimensions must be positive")
+	}
+	if sigma <= 0 {
+		panic("rff: bandwidth must be positive")
+	}
+	fm := &FeatureMap{
+		kernel: kernel,
+		sigma:  sigma,
+		w:      make([][]float64, features),
+		b:      make([]float64, features),
+		scale:  math.Sqrt(2 / float64(features)),
+	}
+	for j := 0; j < features; j++ {
+		row := make([]float64, d)
+		for i := range row {
+			switch kernel {
+			case Gaussian:
+				row[i] = rng.NormFloat64() / sigma
+			case Laplacian:
+				// Standard Cauchy scaled by 1/sigma: the spectral
+				// distribution of the Laplacian kernel.
+				row[i] = math.Tan(math.Pi*(rng.Float64()-0.5)) / sigma
+			default:
+				panic("rff: unknown kernel")
+			}
+		}
+		fm.w[j] = row
+		fm.b[j] = 2 * math.Pi * rng.Float64()
+	}
+	return fm
+}
+
+// Features returns D, the embedded dimension.
+func (fm *FeatureMap) Features() int { return len(fm.w) }
+
+// Embed returns phi(x). The embedding has E||phi(x)||^2 = 1 and
+// E[<phi(x), phi(y)>] = Kappa(x, y).
+func (fm *FeatureMap) Embed(x []float64) []float64 {
+	out := make([]float64, len(fm.w))
+	for j, wj := range fm.w {
+		out[j] = fm.scale * math.Cos(vec.Dot(wj, x)+fm.b[j])
+	}
+	return out
+}
+
+// Kappa returns the kernel value for a pair at the given distance
+// (l_2 distance for Gaussian, l_1 distance for Laplacian).
+func (fm *FeatureMap) Kappa(distance float64) float64 {
+	return KernelValue(fm.kernel, fm.sigma, distance)
+}
+
+// KernelValue evaluates the kernel at the given distance.
+func KernelValue(kernel Kernel, sigma, distance float64) float64 {
+	switch kernel {
+	case Gaussian:
+		return math.Exp(-distance * distance / (2 * sigma * sigma))
+	case Laplacian:
+		return math.Exp(-math.Abs(distance) / sigma)
+	default:
+		panic("rff: unknown kernel")
+	}
+}
+
+// Family lifts a unit-sphere DSH family to an l_s space through a fresh
+// random Fourier feature embedding per draw: a draw samples a feature map
+// phi and a sphere pair (h, g) and hashes points as h(phi(x)/|phi(x)|).
+// If the sphere family has CPF f(alpha), the lifted family's CPF is
+// approximately f(kappa(distance)), with the approximation improving as
+// the number of features grows (the embedded inner product concentrates
+// around kappa at rate O(1/sqrt(features))).
+type Family struct {
+	kernel   Kernel
+	d        int
+	features int
+	sigma    float64
+	base     core.Family[[]float64]
+}
+
+// NewFamily builds the lifted family. The base family must be a
+// unit-sphere family with an inner-product CPF.
+func NewFamily(kernel Kernel, d, features int, sigma float64, base core.Family[[]float64]) *Family {
+	if base.CPF().Domain != core.DomainInnerProduct {
+		panic("rff: base family must have an inner-product CPF")
+	}
+	if d <= 0 || features <= 0 || sigma <= 0 {
+		panic("rff: invalid parameters")
+	}
+	return &Family{kernel: kernel, d: d, features: features, sigma: sigma, base: base}
+}
+
+// Name implements core.Family.
+func (f *Family) Name() string {
+	return fmt.Sprintf("rff(%s,sigma=%.3g,D=%d,%s)", f.kernel, f.sigma, f.features, f.base.Name())
+}
+
+// Sample implements core.Family.
+func (f *Family) Sample(rng *xrand.Rand) core.Pair[[]float64] {
+	fm := NewFeatureMap(rng, f.kernel, f.d, f.features, f.sigma)
+	inner := f.base.Sample(rng)
+	embed := func(x []float64) []float64 {
+		e := fm.Embed(x)
+		n := vec.Norm(e)
+		if n > 0 {
+			vec.Scale(e, 1/n)
+		}
+		return e
+	}
+	h := core.HasherFunc[[]float64](func(x []float64) uint64 {
+		return inner.H.Hash(embed(x))
+	})
+	g := core.HasherFunc[[]float64](func(y []float64) uint64 {
+		return inner.G.Hash(embed(y))
+	})
+	return core.Pair[[]float64]{H: h, G: g}
+}
+
+// CPF implements core.Family: the idealized CPF f_base(kappa(distance)),
+// exact in the limit of infinitely many features.
+func (f *Family) CPF() core.CPF {
+	baseEval := f.base.CPF().Eval
+	kernel := f.kernel
+	sigma := f.sigma
+	return core.CPF{Domain: core.DomainDistance, Eval: func(distance float64) float64 {
+		return baseEval(KernelValue(kernel, sigma, distance))
+	}}
+}

@@ -1,0 +1,210 @@
+package rff
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/core"
+	"dsh/internal/sphere"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+func TestKernelValues(t *testing.T) {
+	if got := KernelValue(Gaussian, 1, 0); got != 1 {
+		t.Errorf("Gaussian(0) = %v", got)
+	}
+	if got := KernelValue(Gaussian, 1, 1); math.Abs(got-math.Exp(-0.5)) > 1e-15 {
+		t.Errorf("Gaussian(1) = %v", got)
+	}
+	if got := KernelValue(Laplacian, 2, 1); math.Abs(got-math.Exp(-0.5)) > 1e-15 {
+		t.Errorf("Laplacian(1, sigma=2) = %v", got)
+	}
+	if Gaussian.String() != "gaussian" || Laplacian.String() != "laplacian" {
+		t.Error("kernel names wrong")
+	}
+}
+
+func TestFeatureMapApproximatesGaussianKernel(t *testing.T) {
+	rng := xrand.New(1)
+	const d = 8
+	for _, delta := range []float64{0.5, 1, 2} {
+		x, y := vec.PairAtDistance(rng, d, delta)
+		want := KernelValue(Gaussian, 1.5, delta)
+		// Average over independent maps: the estimator is unbiased.
+		const maps = 300
+		var sum float64
+		for i := 0; i < maps; i++ {
+			fm := NewFeatureMap(rng, Gaussian, d, 64, 1.5)
+			sum += vec.Dot(fm.Embed(x), fm.Embed(y))
+		}
+		got := sum / maps
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("delta=%v: <phi,phi> = %v, want %v", delta, got, want)
+		}
+	}
+}
+
+func TestFeatureMapApproximatesLaplacianKernel(t *testing.T) {
+	rng := xrand.New(2)
+	const d = 6
+	// Points differing along coordinates for a known l1 distance.
+	x := []float64{0, 0, 0, 0, 0, 0}
+	y := []float64{0.5, -0.5, 0.25, 0, 0, 0} // l1 distance 1.25
+	want := KernelValue(Laplacian, 2, 1.25)
+	const maps = 400
+	var sum float64
+	for i := 0; i < maps; i++ {
+		fm := NewFeatureMap(rng, Laplacian, d, 64, 2)
+		sum += vec.Dot(fm.Embed(x), fm.Embed(y))
+	}
+	got := sum / maps
+	if math.Abs(got-want) > 0.04 {
+		t.Errorf("laplacian: <phi,phi> = %v, want %v", got, want)
+	}
+}
+
+func TestFeatureMapNormConcentration(t *testing.T) {
+	rng := xrand.New(3)
+	fm := NewFeatureMap(rng, Gaussian, 8, 512, 1)
+	x := vec.Gaussian(rng, 8)
+	n := vec.Norm(fm.Embed(x))
+	if math.Abs(n-1) > 0.15 {
+		t.Errorf("embedded norm = %v, want ~1", n)
+	}
+}
+
+func TestFeatureMapPanics(t *testing.T) {
+	rng := xrand.New(4)
+	for i, fn := range []func(){
+		func() { NewFeatureMap(rng, Gaussian, 0, 8, 1) },
+		func() { NewFeatureMap(rng, Gaussian, 8, 0, 1) },
+		func() { NewFeatureMap(rng, Gaussian, 8, 8, 0) },
+		func() { NewFeatureMap(rng, Kernel(99), 8, 8, 1).Embed(make([]float64, 8)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLiftedFamilyCPFShape(t *testing.T) {
+	// Lift SimHash to l2: CPF(distance) = SimHashCPF(exp(-delta^2/2sigma^2)),
+	// decreasing in distance from 1 at distance 0 toward 1/2.
+	fam := NewFamily(Gaussian, 8, 256, 1.5, sphere.SimHash(256))
+	f := fam.CPF()
+	if got := f.Eval(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CPF(0) = %v, want 1", got)
+	}
+	prev := 1.1
+	for delta := 0.0; delta < 6; delta += 0.5 {
+		v := f.Eval(delta)
+		if v > prev+1e-12 {
+			t.Fatalf("lifted CPF not decreasing at %v", delta)
+		}
+		prev = v
+	}
+	if far := f.Eval(100); math.Abs(far-0.5) > 1e-6 {
+		t.Errorf("CPF(far) = %v, want -> 1/2 (kernel -> 0)", far)
+	}
+}
+
+func TestLiftedFamilyEmpirical(t *testing.T) {
+	rng := xrand.New(5)
+	const d = 8
+	fam := NewFamily(Gaussian, d, 384, 1.5, sphere.SimHash(384))
+	gen := func(r *xrand.Rand, delta float64) ([]float64, []float64) {
+		return vec.PairAtDistance(r, d, delta)
+	}
+	for _, delta := range []float64{0.5, 1.5, 3} {
+		est := core.EstimateCollision(rng, fam, gen, delta, 4000, 5)
+		want := fam.CPF().Eval(delta)
+		// Finite-feature noise adds bias beyond Monte-Carlo error.
+		if math.Abs(est.P-want) > 0.05 {
+			t.Errorf("delta=%v: measured %v, idealized %v", delta, est.P, want)
+		}
+	}
+}
+
+func TestLiftedAnnulusInEuclideanSpace(t *testing.T) {
+	// The paper's annulus family, transported to l2: peak the CPF at the
+	// distance where the kernel equals alphaMax.
+	rng := xrand.New(6)
+	const d = 8
+	const sigma = 2.0
+	const alphaMax = 0.5
+	// kappa(delta*) = 0.5 at delta* = sigma*sqrt(2 ln 2) ~ 2.355.
+	target := sigma * math.Sqrt(2*math.Log(2))
+	base := sphere.NewAnnulus(256, alphaMax, 1.6)
+	fam := NewFamily(Gaussian, d, 256, sigma, base)
+	f := fam.CPF()
+	// The idealized CPF peaks at the target distance.
+	bestD, bestV := 0.0, -1.0
+	for delta := 0.1; delta < 8; delta += 0.05 {
+		if v := f.Eval(delta); v > bestV {
+			bestV, bestD = v, delta
+		}
+	}
+	if math.Abs(bestD-target) > 0.3 {
+		t.Errorf("lifted annulus peaks at %v, want ~%v", bestD, target)
+	}
+	// Empirically the peak beats both flanks.
+	gen := func(r *xrand.Rand, delta float64) ([]float64, []float64) {
+		return vec.PairAtDistance(r, d, delta)
+	}
+	estPeak := core.EstimateCollision(rng, fam, gen, target, 6000, 5)
+	estNear := core.EstimateCollision(rng, fam, gen, target/3, 6000, 5)
+	estFar := core.EstimateCollision(rng, fam, gen, target*2.5, 6000, 5)
+	if estPeak.P <= estNear.P || estPeak.P <= estFar.P {
+		t.Errorf("peak %v not above flanks %v, %v", estPeak.P, estNear.P, estFar.P)
+	}
+}
+
+func TestNewFamilyValidation(t *testing.T) {
+	base := sphere.SimHash(8)
+	hammingStyle := core.Constant(core.DomainRelativeHamming, 0.5)
+	bad := core.Symmetric[[]float64]{
+		FamilyName: "bad",
+		SampleFn: func(rng *xrand.Rand) core.Hasher[[]float64] {
+			return core.HasherFunc[[]float64](func([]float64) uint64 { return 0 })
+		},
+		Prob: hammingStyle,
+	}
+	for i, fn := range []func(){
+		func() { NewFamily(Gaussian, 8, 16, 1, bad) },
+		func() { NewFamily(Gaussian, 0, 16, 1, base) },
+		func() { NewFamily(Gaussian, 8, 16, -1, base) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCauchySpectralHeavyTails(t *testing.T) {
+	// Sanity: Laplacian projections are heavy-tailed (Cauchy), so extreme
+	// values must appear far more often than for Gaussian.
+	rng := xrand.New(7)
+	big := 0
+	const n = 4000
+	fm := NewFeatureMap(rng, Laplacian, 1, n, 1)
+	for _, row := range fm.w {
+		if math.Abs(row[0]) > 10 {
+			big++
+		}
+	}
+	// P(|Cauchy| > 10) ~ 0.063: expect ~250 of 4000; Gaussian would give 0.
+	if big < 100 {
+		t.Errorf("only %d/%d heavy-tail draws; Cauchy sampling broken?", big, n)
+	}
+}

@@ -1,0 +1,191 @@
+// Package sketch implements CountSketch and TensorSketch from scratch.
+//
+// TensorSketch (Pham and Pagh, KDD 2013 — reference [42] of the paper)
+// approximates the tensor-power embedding x^(k) with a D-dimensional sketch
+// computable in time O(k(d + D log D)), so that
+//
+//	<TS(x), TS(y)> ~ <x, y>^k.
+//
+// The paper invokes it to evaluate the Valiant embeddings of Theorem 5.1 in
+// near-linear time instead of the naive O(d^k). internal/sphere builds the
+// approximate polynomial CPF families on top of this package.
+package sketch
+
+import (
+	"math"
+
+	"dsh/internal/fft"
+	"dsh/internal/xrand"
+)
+
+// CountSketch is a linear projection R^d -> R^D defined by a hash function
+// h: [d] -> [D] and signs s: [d] -> {+1, -1}: CS(x)[j] = sum_{h(i)=j} s(i) x(i).
+// It preserves inner products in expectation: E[<CS(x), CS(y)>] = <x, y>.
+type CountSketch struct {
+	d, width int
+	bucket   []int
+	sign     []float64
+}
+
+// NewCountSketch samples a CountSketch for input dimension d and sketch
+// width (output dimension) width. It panics for non-positive dimensions.
+func NewCountSketch(rng *xrand.Rand, d, width int) *CountSketch {
+	if d <= 0 || width <= 0 {
+		panic("sketch: dimensions must be positive")
+	}
+	cs := &CountSketch{
+		d:      d,
+		width:  width,
+		bucket: make([]int, d),
+		sign:   make([]float64, d),
+	}
+	for i := 0; i < d; i++ {
+		cs.bucket[i] = rng.Intn(width)
+		if rng.Bool() {
+			cs.sign[i] = 1
+		} else {
+			cs.sign[i] = -1
+		}
+	}
+	return cs
+}
+
+// InputDim returns the expected input dimension d.
+func (cs *CountSketch) InputDim() int { return cs.d }
+
+// Width returns the sketch width D.
+func (cs *CountSketch) Width() int { return cs.width }
+
+// Apply sketches x into a fresh slice of length Width.
+// It panics if len(x) != InputDim.
+func (cs *CountSketch) Apply(x []float64) []float64 {
+	if len(x) != cs.d {
+		panic("sketch: input dimension mismatch")
+	}
+	out := make([]float64, cs.width)
+	for i, v := range x {
+		out[cs.bucket[i]] += cs.sign[i] * v
+	}
+	return out
+}
+
+// TensorSketch approximates the degree-k tensor power embedding using k
+// independent CountSketches combined by circular convolution (computed via
+// FFT). Width is rounded up to a power of two internally.
+type TensorSketch struct {
+	degree int
+	width  int
+	cs     []*CountSketch
+}
+
+// NewTensorSketch samples a TensorSketch of the given degree (k >= 1) for
+// input dimension d with the requested sketch width (rounded up to a power
+// of two for the FFT).
+func NewTensorSketch(rng *xrand.Rand, d, degree, width int) *TensorSketch {
+	if degree < 1 {
+		panic("sketch: degree must be >= 1")
+	}
+	if d <= 0 || width <= 0 {
+		panic("sketch: dimensions must be positive")
+	}
+	w := fft.NextPowerOfTwo(width)
+	ts := &TensorSketch{degree: degree, width: w}
+	for i := 0; i < degree; i++ {
+		ts.cs = append(ts.cs, NewCountSketch(rng, d, w))
+	}
+	return ts
+}
+
+// Degree returns k.
+func (ts *TensorSketch) Degree() int { return ts.degree }
+
+// Width returns the (power-of-two) sketch width D.
+func (ts *TensorSketch) Width() int { return ts.width }
+
+// Apply returns the degree-k tensor sketch of x: the circular convolution of
+// the k individual CountSketches, so that <Apply(x), Apply(y)> is an
+// unbiased estimator of <x, y>^k.
+func (ts *TensorSketch) Apply(x []float64) []float64 {
+	if ts.degree == 1 {
+		return ts.cs[0].Apply(x)
+	}
+	seqs := make([][]float64, ts.degree)
+	for i, cs := range ts.cs {
+		seqs[i] = cs.Apply(x)
+	}
+	return fft.PointwiseMulFFT(seqs...)
+}
+
+// PolySketch sketches the full polynomial embedding for P(t) = sum a_i t^i:
+// it concatenates per-degree tensor sketches weighted so that
+//
+//	<Left(x), Right(y)> ~ P(<x, y>).
+//
+// The asymmetric weighting (sqrt|a_i| on one side, a_i/sqrt|a_i| on the
+// other) mirrors Valiant's exact construction in Appendix C.2 of the paper
+// and is what permits negative coefficients.
+type PolySketch struct {
+	coeffs  []float64 // a_0 ... a_k
+	widths  []int
+	degrees []*TensorSketch // degrees[i] sketches t^{i+1}
+}
+
+// NewPolySketch samples sketches for the polynomial with the given
+// coefficients (constant term first) over input dimension d, using the given
+// width per degree.
+func NewPolySketch(rng *xrand.Rand, d int, coeffs []float64, width int) *PolySketch {
+	if len(coeffs) == 0 {
+		panic("sketch: empty polynomial")
+	}
+	ps := &PolySketch{coeffs: append([]float64(nil), coeffs...)}
+	for deg := 1; deg < len(coeffs); deg++ {
+		ps.degrees = append(ps.degrees, NewTensorSketch(rng, d, deg, width))
+	}
+	return ps
+}
+
+// Left returns the data-side embedding of x.
+func (ps *PolySketch) Left(x []float64) []float64 {
+	return ps.embed(x, true)
+}
+
+// Right returns the query-side embedding of y.
+func (ps *PolySketch) Right(y []float64) []float64 {
+	return ps.embed(y, false)
+}
+
+func (ps *PolySketch) embed(x []float64, left bool) []float64 {
+	var out []float64
+	// Constant term: a_0 contributes a fixed coordinate pair
+	// sqrt|a_0| * sign factor.
+	a0 := ps.coeffs[0]
+	switch {
+	case a0 == 0:
+		out = append(out, 0)
+	case left:
+		out = append(out, sqrtAbs(a0))
+	default:
+		out = append(out, a0/sqrtAbs(a0))
+	}
+	for i, ts := range ps.degrees {
+		ai := ps.coeffs[i+1]
+		sk := ts.Apply(x)
+		var scale float64
+		switch {
+		case ai == 0:
+			scale = 0
+		case left:
+			scale = sqrtAbs(ai)
+		default:
+			scale = ai / sqrtAbs(ai)
+		}
+		for _, v := range sk {
+			out = append(out, scale*v)
+		}
+	}
+	return out
+}
+
+func sqrtAbs(a float64) float64 {
+	return math.Sqrt(math.Abs(a))
+}

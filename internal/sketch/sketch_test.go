@@ -1,0 +1,192 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/stats"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+func TestCountSketchLinearity(t *testing.T) {
+	rng := xrand.New(1)
+	cs := NewCountSketch(rng, 20, 8)
+	x := vec.Gaussian(rng, 20)
+	y := vec.Gaussian(rng, 20)
+	sx := cs.Apply(x)
+	sy := cs.Apply(y)
+	sxy := cs.Apply(vec.Add(x, y))
+	for i := range sxy {
+		if math.Abs(sxy[i]-(sx[i]+sy[i])) > 1e-12 {
+			t.Fatalf("not linear at %d", i)
+		}
+	}
+}
+
+func TestCountSketchPreservesNormInExpectation(t *testing.T) {
+	rng := xrand.New(2)
+	x := vec.RandomUnit(rng, 30)
+	const reps = 3000
+	var sum float64
+	for i := 0; i < reps; i++ {
+		cs := NewCountSketch(rng, 30, 16)
+		s := cs.Apply(x)
+		sum += vec.Dot(s, s)
+	}
+	mean := sum / reps
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("E[|CS(x)|^2] = %v, want ~1", mean)
+	}
+}
+
+func TestCountSketchInnerProductUnbiased(t *testing.T) {
+	rng := xrand.New(3)
+	x, y := vec.UnitPairWithDot(rng, 25, 0.6)
+	const reps = 5000
+	var sum float64
+	for i := 0; i < reps; i++ {
+		cs := NewCountSketch(rng, 25, 16)
+		sum += vec.Dot(cs.Apply(x), cs.Apply(y))
+	}
+	mean := sum / reps
+	if math.Abs(mean-0.6) > 0.04 {
+		t.Fatalf("E[<CS(x),CS(y)>] = %v, want ~0.6", mean)
+	}
+}
+
+func TestCountSketchPanics(t *testing.T) {
+	rng := xrand.New(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad dims should panic")
+			}
+		}()
+		NewCountSketch(rng, 0, 4)
+	}()
+	cs := NewCountSketch(rng, 5, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	cs.Apply(make([]float64, 6))
+}
+
+func TestTensorSketchDegree1MatchesCountSketch(t *testing.T) {
+	rng := xrand.New(5)
+	ts := NewTensorSketch(rng, 10, 1, 8)
+	x := vec.Gaussian(rng, 10)
+	if got := ts.Apply(x); len(got) != 8 {
+		t.Fatalf("width = %d", len(got))
+	}
+}
+
+func TestTensorSketchInnerProduct(t *testing.T) {
+	rng := xrand.New(6)
+	for _, k := range []int{2, 3} {
+		for _, alpha := range []float64{0.8, 0.3, -0.5} {
+			x, y := vec.UnitPairWithDot(rng, 16, alpha)
+			want := math.Pow(alpha, float64(k))
+			const reps = 4000
+			var sum float64
+			for i := 0; i < reps; i++ {
+				ts := NewTensorSketch(rng, 16, k, 64)
+				sum += vec.Dot(ts.Apply(x), ts.Apply(y))
+			}
+			mean := sum / reps
+			if math.Abs(mean-want) > 0.05 {
+				t.Fatalf("k=%d alpha=%v: E[<TS,TS>] = %v, want %v", k, alpha, mean, want)
+			}
+		}
+	}
+}
+
+func TestTensorSketchWidthRounded(t *testing.T) {
+	rng := xrand.New(7)
+	ts := NewTensorSketch(rng, 8, 2, 100)
+	if ts.Width() != 128 {
+		t.Fatalf("width = %d, want 128", ts.Width())
+	}
+	if ts.Degree() != 2 {
+		t.Fatalf("degree = %d", ts.Degree())
+	}
+}
+
+func TestPolySketchApproximatesPolynomial(t *testing.T) {
+	rng := xrand.New(8)
+	// P(t) = 0.2 - 0.3 t + 0.5 t^2 (abs coeff sum 1).
+	coeffs := []float64{0.2, -0.3, 0.5}
+	evalP := func(a float64) float64 { return 0.2 - 0.3*a + 0.5*a*a }
+	for _, alpha := range []float64{-0.7, 0, 0.5, 0.9} {
+		x, y := vec.UnitPairWithDot(rng, 12, alpha)
+		const reps = 3000
+		var sum float64
+		for i := 0; i < reps; i++ {
+			ps := NewPolySketch(rng, 12, coeffs, 32)
+			sum += vec.Dot(ps.Left(x), ps.Right(y))
+		}
+		mean := sum / reps
+		if math.Abs(mean-evalP(alpha)) > 0.05 {
+			t.Fatalf("alpha=%v: mean = %v, want %v", alpha, mean, evalP(alpha))
+		}
+	}
+}
+
+func TestPolySketchZeroAndNegativeCoefficients(t *testing.T) {
+	rng := xrand.New(9)
+	// P(t) = -t^3 (pure negative monomial).
+	coeffs := []float64{0, 0, 0, -1}
+	alpha := 0.6
+	x, y := vec.UnitPairWithDot(rng, 10, alpha)
+	const reps = 3000
+	var sum float64
+	for i := 0; i < reps; i++ {
+		ps := NewPolySketch(rng, 10, coeffs, 64)
+		sum += vec.Dot(ps.Left(x), ps.Right(y))
+	}
+	mean := sum / reps
+	want := -math.Pow(alpha, 3)
+	if math.Abs(mean-want) > 0.04 {
+		t.Fatalf("mean = %v, want %v", mean, want)
+	}
+}
+
+func TestPolySketchPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty coefficients should panic")
+		}
+	}()
+	NewPolySketch(xrand.New(1), 4, nil, 8)
+}
+
+func TestTensorSketchVarianceShrinksWithWidth(t *testing.T) {
+	rng := xrand.New(10)
+	x, y := vec.UnitPairWithDot(rng, 16, 0.5)
+	variance := func(width int) float64 {
+		const reps = 1500
+		vals := make([]float64, reps)
+		for i := 0; i < reps; i++ {
+			ts := NewTensorSketch(rng, 16, 2, width)
+			vals[i] = vec.Dot(ts.Apply(x), ts.Apply(y))
+		}
+		return stats.Variance(vals)
+	}
+	v16 := variance(16)
+	v256 := variance(256)
+	if v256 >= v16 {
+		t.Fatalf("variance did not shrink: width16=%v width256=%v", v16, v256)
+	}
+}
+
+func BenchmarkTensorSketchApply(b *testing.B) {
+	rng := xrand.New(1)
+	ts := NewTensorSketch(rng, 128, 3, 256)
+	x := vec.RandomUnit(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Apply(x)
+	}
+}

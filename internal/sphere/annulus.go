@@ -1,0 +1,93 @@
+package sphere
+
+import (
+	"fmt"
+
+	"dsh/internal/core"
+	"dsh/internal/xrand"
+)
+
+// AnnulusFamily is the unimodal family D of Section 6.2: the combination
+// of a filter family D+ with threshold t+ and a query-negated family D-
+// with threshold t- = gamma * t+, gamma = (1-alphaMax)/(1+alphaMax).
+// A draw hashes a point to the pair (h+(x), h-(x)); its CPF is the product
+// of the component CPFs and peaks near alphaMax, decaying on both sides,
+// which is exactly what the annulus-search data structure of Theorem 6.1
+// needs. AnnulusFamily implements core.Family.
+type AnnulusFamily struct {
+	plus     *Filter
+	minus    *Filter
+	alphaMax float64
+	combined core.Family[Point]
+}
+
+// NewAnnulus returns the Section 6.2 family for dimension d peaking at
+// inner product alphaMax in (-1, 1), with base threshold t > 0
+// (t+ = t, t- = gamma*t).
+func NewAnnulus(d int, alphaMax, t float64) *AnnulusFamily {
+	if alphaMax <= -1 || alphaMax >= 1 {
+		panic("sphere: alphaMax must lie in (-1, 1)")
+	}
+	if t <= 0 {
+		panic("sphere: threshold must be positive")
+	}
+	gamma := (1 - alphaMax) / (1 + alphaMax)
+	plus := NewFilterPlus(d, t)
+	minus := NewFilterMinus(d, gamma*t)
+	return &AnnulusFamily{
+		plus:     plus,
+		minus:    minus,
+		alphaMax: alphaMax,
+		combined: core.Concat[Point](plus, minus),
+	}
+}
+
+// Name implements core.Family.
+func (a *AnnulusFamily) Name() string {
+	return fmt.Sprintf("annulus(amax=%.3g,t+=%.3g,t-=%.3g)", a.alphaMax, a.plus.T(), a.minus.T())
+}
+
+// Sample implements core.Family by delegating to the concatenation of D+
+// and D-.
+func (a *AnnulusFamily) Sample(rng *xrand.Rand) core.Pair[Point] {
+	return a.combined.Sample(rng)
+}
+
+// CPF implements core.Family: the exact product CPF of the components.
+func (a *AnnulusFamily) CPF() core.CPF { return a.combined.CPF() }
+
+// Plus returns the D+ component.
+func (a *AnnulusFamily) Plus() *Filter { return a.plus }
+
+// Minus returns the D- component.
+func (a *AnnulusFamily) Minus() *Filter { return a.minus }
+
+// AlphaMax returns the similarity at which the CPF (approximately) peaks.
+func (a *AnnulusFamily) AlphaMax() float64 { return a.alphaMax }
+
+// AnnulusBounds returns the interval [alphaMinus, alphaPlus] of Theorem 6.2
+// for width parameter s > 1: all alpha with
+//
+//	(1/s) * a(alphaMax) <= a(alpha) <= s * a(alphaMax),
+//
+// where a(alpha) = (1-alpha)/(1+alpha). Inside the interval the CPF is
+// within a constant of its peak; outside it decays at least as fast as the
+// boundary value.
+func AnnulusBounds(alphaMax, s float64) (alphaMinus, alphaPlus float64) {
+	if s <= 1 {
+		panic("sphere: annulus width parameter must exceed 1")
+	}
+	aMax := (1 - alphaMax) / (1 + alphaMax)
+	fromA := func(a float64) float64 { return (1 - a) / (1 + a) }
+	return fromA(s * aMax), fromA(aMax / s)
+}
+
+// AnnulusLogInvBoundary returns the Theorem 6.2 estimate of ln(1/f) at the
+// boundary of the width-s interval: (s + 1/s) * a(alphaMax) * t^2/2 (up to
+// polynomial-in-t factors).
+func AnnulusLogInvBoundary(alphaMax, s, t float64) float64 {
+	aMax := (1 - alphaMax) / (1 + alphaMax)
+	return (s + 1/s) * aMax * t * t / 2
+}
+
+var _ core.Family[Point] = (*AnnulusFamily)(nil)

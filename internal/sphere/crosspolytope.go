@@ -1,0 +1,110 @@
+package sphere
+
+import (
+	"fmt"
+	"math"
+
+	"dsh/internal/core"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+// crossPolytopeHasher applies a random Gaussian matrix and maps the point
+// to the closest signed standard basis vector of the rotated image, i.e.
+// the coordinate of maximum absolute value together with its sign.
+type crossPolytopeHasher struct {
+	rows [][]float64
+}
+
+func (c crossPolytopeHasher) Hash(p Point) uint64 {
+	best := 0
+	bestAbs := math.Inf(-1)
+	neg := false
+	for i, row := range c.rows {
+		v := vec.Dot(row, p)
+		a := math.Abs(v)
+		if a > bestAbs {
+			bestAbs = a
+			best = i
+			neg = v < 0
+		}
+	}
+	h := uint64(best) << 1
+	if neg {
+		h |= 1
+	}
+	return h
+}
+
+type crossPolytope struct {
+	d      int
+	negate bool
+}
+
+// CrossPolytope returns the cross-polytope LSH family CP+ of Andoni et al.
+// for dimension d, wrapped as a symmetric DSH family. Its CPF has no simple
+// closed form; CPF() returns the Theorem 2.1 asymptotic approximation
+//
+//	ln(1/f(alpha)) = (1-alpha)/(1+alpha) * ln d + O_alpha(ln ln d),
+//
+// evaluated without the lower-order term, so treat it as a shape reference
+// rather than an exact value (the Monte-Carlo estimator gives exact values).
+func CrossPolytope(d int) core.Family[Point] {
+	if d <= 0 {
+		panic("sphere: dimension must be positive")
+	}
+	return crossPolytope{d: d}
+}
+
+// AntiCrossPolytope returns the query-negated family CP- of Section 2.1
+// with (asymptotically) decreasing CPF f(alpha) = fCP(-alpha)
+// (Corollary 2.2): intuitively it maps the query to the *furthest* vertex
+// of the rotated cross-polytope.
+func AntiCrossPolytope(d int) core.Family[Point] {
+	if d <= 0 {
+		panic("sphere: dimension must be positive")
+	}
+	return crossPolytope{d: d, negate: true}
+}
+
+func (c crossPolytope) Name() string {
+	if c.negate {
+		return fmt.Sprintf("anticrosspolytope(d=%d)", c.d)
+	}
+	return fmt.Sprintf("crosspolytope(d=%d)", c.d)
+}
+
+func (c crossPolytope) Sample(rng *xrand.Rand) core.Pair[Point] {
+	rows := make([][]float64, c.d)
+	for i := range rows {
+		rows[i] = vec.Gaussian(rng, c.d)
+	}
+	h := crossPolytopeHasher{rows: rows}
+	if c.negate {
+		return core.Pair[Point]{H: h, G: negatedHasher{inner: h}}
+	}
+	return core.Pair[Point]{H: h, G: h}
+}
+
+// CrossPolytopeAsymptoticCPF returns the Theorem 2.1 leading-order value
+// f(alpha) = d^{-(1-alpha)/(1+alpha)} for CP+ at dimension d.
+func CrossPolytopeAsymptoticCPF(d int, alpha float64) float64 {
+	if alpha >= 1 {
+		return 1
+	}
+	if alpha <= -1 {
+		return 0
+	}
+	return math.Exp(-(1 - alpha) / (1 + alpha) * math.Log(float64(d)))
+}
+
+func (c crossPolytope) CPF() core.CPF {
+	d := c.d
+	neg := c.negate
+	return core.CPF{Domain: core.DomainInnerProduct, Eval: func(alpha float64) float64 {
+		if neg {
+			alpha = -alpha
+		}
+		return CrossPolytopeAsymptoticCPF(d, alpha)
+	}}
+}

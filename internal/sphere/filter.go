@@ -1,0 +1,191 @@
+package sphere
+
+import (
+	"fmt"
+	"math"
+
+	"dsh/internal/core"
+	"dsh/internal/stats"
+	"dsh/internal/xrand"
+)
+
+// Filter is the filter-based DSH family of Section 2.2: sample a sequence
+// z_1, ..., z_m of standard Gaussian vectors and map a point to the index
+// of the first "spherical cap" that captures it:
+//
+//	h(x) = min { i : <z_i, x> >= t }   (else m+1)
+//	g(y) = min { i : <z_i, y> >= t }   (else m+2)   for D+
+//	g(y) = min { i : <z_i, y> <= -t }  (else m+2)   for D- (negated query)
+//
+// The projections are generated lazily and deterministically from a per-draw
+// seed, so evaluation costs an expected 1/Pr[Z >= t] dot products instead
+// of m.
+type Filter struct {
+	d      int
+	t      float64
+	m      int
+	negate bool
+}
+
+// DefaultFilterM returns the projection-sequence length m = ceil(2 t^3 / p')
+// used in the proof of Theorem 1.2 (Lemma A.5), where p' is the
+// Szarek-Werner lower bound on Pr[Z >= t]; it guarantees
+// Pr[no cap captures x] <= exp(-2 t^3).
+func DefaultFilterM(t float64) int {
+	if t <= 0 {
+		panic("sphere: filter threshold must be positive")
+	}
+	pLo, _ := stats.NormalTailBounds(t)
+	m := math.Ceil(2 * t * t * t / pLo)
+	if m < 1 {
+		m = 1
+	}
+	if m > 1<<30 {
+		panic("sphere: filter m too large; reduce t")
+	}
+	return int(m)
+}
+
+// NewFilterPlus returns the family D+ (increasing CPF in the similarity)
+// with threshold t > 0 and the default m.
+func NewFilterPlus(d int, t float64) *Filter { return newFilter(d, t, DefaultFilterM(t), false) }
+
+// NewFilterMinus returns the query-negated family D- (decreasing CPF in
+// the similarity, Theorem 1.2) with threshold t > 0 and the default m.
+func NewFilterMinus(d int, t float64) *Filter { return newFilter(d, t, DefaultFilterM(t), true) }
+
+// NewFilterWithM returns a filter family with an explicit sequence length m;
+// negate selects D- over D+.
+func NewFilterWithM(d int, t float64, m int, negate bool) *Filter {
+	return newFilter(d, t, m, negate)
+}
+
+func newFilter(d int, t float64, m int, negate bool) *Filter {
+	if d <= 0 {
+		panic("sphere: dimension must be positive")
+	}
+	if t <= 0 {
+		panic("sphere: filter threshold must be positive")
+	}
+	if m < 1 {
+		panic("sphere: filter m must be >= 1")
+	}
+	return &Filter{d: d, t: t, m: m, negate: negate}
+}
+
+// T returns the cap threshold t.
+func (f *Filter) T() float64 { return f.t }
+
+// M returns the projection-sequence length m.
+func (f *Filter) M() int { return f.m }
+
+// Name implements core.Family.
+func (f *Filter) Name() string {
+	sign := "+"
+	if f.negate {
+		sign = "-"
+	}
+	return fmt.Sprintf("filter%s(d=%d,t=%.3g,m=%d)", sign, f.d, f.t, f.m)
+}
+
+// capSequence lazily materializes the Gaussian projection sequence
+// z_1, z_2, ... of one (h, g) draw. Projections are generated
+// deterministically from the draw's seed the first time they are needed
+// and memoized, so hashing many points against the same draw (the common
+// case when building an index) generates each z_i exactly once.
+// A capSequence is shared by the h and g of one pair and is not safe for
+// concurrent use.
+type capSequence struct {
+	seed  uint64
+	d     int
+	projs [][]float64
+}
+
+func (c *capSequence) proj(i int) []float64 {
+	for len(c.projs) < i {
+		r := xrand.New(c.seed ^ (uint64(len(c.projs)+1) * 0x9e3779b97f4a7c15))
+		g := make([]float64, c.d)
+		for j := range g {
+			g[j] = r.NormFloat64()
+		}
+		c.projs = append(c.projs, g)
+	}
+	return c.projs[i-1]
+}
+
+// filterHasher scans the lazily generated cap sequence.
+type filterHasher struct {
+	caps *capSequence
+	t    float64 // capture threshold; negated dot if neg is set
+	m    int
+	miss uint64
+	neg  bool
+}
+
+func (fh filterHasher) Hash(p Point) uint64 {
+	for i := 1; i <= fh.m; i++ {
+		z := fh.caps.proj(i)
+		var dot float64
+		for j, v := range p {
+			dot += z[j] * v
+		}
+		if fh.neg {
+			dot = -dot
+		}
+		if dot >= fh.t {
+			return uint64(i)
+		}
+	}
+	return fh.miss
+}
+
+// Sample implements core.Family.
+func (f *Filter) Sample(rng *xrand.Rand) core.Pair[Point] {
+	caps := &capSequence{seed: rng.Uint64(), d: f.d}
+	h := filterHasher{caps: caps, t: f.t, m: f.m, miss: uint64(f.m) + 1}
+	g := filterHasher{caps: caps, t: f.t, m: f.m, miss: uint64(f.m) + 2, neg: f.negate}
+	return core.Pair[Point]{H: h, G: g}
+}
+
+// ExactCPF returns the exact collision probability of the filter family at
+// inner product alpha, from bivariate normal orthant probabilities:
+//
+//	f(alpha) = q/u * (1 - (1-u)^m)
+//
+// with q = Pr[both points captured by one cap] and u = Pr[at least one
+// captured], where "captured" is <z, x> >= t for h and the possibly negated
+// condition for g.
+func (f *Filter) ExactCPF(alpha float64) float64 {
+	rho := alpha
+	if f.negate {
+		rho = -alpha
+	}
+	q := stats.BivariateNormalOrthant(f.t, rho)
+	u := 2*stats.NormalTail(f.t) - q
+	if u <= 0 {
+		return 0
+	}
+	if q <= 0 {
+		return 0
+	}
+	return q / u * (1 - math.Pow(1-u, float64(f.m)))
+}
+
+// CPF implements core.Family with the exact closed form.
+func (f *Filter) CPF() core.CPF {
+	return core.CPF{Domain: core.DomainInnerProduct, Eval: f.ExactCPF}
+}
+
+// AsymptoticLogInvCPF returns the Theorem 1.2 / Theorem A.6 leading term of
+// ln(1/f(alpha)):
+//
+//	D+: (1-alpha)/(1+alpha) * t^2/2
+//	D-: (1+alpha)/(1-alpha) * t^2/2
+//
+// The true value differs by Theta(log t).
+func (f *Filter) AsymptoticLogInvCPF(alpha float64) float64 {
+	if f.negate {
+		return (1 + alpha) / (1 - alpha) * f.t * f.t / 2
+	}
+	return (1 - alpha) / (1 + alpha) * f.t * f.t / 2
+}

@@ -1,0 +1,129 @@
+// Package sphere implements the paper's distance-sensitive hash families
+// for the unit sphere S^{d-1}, with CPFs expressed as functions of the
+// inner product alpha = <x, y> in [-1, 1]:
+//
+//   - SimHash (Charikar): the classical hyperplane LSH with exact CPF
+//     1 - arccos(alpha)/pi; the canonical "LSHable angular similarity".
+//   - Cross-polytope LSH CP+ and its anti-LSH variant CP- obtained by
+//     negating the query point (Section 2.1).
+//   - Filter-based families D+ and D- (Section 2.2) built from sequences
+//     of spherical caps, with exact CPFs from bivariate normal orthant
+//     probabilities and the Theorem 1.2 asymptotics.
+//   - The unimodal annulus family D of Section 6.2 combining D+ and D-.
+//   - Valiant-embedding polynomial CPF families (Theorem 5.1), both the
+//     exact tensor-power version and a TensorSketch approximation.
+package sphere
+
+import (
+	"fmt"
+	"math"
+
+	"dsh/internal/core"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+// Point is the point type for unit-sphere families.
+type Point = []float64
+
+// SimHashCPF is the exact collision probability of SimHash at inner
+// product alpha: 1 - arccos(alpha)/pi.
+func SimHashCPF(alpha float64) float64 {
+	if alpha > 1 {
+		alpha = 1
+	}
+	if alpha < -1 {
+		alpha = -1
+	}
+	return 1 - math.Acos(alpha)/math.Pi
+}
+
+type gaussSignHasher struct{ g []float64 }
+
+func (h gaussSignHasher) Hash(p Point) uint64 {
+	if vec.Dot(h.g, p) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+type simHash struct{ d int }
+
+// SimHash returns Charikar's hyperplane LSH for dimension d as a symmetric
+// DSH family with exact CPF 1 - arccos(alpha)/pi.
+func SimHash(d int) core.Family[Point] {
+	if d <= 0 {
+		panic("sphere: dimension must be positive")
+	}
+	return simHash{d: d}
+}
+
+func (s simHash) Name() string { return fmt.Sprintf("simhash(d=%d)", s.d) }
+
+func (s simHash) Sample(rng *xrand.Rand) core.Pair[Point] {
+	h := gaussSignHasher{g: vec.Gaussian(rng, s.d)}
+	return core.Pair[Point]{H: h, G: h}
+}
+
+func (s simHash) CPF() core.CPF {
+	return core.CPF{Domain: core.DomainInnerProduct, Eval: SimHashCPF}
+}
+
+// AntiSimHash returns the query-negated SimHash: h(x) = sign(<g, x>),
+// g(y) = sign(<g, -y>), with exact CPF arccos(alpha)/pi -- decreasing in
+// the similarity. It is the simplest instance of the paper's
+// "negate the query point" trick on the sphere.
+func AntiSimHash(d int) core.Family[Point] {
+	if d <= 0 {
+		panic("sphere: dimension must be positive")
+	}
+	return antiSimHash{d: d}
+}
+
+type antiSimHash struct{ d int }
+
+func (s antiSimHash) Name() string { return fmt.Sprintf("antisimhash(d=%d)", s.d) }
+
+func (s antiSimHash) Sample(rng *xrand.Rand) core.Pair[Point] {
+	g := vec.Gaussian(rng, s.d)
+	h := gaussSignHasher{g: g}
+	neg := negatedHasher{inner: h}
+	return core.Pair[Point]{H: h, G: neg}
+}
+
+func (s antiSimHash) CPF() core.CPF {
+	return core.CPF{Domain: core.DomainInnerProduct, Eval: func(alpha float64) float64 {
+		return SimHashCPF(-alpha)
+	}}
+}
+
+// negatedHasher applies an inner hasher to the negated point: the paper's
+// central asymmetry device (Sections 2.1, 2.2).
+type negatedHasher struct{ inner core.Hasher[Point] }
+
+func (n negatedHasher) Hash(p Point) uint64 { return n.inner.Hash(vec.Neg(p)) }
+
+// NegateQuery converts any symmetric sphere family with CPF f(alpha) into
+// the family with CPF f(-alpha) by applying g to the negated query point.
+func NegateQuery(fam core.Family[Point]) core.Family[Point] {
+	return negateQueryFamily{inner: fam}
+}
+
+type negateQueryFamily struct{ inner core.Family[Point] }
+
+func (n negateQueryFamily) Name() string { return "neg(" + n.inner.Name() + ")" }
+
+func (n negateQueryFamily) Sample(rng *xrand.Rand) core.Pair[Point] {
+	pair := n.inner.Sample(rng)
+	return core.Pair[Point]{H: pair.H, G: negatedHasher{inner: pair.G}}
+}
+
+func (n negateQueryFamily) CPF() core.CPF {
+	inner := n.inner.CPF()
+	if inner.Domain != core.DomainInnerProduct {
+		panic("sphere: NegateQuery requires an inner-product CPF")
+	}
+	return core.CPF{Domain: core.DomainInnerProduct, Eval: func(alpha float64) float64 {
+		return inner.Eval(-alpha)
+	}}
+}

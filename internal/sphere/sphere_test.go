@@ -1,0 +1,339 @@
+package sphere
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/core"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+const testDim = 24
+
+// pairsAt produces unit-vector pairs with exact inner product alpha.
+func pairsAt(rng *xrand.Rand, alpha float64) (Point, Point) {
+	return vec.UnitPairWithDot(rng, testDim, alpha)
+}
+
+func checkSphereCPF(t *testing.T, fam core.Family[Point], alphas []float64, trials int) {
+	t.Helper()
+	rng := xrand.NewFromString(t.Name() + fam.Name())
+	for _, a := range alphas {
+		est := core.EstimateCollision(rng, fam, pairsAt, a, trials, 5)
+		want := fam.CPF().Eval(a)
+		if !est.Interval.Contains(want) {
+			t.Errorf("%s at alpha=%v: estimate %v (interval [%v,%v]) excludes analytic %v",
+				fam.Name(), a, est.P, est.Interval.Lo, est.Interval.Hi, want)
+		}
+	}
+}
+
+func TestSimHashCPFFunction(t *testing.T) {
+	cases := []struct{ alpha, want float64 }{
+		{1, 1}, {-1, 0}, {0, 0.5},
+		{0.5, 1 - math.Acos(0.5)/math.Pi},
+	}
+	for _, c := range cases {
+		if got := SimHashCPF(c.alpha); math.Abs(got-c.want) > 1e-14 {
+			t.Errorf("SimHashCPF(%v) = %v, want %v", c.alpha, got, c.want)
+		}
+	}
+	// Clamping out-of-range arguments.
+	if SimHashCPF(1.5) != 1 || SimHashCPF(-1.5) != 0 {
+		t.Error("SimHashCPF should clamp")
+	}
+}
+
+func TestSimHashEmpirical(t *testing.T) {
+	checkSphereCPF(t, SimHash(testDim), []float64{-0.9, -0.5, 0, 0.4, 0.8, 0.99}, 20000)
+}
+
+func TestAntiSimHashEmpirical(t *testing.T) {
+	checkSphereCPF(t, AntiSimHash(testDim), []float64{-0.8, 0, 0.6, 0.95}, 20000)
+}
+
+func TestAntiSimHashIsMirrorOfSimHash(t *testing.T) {
+	f := SimHash(testDim).CPF()
+	g := AntiSimHash(testDim).CPF()
+	for _, a := range []float64{-0.7, -0.2, 0, 0.3, 0.9} {
+		if math.Abs(f.Eval(-a)-g.Eval(a)) > 1e-14 {
+			t.Errorf("mirror identity fails at %v", a)
+		}
+	}
+}
+
+func TestNegateQueryWrapsCPF(t *testing.T) {
+	fam := NegateQuery(SimHash(testDim))
+	for _, a := range []float64{-0.5, 0, 0.5} {
+		if math.Abs(fam.CPF().Eval(a)-SimHashCPF(-a)) > 1e-14 {
+			t.Errorf("NegateQuery CPF wrong at %v", a)
+		}
+	}
+	checkSphereCPF(t, fam, []float64{-0.5, 0.5}, 20000)
+}
+
+func TestCrossPolytopeCollidesAtAlphaOne(t *testing.T) {
+	rng := xrand.New(1)
+	fam := CrossPolytope(testDim)
+	x := vec.RandomUnit(rng, testDim)
+	for i := 0; i < 50; i++ {
+		pair := fam.Sample(rng)
+		if !pair.Collides(x, x) {
+			t.Fatal("CP+ must collide for identical points")
+		}
+	}
+}
+
+func TestAntiCrossPolytopeNeverCollidesAtAlphaOne(t *testing.T) {
+	rng := xrand.New(2)
+	fam := AntiCrossPolytope(testDim)
+	x := vec.RandomUnit(rng, testDim)
+	for i := 0; i < 200; i++ {
+		pair := fam.Sample(rng)
+		if pair.Collides(x, x) {
+			t.Fatal("CP- must never collide for identical points (antipodal images)")
+		}
+	}
+}
+
+func TestCrossPolytopeMonotoneInAlpha(t *testing.T) {
+	rng := xrand.New(3)
+	fam := CrossPolytope(testDim)
+	var prev float64 = -1
+	for _, a := range []float64{-0.8, -0.3, 0.2, 0.6, 0.9} {
+		est := core.EstimateCollision(rng, fam, pairsAt, a, 8000, 5)
+		if est.P < prev-0.02 {
+			t.Fatalf("CP+ empirical CPF not increasing: %v after %v", est.P, prev)
+		}
+		prev = est.P
+	}
+}
+
+func TestCrossPolytopeMirrorSymmetry(t *testing.T) {
+	// CP-(alpha) should match CP+(-alpha) (Corollary 2.2): both are
+	// rotation-invariant functionals of the inner product.
+	rng := xrand.New(4)
+	plus := CrossPolytope(testDim)
+	minus := AntiCrossPolytope(testDim)
+	for _, a := range []float64{-0.5, 0, 0.5} {
+		ePlus := core.EstimateCollision(rng, plus, pairsAt, -a, 20000, 5)
+		eMinus := core.EstimateCollision(rng, minus, pairsAt, a, 20000, 5)
+		if math.Abs(ePlus.P-eMinus.P) > 0.02 {
+			t.Errorf("alpha=%v: CP+(-a)=%v vs CP-(a)=%v", a, ePlus.P, eMinus.P)
+		}
+	}
+}
+
+func TestCrossPolytopeAsymptoticShape(t *testing.T) {
+	// ln(1/f(alpha)) should grow roughly like (1-a)/(1+a) ln d; test the
+	// ratio between two alphas, where the ln ln d terms partially cancel.
+	rng := xrand.New(5)
+	fam := CrossPolytope(64)
+	gen := func(r *xrand.Rand, a float64) (Point, Point) {
+		return vec.UnitPairWithDot(r, 64, a)
+	}
+	estLo := core.EstimateCollision(rng, fam, gen, 0.0, 60000, 5)
+	estHi := core.EstimateCollision(rng, fam, gen, 0.6, 60000, 5)
+	gotRatio := math.Log(1/estLo.P) / math.Log(1/estHi.P)
+	wantRatio := 1.0 / ((1 - 0.6) / (1 + 0.6)) // = 4
+	if gotRatio < wantRatio*0.5 || gotRatio > wantRatio*1.6 {
+		t.Errorf("asymptotic ratio = %v, want within 50%% of %v", gotRatio, wantRatio)
+	}
+}
+
+func TestDefaultFilterM(t *testing.T) {
+	if m := DefaultFilterM(1); m < 5 || m > 50 {
+		t.Errorf("m(t=1) = %d out of plausible range", m)
+	}
+	m1, m2 := DefaultFilterM(1), DefaultFilterM(2)
+	if m2 <= m1 {
+		t.Error("m should grow with t")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("t <= 0 should panic")
+		}
+	}()
+	DefaultFilterM(0)
+}
+
+func TestFilterPlusExactCPF(t *testing.T) {
+	fam := NewFilterPlus(testDim, 1.5)
+	checkSphereCPF(t, fam, []float64{-0.5, 0, 0.4, 0.8}, 20000)
+}
+
+func TestFilterMinusExactCPF(t *testing.T) {
+	fam := NewFilterMinus(testDim, 1.5)
+	checkSphereCPF(t, fam, []float64{-0.8, -0.4, 0, 0.5}, 20000)
+}
+
+func TestFilterMirrorIdentity(t *testing.T) {
+	// Lemma A.1: f+(alpha) = f-(-alpha) exactly, in the closed forms.
+	plus := NewFilterPlus(testDim, 1.2)
+	minus := NewFilterMinus(testDim, 1.2)
+	for _, a := range []float64{-0.9, -0.3, 0, 0.4, 0.9} {
+		if math.Abs(plus.ExactCPF(a)-minus.ExactCPF(-a)) > 1e-14 {
+			t.Errorf("mirror identity fails at alpha=%v", a)
+		}
+	}
+}
+
+func TestFilterCPFMonotone(t *testing.T) {
+	plus := NewFilterPlus(testDim, 2)
+	minus := NewFilterMinus(testDim, 2)
+	prevP, prevM := -1.0, 2.0
+	for a := -0.95; a <= 0.96; a += 0.05 {
+		p := plus.ExactCPF(a)
+		m := minus.ExactCPF(a)
+		if p < prevP-1e-12 {
+			t.Fatalf("D+ CPF not increasing at %v", a)
+		}
+		if m > prevM+1e-12 {
+			t.Fatalf("D- CPF not decreasing at %v", a)
+		}
+		prevP, prevM = p, m
+	}
+}
+
+func TestFilterAsymptoticTracksExact(t *testing.T) {
+	// ln(1/f(alpha)) - (1±a)/(1∓a) t²/2 should be Theta(log t): check the
+	// deviation is modest for moderate t.
+	for _, tt := range []float64{2, 2.5} {
+		fam := NewFilterMinus(testDim, tt)
+		for _, a := range []float64{-0.4, 0, 0.4} {
+			exact := -math.Log(fam.ExactCPF(a))
+			asym := fam.AsymptoticLogInvCPF(a)
+			dev := math.Abs(exact - asym)
+			if dev > 4*math.Log(tt)+4 {
+				t.Errorf("t=%v alpha=%v: |ln(1/f) - asym| = %v too large (exact %v, asym %v)",
+					tt, a, dev, exact, asym)
+			}
+		}
+	}
+}
+
+func TestFilterLowMTruncation(t *testing.T) {
+	// With tiny m the miss probability is large; the exact CPF accounts
+	// for the truncation. Verify empirically.
+	fam := NewFilterWithM(testDim, 1.5, 3, false)
+	checkSphereCPF(t, fam, []float64{0, 0.6}, 20000)
+}
+
+func TestFilterConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewFilterPlus(0, 1) },
+		func() { NewFilterPlus(4, -1) },
+		func() { NewFilterWithM(4, 1, 0, false) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAnnulusCPFUnimodal(t *testing.T) {
+	fam := NewAnnulus(testDim, 0.3, 1.6)
+	f := fam.CPF()
+	peak := fam.AlphaMax()
+	fPeak := f.Eval(peak)
+	// The CPF should be below its peak value away from alphaMax on both
+	// sides, and decreasing as we move out.
+	left := []float64{peak - 0.2, peak - 0.5, peak - 0.9}
+	right := []float64{peak + 0.2, peak + 0.5}
+	prev := fPeak
+	for _, a := range left {
+		v := f.Eval(a)
+		if v > prev*1.05 {
+			t.Errorf("CPF not decaying left of peak: f(%v)=%v after %v", a, v, prev)
+		}
+		prev = v
+	}
+	prev = fPeak
+	for _, a := range right {
+		v := f.Eval(a)
+		if v > prev*1.05 {
+			t.Errorf("CPF not decaying right of peak: f(%v)=%v after %v", a, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAnnulusPeakNearAlphaMax(t *testing.T) {
+	for _, amax := range []float64{-0.3, 0, 0.4} {
+		fam := NewAnnulus(testDim, amax, 2)
+		f := fam.CPF()
+		bestA, bestV := -1.0, -1.0
+		for a := -0.95; a <= 0.95; a += 0.01 {
+			if v := f.Eval(a); v > bestV {
+				bestV, bestA = v, a
+			}
+		}
+		if math.Abs(bestA-amax) > 0.15 {
+			t.Errorf("amax=%v: CPF peaks at %v", amax, bestA)
+		}
+	}
+}
+
+func TestAnnulusEmpirical(t *testing.T) {
+	fam := NewAnnulus(testDim, 0.2, 1.4)
+	checkSphereCPF(t, fam, []float64{-0.4, 0.2, 0.7}, 20000)
+}
+
+func TestAnnulusBounds(t *testing.T) {
+	aMinus, aPlus := AnnulusBounds(0, 2)
+	// a(alpha) = (1-alpha)/(1+alpha); aMax = 1. Boundaries a=2 and a=0.5:
+	// alpha- = (1-2)/(1+2) = -1/3, alpha+ = (1-0.5)/(1.5) = 1/3.
+	if math.Abs(aMinus+1.0/3) > 1e-12 || math.Abs(aPlus-1.0/3) > 1e-12 {
+		t.Errorf("bounds = %v, %v", aMinus, aPlus)
+	}
+	if aMinus >= aPlus {
+		t.Error("bounds inverted")
+	}
+	// Larger s widens the interval.
+	lo3, hi3 := AnnulusBounds(0, 3)
+	if lo3 >= aMinus || hi3 <= aPlus {
+		t.Error("wider s should widen interval")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("s <= 1 should panic")
+		}
+	}()
+	AnnulusBounds(0, 1)
+}
+
+func TestAnnulusCPFComparableAcrossBoundary(t *testing.T) {
+	// Theorem 6.2: at the two interval boundaries ln(1/f) should be
+	// approximately equal.
+	fam := NewAnnulus(testDim, 0.25, 2)
+	aMinus, aPlus := AnnulusBounds(0.25, 2)
+	f := fam.CPF()
+	l1 := -math.Log(f.Eval(aMinus))
+	l2 := -math.Log(f.Eval(aPlus))
+	if math.Abs(l1-l2) > 0.35*math.Max(l1, l2) {
+		t.Errorf("boundary log-inv-CPFs differ: %v vs %v", l1, l2)
+	}
+}
+
+func TestAnnulusConstructorPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewAnnulus(testDim, 1, 1) },
+		func() { NewAnnulus(testDim, 0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,79 @@
+package sphere
+
+import (
+	"fmt"
+	"math"
+
+	"dsh/internal/core"
+)
+
+// NewStep composes unimodal annulus families into an approximate
+// "step function" CPF (the Figure 2 construction, via Lemma 1.4(b)): the
+// result is roughly flat for alpha in [alphaLo, alphaHi] and decays
+// quickly below alphaLo. levels is the number of unimodal components; their
+// peaks are spread evenly across the plateau and their mixture weights are
+// chosen inversely proportional to each component's own peak value so the
+// plateau is level.
+//
+// Step CPFs give output-sensitive range reporting (Theorem 6.5) and the
+// privacy-preserving distance estimation protocol of Section 6.4, where a
+// flat plateau is exactly the "reveal nothing about how close" property.
+func NewStep(d int, alphaLo, alphaHi float64, levels int, t float64) core.Family[Point] {
+	if alphaLo >= alphaHi {
+		panic("sphere: step plateau empty")
+	}
+	if alphaLo <= -1 || alphaHi >= 1 {
+		panic("sphere: plateau must lie inside (-1, 1)")
+	}
+	if levels < 1 {
+		panic("sphere: need at least one level")
+	}
+	parts := make([]core.Family[Point], levels)
+	weights := make([]float64, levels)
+	var total float64
+	for i := 0; i < levels; i++ {
+		frac := 0.5
+		if levels > 1 {
+			frac = float64(i) / float64(levels-1)
+		}
+		alpha := alphaLo + frac*(alphaHi-alphaLo)
+		fam := NewAnnulus(d, alpha, t)
+		parts[i] = fam
+		peak := fam.CPF().Eval(alpha)
+		if peak <= 0 {
+			panic("sphere: degenerate step component")
+		}
+		weights[i] = 1 / peak
+		total += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	mix := core.Mixture(parts, weights)
+	return core.Renamed[Point]{
+		Inner:   mix,
+		NewName: fmt.Sprintf("step(d=%d,[%.2g,%.2g],levels=%d,t=%.3g)", d, alphaLo, alphaHi, levels, t),
+	}
+}
+
+// PlateauStats reports the minimum and maximum of a CPF over an interval,
+// sampled on a grid; the fmax/fmin ratio controls the output sensitivity of
+// Theorem 6.5.
+func PlateauStats(f core.CPF, lo, hi float64, gridPoints int) (fmin, fmax float64) {
+	if gridPoints < 2 {
+		gridPoints = 2
+	}
+	fmin = math.Inf(1)
+	fmax = math.Inf(-1)
+	for i := 0; i < gridPoints; i++ {
+		a := lo + (hi-lo)*float64(i)/float64(gridPoints-1)
+		v := f.Eval(a)
+		if v < fmin {
+			fmin = v
+		}
+		if v > fmax {
+			fmax = v
+		}
+	}
+	return fmin, fmax
+}

@@ -1,0 +1,60 @@
+package sphere
+
+import (
+	"testing"
+)
+
+func TestStepPlateauFlat(t *testing.T) {
+	fam := NewStep(testDim, 0.3, 0.9, 5, 1.8)
+	f := fam.CPF()
+	fmin, fmax := PlateauStats(f, 0.3, 0.9, 40)
+	if fmin <= 0 {
+		t.Fatalf("plateau min = %v", fmin)
+	}
+	if ratio := fmax / fmin; ratio > 4 {
+		t.Errorf("plateau fmax/fmin = %v, want <= 4", ratio)
+	}
+}
+
+func TestStepDecaysBelowPlateau(t *testing.T) {
+	fam := NewStep(testDim, 0.3, 0.9, 5, 2.4)
+	f := fam.CPF()
+	fmin, _ := PlateauStats(f, 0.3, 0.9, 40)
+	// Well below the plateau the CPF must be much smaller than fmin.
+	if v := f.Eval(-0.3); v > fmin/4 {
+		t.Errorf("f(-0.3) = %v not well below plateau min %v", v, fmin)
+	}
+	if v := f.Eval(-0.7); v > fmin/20 {
+		t.Errorf("f(-0.7) = %v not far below plateau min %v", v, fmin)
+	}
+}
+
+func TestStepEmpirical(t *testing.T) {
+	fam := NewStep(testDim, 0.2, 0.8, 3, 1.5)
+	checkSphereCPF(t, fam, []float64{-0.3, 0.4, 0.7}, 20000)
+}
+
+func TestStepValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewStep(testDim, 0.5, 0.4, 3, 1) },
+		func() { NewStep(testDim, -1, 0.5, 3, 1) },
+		func() { NewStep(testDim, 0.1, 0.5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPlateauStatsDegenerate(t *testing.T) {
+	f := SimHash(testDim).CPF()
+	fmin, fmax := PlateauStats(f, 0.5, 0.5, 1)
+	if fmin != fmax {
+		t.Errorf("single-point plateau: %v != %v", fmin, fmax)
+	}
+}

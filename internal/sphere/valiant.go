@@ -1,0 +1,166 @@
+package sphere
+
+import (
+	"fmt"
+	"math"
+
+	"dsh/internal/core"
+	"dsh/internal/poly"
+	"dsh/internal/sketch"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+// ValiantEmbeddings returns the asymmetric pair of maps phi1, phi2 of
+// Valiant (used by Theorem 5.1): for P(t) = sum a_i t^i with
+// sum |a_i| = 1 they satisfy, for unit vectors x and y,
+//
+//	<phi1(x), phi2(y)> = P(<x, y>),   |phi1(x)| = |phi2(y)| = 1.
+//
+// Block i is sqrt|a_i| * x^(i) on the data side and
+// sign(a_i) * sqrt|a_i| * y^(i) on the query side; zero-coefficient blocks
+// are omitted from both. The output dimension is sum over nonzero a_i of
+// d^i, so keep d and deg(P) small or use NewSketchValiant.
+func ValiantEmbeddings(d int, p poly.Poly) (phi1, phi2 func(Point) Point, err error) {
+	if p.IsZero() {
+		return nil, nil, fmt.Errorf("sphere: zero polynomial")
+	}
+	if s := p.AbsCoeffSum(); math.Abs(s-1) > 1e-9 {
+		return nil, nil, fmt.Errorf("sphere: absolute coefficient sum is %v, want 1", s)
+	}
+	coeffs := append([]float64(nil), p.Coeffs...)
+	build := func(query bool) func(Point) Point {
+		return func(x Point) Point {
+			if len(x) != d {
+				panic("sphere: embedding dimension mismatch")
+			}
+			var out []float64
+			for i, a := range coeffs {
+				if a == 0 {
+					continue
+				}
+				scale := math.Sqrt(math.Abs(a))
+				if query && a < 0 {
+					scale = -scale
+				}
+				out = append(out, vec.Scaled(vec.TensorPower(x, i), scale)...)
+			}
+			return out
+		}
+	}
+	return build(false), build(true), nil
+}
+
+// valiantFamily realizes Theorem 5.1 with SimHash as the LSHable angular
+// similarity: CPF(alpha) = sim(P(alpha)) = 1 - arccos(P(alpha))/pi.
+type valiantFamily struct {
+	d    int
+	dim  int // embedded dimension
+	p    poly.Poly
+	phi1 func(Point) Point
+	phi2 func(Point) Point
+}
+
+// NewValiant returns the Theorem 5.1 family for input dimension d and
+// polynomial p (with absolute coefficient sum 1), using SimHash on the
+// exact Valiant embedding. Its CPF is exactly
+// SimHashCPF(P(alpha)) = 1 - arccos(P(alpha))/pi.
+func NewValiant(d int, p poly.Poly) (core.Family[Point], error) {
+	phi1, phi2, err := ValiantEmbeddings(d, p)
+	if err != nil {
+		return nil, err
+	}
+	dim := 0
+	for i, a := range p.Coeffs {
+		if a != 0 {
+			n := 1
+			for j := 0; j < i; j++ {
+				n *= d
+			}
+			dim += n
+		}
+	}
+	return valiantFamily{d: d, dim: dim, p: p, phi1: phi1, phi2: phi2}, nil
+}
+
+func (v valiantFamily) Name() string { return fmt.Sprintf("valiant(d=%d,%s)", v.d, v.p) }
+
+func (v valiantFamily) Sample(rng *xrand.Rand) core.Pair[Point] {
+	g := vec.Gaussian(rng, v.dim)
+	h := core.HasherFunc[Point](func(x Point) uint64 {
+		if vec.Dot(g, v.phi1(x)) >= 0 {
+			return 1
+		}
+		return 0
+	})
+	q := core.HasherFunc[Point](func(y Point) uint64 {
+		if vec.Dot(g, v.phi2(y)) >= 0 {
+			return 1
+		}
+		return 0
+	})
+	return core.Pair[Point]{H: h, G: q}
+}
+
+func (v valiantFamily) CPF() core.CPF {
+	p := v.p
+	return core.CPF{Domain: core.DomainInnerProduct, Eval: func(alpha float64) float64 {
+		return SimHashCPF(p.Eval(alpha))
+	}}
+}
+
+// sketchValiant approximates the Valiant embedding with TensorSketch so the
+// embedded dimension is O(deg(P) * width) instead of d^deg(P).
+type sketchValiant struct {
+	d     int
+	width int
+	p     poly.Poly
+}
+
+// NewSketchValiant returns a Theorem 5.1 family whose embeddings are
+// TensorSketch approximations of width `width` (rounded to a power of two):
+// its CPF approaches SimHashCPF(P(alpha)) as width grows, with O(1/sqrt(width))
+// error. Use NewValiant when d^deg(P) is affordable and exactness matters.
+func NewSketchValiant(d int, p poly.Poly, width int) (core.Family[Point], error) {
+	if p.IsZero() {
+		return nil, fmt.Errorf("sphere: zero polynomial")
+	}
+	if s := p.AbsCoeffSum(); math.Abs(s-1) > 1e-9 {
+		return nil, fmt.Errorf("sphere: absolute coefficient sum is %v, want 1", s)
+	}
+	if width < 2 {
+		return nil, fmt.Errorf("sphere: sketch width must be >= 2")
+	}
+	return sketchValiant{d: d, width: width, p: p}, nil
+}
+
+func (v sketchValiant) Name() string {
+	return fmt.Sprintf("sketchvaliant(d=%d,w=%d,%s)", v.d, v.width, v.p)
+}
+
+func (v sketchValiant) Sample(rng *xrand.Rand) core.Pair[Point] {
+	ps := sketch.NewPolySketch(rng, v.d, v.p.Coeffs, v.width)
+	// The embedded dimension is 1 + (deg blocks) * roundedWidth; probe it.
+	probe := ps.Left(make([]float64, v.d))
+	g := vec.Gaussian(rng, len(probe))
+	h := core.HasherFunc[Point](func(x Point) uint64 {
+		if vec.Dot(g, ps.Left(x)) >= 0 {
+			return 1
+		}
+		return 0
+	})
+	q := core.HasherFunc[Point](func(y Point) uint64 {
+		if vec.Dot(g, ps.Right(y)) >= 0 {
+			return 1
+		}
+		return 0
+	})
+	return core.Pair[Point]{H: h, G: q}
+}
+
+func (v sketchValiant) CPF() core.CPF {
+	p := v.p
+	return core.CPF{Domain: core.DomainInnerProduct, Eval: func(alpha float64) float64 {
+		return SimHashCPF(p.Eval(alpha))
+	}}
+}

@@ -1,0 +1,163 @@
+package sphere
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/core"
+	"dsh/internal/poly"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+const valiantDim = 6
+
+func valiantPairs(rng *xrand.Rand, alpha float64) (Point, Point) {
+	return vec.UnitPairWithDot(rng, valiantDim, alpha)
+}
+
+func TestValiantEmbeddingsInnerProduct(t *testing.T) {
+	rng := xrand.New(1)
+	// P(t) = 0.25 - 0.25 t + 0.5 t^2: abs sum = 1.
+	p := poly.New(0.25, -0.25, 0.5)
+	phi1, phi2, err := ValiantEmbeddings(valiantDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{-0.8, -0.2, 0, 0.5, 1} {
+		x, y := vec.UnitPairWithDot(rng, valiantDim, alpha)
+		e1, e2 := phi1(x), phi2(y)
+		if math.Abs(vec.Norm(e1)-1) > 1e-10 || math.Abs(vec.Norm(e2)-1) > 1e-10 {
+			t.Fatalf("embeddings not unit norm: %v, %v", vec.Norm(e1), vec.Norm(e2))
+		}
+		got := vec.Dot(e1, e2)
+		want := p.Eval(alpha)
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("alpha=%v: <phi1,phi2> = %v, want %v", alpha, got, want)
+		}
+	}
+}
+
+func TestValiantEmbeddingsRejectsBadPolynomials(t *testing.T) {
+	if _, _, err := ValiantEmbeddings(4, poly.New(0.5, 0.2)); err == nil {
+		t.Error("abs sum != 1 should error")
+	}
+	if _, _, err := ValiantEmbeddings(4, poly.Poly{}); err == nil {
+		t.Error("zero polynomial should error")
+	}
+}
+
+func TestValiantFamilyCPF(t *testing.T) {
+	// Figure 4 example: P(t) = t^2.
+	p := poly.New(0, 0, 1)
+	fam, err := NewValiant(valiantDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(2)
+	for _, alpha := range []float64{-0.7, 0, 0.5, 0.9} {
+		est := core.EstimateCollision(rng, fam, valiantPairs, alpha, 20000, 5)
+		want := SimHashCPF(alpha * alpha)
+		if !est.Interval.Contains(want) {
+			t.Errorf("alpha=%v: estimate %v excludes %v", alpha, est.P, want)
+		}
+	}
+}
+
+func TestValiantFamilyNegativePolynomial(t *testing.T) {
+	// P(t) = -t^2: CPF = 1 - arccos(-a^2)/pi, *decreasing* in |alpha|.
+	p := poly.New(0, 0, -1)
+	fam, err := NewValiant(valiantDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(3)
+	for _, alpha := range []float64{0, 0.6, -0.6} {
+		est := core.EstimateCollision(rng, fam, valiantPairs, alpha, 20000, 5)
+		want := SimHashCPF(-alpha * alpha)
+		if !est.Interval.Contains(want) {
+			t.Errorf("alpha=%v: estimate %v excludes %v", alpha, est.P, want)
+		}
+	}
+}
+
+func TestValiantFamilyMixedPolynomial(t *testing.T) {
+	// Figure 4 example: P(t) = (-t^3 + t^2 - t)/3.
+	p := poly.New(0, -1.0/3, 1.0/3, -1.0/3)
+	fam, err := NewValiant(valiantDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(4)
+	for _, alpha := range []float64{-0.8, 0.3} {
+		est := core.EstimateCollision(rng, fam, valiantPairs, alpha, 20000, 5)
+		want := SimHashCPF(p.Eval(alpha))
+		if !est.Interval.Contains(want) {
+			t.Errorf("alpha=%v: estimate %v excludes %v", alpha, est.P, want)
+		}
+	}
+}
+
+func TestValiantChebyshevNormalized(t *testing.T) {
+	// Figure 4 right panel: normalized Chebyshev T_3: (4t^3 - 3t)/7.
+	p := poly.Chebyshev(3).NormalizeAbsSum()
+	fam, err := NewValiant(valiantDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	for _, alpha := range []float64{-0.9, 0, 0.9} {
+		est := core.EstimateCollision(rng, fam, valiantPairs, alpha, 20000, 5)
+		want := SimHashCPF(p.Eval(alpha))
+		if !est.Interval.Contains(want) {
+			t.Errorf("alpha=%v: estimate %v excludes %v", alpha, est.P, want)
+		}
+	}
+}
+
+func TestSketchValiantApproximatesExact(t *testing.T) {
+	p := poly.New(0, 0, 1) // t^2
+	fam, err := NewSketchValiant(valiantDim, p, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(6)
+	for _, alpha := range []float64{0, 0.7} {
+		est := core.EstimateCollision(rng, fam, valiantPairs, alpha, 15000, 5)
+		want := SimHashCPF(alpha * alpha)
+		// Sketch error tolerance on top of Monte-Carlo noise.
+		if math.Abs(est.P-want) > 0.03 {
+			t.Errorf("alpha=%v: estimate %v, want ~%v", alpha, est.P, want)
+		}
+	}
+}
+
+func TestSketchValiantValidation(t *testing.T) {
+	if _, err := NewSketchValiant(4, poly.New(0.9, 0.9), 64); err == nil {
+		t.Error("abs sum != 1 should error")
+	}
+	if _, err := NewSketchValiant(4, poly.New(1), 1); err == nil {
+		t.Error("tiny width should error")
+	}
+	if _, err := NewSketchValiant(4, poly.Poly{}, 64); err == nil {
+		t.Error("zero polynomial should error")
+	}
+}
+
+func TestValiantHyperplaneQueryShape(t *testing.T) {
+	// Section 6.1: a CPF peaking at alpha = 0 for hyperplane queries can be
+	// built from P(t) = -t^2 (CPF maximal where <x,q> = 0). Verify the
+	// analytic CPF peaks at 0.
+	p := poly.New(0, 0, -1)
+	fam, err := NewValiant(valiantDim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fam.CPF()
+	f0 := f.Eval(0)
+	for _, alpha := range []float64{-0.9, -0.5, 0.5, 0.9} {
+		if f.Eval(alpha) >= f0 {
+			t.Errorf("CPF(%v) = %v not below peak %v", alpha, f.Eval(alpha), f0)
+		}
+	}
+}

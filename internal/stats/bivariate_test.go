@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/xrand"
+)
+
+func TestBivariateIndependent(t *testing.T) {
+	// rho = 0: CDF factorizes.
+	for _, h := range []float64{-2, -0.5, 0, 1, 2.5} {
+		for _, k := range []float64{-1.5, 0, 0.7, 3} {
+			got := BivariateNormalCDF(h, k, 0)
+			want := NormalCDF(h) * NormalCDF(k)
+			if !approxEq(got, want, 1e-12) {
+				t.Errorf("CDF(%v,%v,0) = %v, want %v", h, k, got, want)
+			}
+		}
+	}
+}
+
+func TestBivariatePerfectCorrelation(t *testing.T) {
+	for _, h := range []float64{-1, 0, 1} {
+		for _, k := range []float64{-1, 0.5, 2} {
+			got := BivariateNormalCDF(h, k, 1)
+			want := NormalCDF(math.Min(h, k))
+			if !approxEq(got, want, 1e-12) {
+				t.Errorf("CDF(%v,%v,1) = %v, want %v", h, k, got, want)
+			}
+		}
+	}
+}
+
+func TestBivariateAntiCorrelation(t *testing.T) {
+	for _, h := range []float64{-1, 0, 1, 2} {
+		for _, k := range []float64{-1, 0.5, 2} {
+			got := BivariateNormalCDF(h, k, -1)
+			want := math.Max(0, NormalCDF(h)+NormalCDF(k)-1)
+			if !approxEq(got, want, 1e-12) {
+				t.Errorf("CDF(%v,%v,-1) = %v, want %v", h, k, got, want)
+			}
+		}
+	}
+}
+
+func TestBivariateKnownValues(t *testing.T) {
+	// Reference values computed with high-precision quadrature
+	// (Owen's T function identities); standard test points.
+	cases := []struct{ h, k, rho, want float64 }{
+		{0, 0, 0.5, 1.0 / 3},  // classical: Phi2(0,0,rho) = 1/4 + asin(rho)/(2 pi)
+		{0, 0, -0.5, 1.0 / 6}, // 1/4 - asin(0.5)/(2 pi) = 1/4 - 1/12
+		{0, 0, 0.99, 0.25 + math.Asin(0.99)/(2*math.Pi)},
+		{0, 0, -0.99, 0.25 + math.Asin(-0.99)/(2*math.Pi)},
+	}
+	for _, c := range cases {
+		got := BivariateNormalCDF(c.h, c.k, c.rho)
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("CDF(%v,%v,%v) = %v, want %v", c.h, c.k, c.rho, got, c.want)
+		}
+	}
+}
+
+func TestBivariateZeroZeroIdentity(t *testing.T) {
+	// Phi2(0, 0, rho) = 1/4 + asin(rho) / (2 pi) for all rho.
+	for rho := -0.95; rho <= 0.96; rho += 0.05 {
+		got := BivariateNormalCDF(0, 0, rho)
+		want := 0.25 + math.Asin(rho)/(2*math.Pi)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("Phi2(0,0,%v) = %v, want %v", rho, got, want)
+		}
+	}
+}
+
+func TestBivariateMonotoneInRho(t *testing.T) {
+	// For fixed h=k=t the orthant probability is increasing in rho
+	// (Slepian's inequality).
+	for _, tt := range []float64{0.5, 1, 2} {
+		prev := -1.0
+		for rho := -0.9; rho <= 0.91; rho += 0.1 {
+			p := BivariateNormalOrthant(tt, rho)
+			if p < prev-1e-12 {
+				t.Errorf("orthant prob not monotone at t=%v rho=%v: %v < %v", tt, rho, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestBivariateOrthantVsMonteCarlo(t *testing.T) {
+	rng := xrand.New(99)
+	const n = 2000000
+	for _, c := range []struct{ t, rho float64 }{{1, 0.3}, {0.5, -0.6}, {1.5, 0.8}} {
+		hits := 0
+		s := math.Sqrt(1 - c.rho*c.rho)
+		for i := 0; i < n; i++ {
+			z1 := rng.NormFloat64()
+			z2 := rng.NormFloat64()
+			x := z1
+			y := c.rho*z1 + s*z2
+			if x >= c.t && y >= c.t {
+				hits++
+			}
+		}
+		mc := float64(hits) / n
+		analytic := BivariateNormalOrthant(c.t, c.rho)
+		iv := WilsonInterval(hits, n, 5)
+		if !iv.Contains(analytic) {
+			t.Errorf("orthant(t=%v,rho=%v): analytic %v outside MC interval [%v,%v] (mc=%v)",
+				c.t, c.rho, analytic, iv.Lo, iv.Hi, mc)
+		}
+	}
+}
+
+func TestOppositeOrthantSymmetry(t *testing.T) {
+	for _, tt := range []float64{0.5, 1, 2} {
+		for _, rho := range []float64{-0.7, -0.2, 0, 0.4, 0.9} {
+			a := BivariateNormalOppositeOrthant(tt, rho)
+			b := BivariateNormalOrthant(tt, -rho)
+			if !approxEq(a, b, 1e-14) {
+				t.Errorf("opposite orthant mismatch t=%v rho=%v: %v vs %v", tt, rho, a, b)
+			}
+		}
+	}
+}
+
+func TestSavageBoundsBracketExact(t *testing.T) {
+	// Savage's bounds should bracket the true orthant probability for
+	// t large enough that the lower-bound factor is positive.
+	for _, c := range []struct{ t, alpha float64 }{{3, 0.2}, {4, 0.5}, {5, -0.3}, {6, 0.7}} {
+		lo, hi := SavageBounds(c.t, c.alpha)
+		exact := BivariateNormalOrthant(c.t, c.alpha)
+		if lo > exact*(1+1e-9) {
+			t.Errorf("Savage lower bound violated at t=%v alpha=%v: lo=%v exact=%v", c.t, c.alpha, lo, exact)
+		}
+		if hi < exact*(1-1e-9) {
+			t.Errorf("Savage upper bound violated at t=%v alpha=%v: hi=%v exact=%v", c.t, c.alpha, hi, exact)
+		}
+		if lo > hi {
+			t.Errorf("Savage bounds inverted at t=%v alpha=%v", c.t, c.alpha)
+		}
+	}
+}
+
+func TestBivariateCDFInUnitRange(t *testing.T) {
+	for _, h := range []float64{-3, -1, 0, 1, 3} {
+		for _, k := range []float64{-3, 0, 3} {
+			for _, rho := range []float64{-0.99, -0.5, 0, 0.5, 0.93, 0.99} {
+				p := BivariateNormalCDF(h, k, rho)
+				if p < 0 || p > 1 || math.IsNaN(p) {
+					t.Errorf("CDF(%v,%v,%v) = %v out of range", h, k, rho, p)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package stats
+
+import "math"
+
+// Integrate computes the definite integral of f over [a, b] by adaptive
+// Simpson quadrature with absolute tolerance tol. It handles a > b by sign
+// flip and returns 0 for a == b.
+func Integrate(f func(float64) float64, a, b, tol float64) float64 {
+	if a == b {
+		return 0
+	}
+	if a > b {
+		return -Integrate(f, b, a, tol)
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	fa, fb := f(a), f(b)
+	m, fm, whole := simpsonStep(f, a, b, fa, fb)
+	return adaptiveSimpson(f, a, b, fa, fb, m, fm, whole, tol, 50)
+}
+
+// simpsonStep returns the midpoint, f(midpoint), and the Simpson estimate
+// over [a, b].
+func simpsonStep(f func(float64) float64, a, b, fa, fb float64) (m, fm, s float64) {
+	m = (a + b) / 2
+	fm = f(m)
+	s = (b - a) / 6 * (fa + 4*fm + fb)
+	return
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fb, m, fm, whole, tol float64, depth int) float64 {
+	lm, flm, left := simpsonStep(f, a, m, fa, fm)
+	rm, frm, right := simpsonStep(f, m, b, fm, fb)
+	delta := left + right - whole
+	if depth <= 0 || math.Abs(delta) <= 15*tol {
+		return left + right + delta/15
+	}
+	return adaptiveSimpson(f, a, m, fa, fm, lm, flm, left, tol/2, depth-1) +
+		adaptiveSimpson(f, m, b, fm, fb, rm, frm, right, tol/2, depth-1)
+}

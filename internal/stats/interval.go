@@ -1,0 +1,177 @@
+package stats
+
+import "math"
+
+// Interval is a closed confidence interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// WilsonInterval returns the Wilson score interval for a binomial proportion
+// with successes out of trials at the given z-score (e.g. z = 4 for a ~6e-5
+// two-sided failure probability). It is well-behaved for proportions near 0
+// and 1, which is the regime of LSH collision probabilities.
+func WilsonInterval(successes, trials int, z float64) Interval {
+	if trials <= 0 {
+		return Interval{0, 1}
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo := center - half
+	hi := center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{lo, hi}
+}
+
+// ClopperPearsonInterval returns the exact (conservative) Clopper-Pearson
+// interval for a binomial proportion at two-sided confidence 1-alpha,
+// computed from the regularized incomplete beta function.
+func ClopperPearsonInterval(successes, trials int, alpha float64) Interval {
+	if trials <= 0 {
+		return Interval{0, 1}
+	}
+	k := float64(successes)
+	n := float64(trials)
+	var lo, hi float64
+	if successes == 0 {
+		lo = 0
+	} else {
+		lo = betaQuantile(alpha/2, k, n-k+1)
+	}
+	if successes == trials {
+		hi = 1
+	} else {
+		hi = betaQuantile(1-alpha/2, k+1, n-k)
+	}
+	return Interval{lo, hi}
+}
+
+// RegIncompleteBeta returns the regularized incomplete beta function
+// I_x(a, b), the CDF of the Beta(a, b) distribution at x, using the
+// continued-fraction expansion (Numerical Recipes betacf).
+func RegIncompleteBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-15
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// betaQuantile inverts the Beta(a, b) CDF by bisection refined with Newton
+// steps; adequate for confidence-interval use.
+func betaQuantile(p, a, b float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	x := 0.5
+	for i := 0; i < 200; i++ {
+		v := RegIncompleteBeta(a, b, x)
+		if v > p {
+			hi = x
+		} else {
+			lo = x
+		}
+		x = (lo + hi) / 2
+		if hi-lo < 1e-14 {
+			break
+		}
+	}
+	return x
+}
+
+// ChernoffUpperTail returns the standard multiplicative Chernoff bound
+// Pr[X >= (1+eps) mu] <= exp(-eps^2 mu / 3) for a sum of independent 0/1
+// variables with mean mu, as used in Section 3.1 of the paper.
+func ChernoffUpperTail(mu, eps float64) float64 {
+	if eps <= 0 || mu <= 0 {
+		return 1
+	}
+	return math.Exp(-eps * eps * mu / 3)
+}
+
+// ChernoffLowerTail returns Pr[X <= (1-eps) mu] <= exp(-eps^2 mu / 2).
+func ChernoffLowerTail(mu, eps float64) float64 {
+	if eps <= 0 || mu <= 0 {
+		return 1
+	}
+	return math.Exp(-eps * eps * mu / 2)
+}

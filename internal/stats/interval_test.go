@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/xrand"
+)
+
+func TestWilsonIntervalBasics(t *testing.T) {
+	iv := WilsonInterval(50, 100, 2)
+	if !(iv.Lo < 0.5 && 0.5 < iv.Hi) {
+		t.Errorf("Wilson(50/100) = %+v should contain 0.5", iv)
+	}
+	if iv.Lo < 0 || iv.Hi > 1 {
+		t.Errorf("Wilson interval out of [0,1]: %+v", iv)
+	}
+}
+
+func TestWilsonIntervalEdges(t *testing.T) {
+	iv0 := WilsonInterval(0, 1000, 3)
+	if iv0.Lo != 0 {
+		t.Errorf("Wilson(0/1000).Lo = %v, want 0", iv0.Lo)
+	}
+	if iv0.Hi <= 0 || iv0.Hi > 0.02 {
+		t.Errorf("Wilson(0/1000).Hi = %v unreasonable", iv0.Hi)
+	}
+	ivAll := WilsonInterval(1000, 1000, 3)
+	if ivAll.Hi != 1 {
+		t.Errorf("Wilson(1000/1000).Hi = %v, want 1", ivAll.Hi)
+	}
+	ivEmpty := WilsonInterval(0, 0, 3)
+	if ivEmpty.Lo != 0 || ivEmpty.Hi != 1 {
+		t.Errorf("Wilson with 0 trials should be [0,1], got %+v", ivEmpty)
+	}
+}
+
+func TestWilsonIntervalShrinksWithN(t *testing.T) {
+	w1 := WilsonInterval(30, 100, 2).Width()
+	w2 := WilsonInterval(300, 1000, 2).Width()
+	w3 := WilsonInterval(3000, 10000, 2).Width()
+	if !(w1 > w2 && w2 > w3) {
+		t.Errorf("widths should shrink: %v, %v, %v", w1, w2, w3)
+	}
+}
+
+func TestWilsonCoverage(t *testing.T) {
+	// Empirical coverage of the z=2 interval should be >= ~95%.
+	rng := xrand.New(7)
+	const p = 0.12
+	const trials = 400
+	const n = 500
+	covered := 0
+	for i := 0; i < trials; i++ {
+		hits := 0
+		for j := 0; j < n; j++ {
+			if rng.Bernoulli(p) {
+				hits++
+			}
+		}
+		if WilsonInterval(hits, n, 2).Contains(p) {
+			covered++
+		}
+	}
+	if rate := float64(covered) / trials; rate < 0.90 {
+		t.Errorf("Wilson z=2 coverage = %v, want >= 0.90", rate)
+	}
+}
+
+func TestRegIncompleteBetaKnown(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0, 0.2, 0.5, 0.9, 1} {
+		if got := RegIncompleteBeta(1, 1, x); !approxEq(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2,2) = 3x^2 - 2x^3.
+	for _, x := range []float64{0.1, 0.37, 0.8} {
+		want := 3*x*x - 2*x*x*x
+		if got := RegIncompleteBeta(2, 2, x); !approxEq(got, want, 1e-12) {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.2, 0.6} {
+		a, b := 3.5, 1.25
+		if got, want := RegIncompleteBeta(a, b, x), 1-RegIncompleteBeta(b, a, 1-x); !approxEq(got, want, 1e-12) {
+			t.Errorf("beta symmetry failed at %v: %v vs %v", x, got, want)
+		}
+	}
+}
+
+func TestClopperPearsonContainsTruth(t *testing.T) {
+	rng := xrand.New(21)
+	const p = 0.3
+	const trials = 200
+	const n = 300
+	covered := 0
+	for i := 0; i < trials; i++ {
+		hits := 0
+		for j := 0; j < n; j++ {
+			if rng.Bernoulli(p) {
+				hits++
+			}
+		}
+		if ClopperPearsonInterval(hits, n, 0.05).Contains(p) {
+			covered++
+		}
+	}
+	// Clopper-Pearson is conservative: coverage should exceed 95%.
+	if rate := float64(covered) / trials; rate < 0.93 {
+		t.Errorf("Clopper-Pearson coverage = %v", rate)
+	}
+}
+
+func TestClopperPearsonEdges(t *testing.T) {
+	iv := ClopperPearsonInterval(0, 100, 0.05)
+	if iv.Lo != 0 {
+		t.Errorf("CP(0/100).Lo = %v", iv.Lo)
+	}
+	// Rule of three: upper bound near 3/n ~ 0.036 for alpha/2 = 0.025.
+	if iv.Hi < 0.02 || iv.Hi > 0.06 {
+		t.Errorf("CP(0/100).Hi = %v, want near 0.036", iv.Hi)
+	}
+	iv = ClopperPearsonInterval(100, 100, 0.05)
+	if iv.Hi != 1 {
+		t.Errorf("CP(100/100).Hi = %v", iv.Hi)
+	}
+}
+
+func TestChernoffBoundsSane(t *testing.T) {
+	if ChernoffUpperTail(100, 0.5) >= 1e-3 {
+		t.Errorf("Chernoff upper tail too weak: %v", ChernoffUpperTail(100, 0.5))
+	}
+	if ChernoffUpperTail(0, 0.5) != 1 || ChernoffUpperTail(10, 0) != 1 {
+		t.Error("degenerate Chernoff bounds should be 1")
+	}
+	if ChernoffLowerTail(100, 0.5) >= ChernoffUpperTail(100, 0.5) {
+		// exp(-mu eps^2/2) < exp(-mu eps^2/3)
+		t.Error("lower-tail bound should be tighter than upper-tail bound")
+	}
+	// Empirical validation: binomial(1000, 0.1), mu=100.
+	rng := xrand.New(5)
+	const reps = 2000
+	exceed := 0
+	for i := 0; i < reps; i++ {
+		x := 0
+		for j := 0; j < 1000; j++ {
+			if rng.Bernoulli(0.1) {
+				x++
+			}
+		}
+		if float64(x) >= 1.5*100 {
+			exceed++
+		}
+	}
+	bound := ChernoffUpperTail(100, 0.5)
+	if emp := float64(exceed) / reps; emp > bound*10+0.005 {
+		t.Errorf("empirical tail %v inconsistent with Chernoff bound %v", emp, bound)
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,119 @@
+// Package stats provides the numerical and statistical substrate for the
+// distance-sensitive hashing library: univariate and bivariate normal
+// distribution functions, tail bounds used in the paper's analysis,
+// confidence intervals for Monte-Carlo collision estimates, summary
+// statistics, least-squares fitting, and adaptive numerical integration.
+//
+// Everything is implemented from scratch on top of the Go standard library
+// (math only); no external numeric packages are used.
+package stats
+
+import "math"
+
+// invSqrt2Pi is 1/sqrt(2*pi).
+const invSqrt2Pi = 0.3989422804014326779399460599343818684758586311649346576659
+
+// NormalPDF returns the standard normal density at x.
+func NormalPDF(x float64) float64 {
+	return invSqrt2Pi * math.Exp(-0.5*x*x)
+}
+
+// NormalCDF returns Phi(x), the standard normal cumulative distribution
+// function, computed via the complementary error function for accuracy in
+// both tails.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalTail returns Pr[Z >= t] = 1 - Phi(t) for a standard normal Z,
+// accurate for large t where 1-Phi(t) underflows naive computation.
+func NormalTail(t float64) float64 {
+	return 0.5 * math.Erfc(t/math.Sqrt2)
+}
+
+// LogNormalTail returns ln Pr[Z >= t] without underflow for large t.
+// For t > 8 it uses the asymptotic expansion
+// ln(phi(t)/t) + ln(1 - 1/t^2 + 3/t^4 - ...) which is accurate to
+// machine precision in that regime.
+func LogNormalTail(t float64) float64 {
+	if t < 8 {
+		return math.Log(NormalTail(t))
+	}
+	// Asymptotic series: Q(t) = phi(t)/t * (1 - 1/t^2 + 3/t^4 - 15/t^6 + ...)
+	t2 := t * t
+	t4 := t2 * t2
+	series := 1 - 1/t2 + 3/t4 - 15/(t4*t2) + 105/(t4*t4) - 945/(t4*t4*t2)
+	return -0.5*t2 - math.Log(t) - 0.5*math.Log(2*math.Pi) + math.Log(series)
+}
+
+// NormalQuantile returns the inverse of the standard normal CDF: the x such
+// that Phi(x) = p. It panics if p is outside (0, 1). The initial estimate is
+// Acklam's rational approximation, refined by one step of Halley's method to
+// full double precision.
+func NormalQuantile(p float64) float64 {
+	if !(p > 0 && p < 1) {
+		panic("stats: NormalQuantile requires 0 < p < 1")
+	}
+	x := acklam(p)
+	// Halley refinement: e = Phi(x) - p; u = e / phi(x);
+	// x <- x - u / (1 + x*u/2).
+	e := NormalCDF(x) - p
+	u := e / NormalPDF(x)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// acklam computes Peter Acklam's rational approximation to the normal
+// quantile, good to about 1.15e-9 relative error.
+func acklam(p float64) float64 {
+	var a = [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	var b = [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01,
+	}
+	var c = [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	var d = [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+	const pLow = 0.02425
+	const pHigh = 1 - pLow
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > pHigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// NormalTailBounds returns the Szarek-Werner style lower and upper bounds on
+// Pr[Z >= t] used in Lemma A.2 of the paper:
+//
+//	phi(t)/(t+1) <= Pr[Z >= t] <= phi(t)/t   (for t > 0).
+//
+// For t <= 0 it returns (0, 1) since the bounds only hold for positive t.
+func NormalTailBounds(t float64) (lo, hi float64) {
+	if t <= 0 {
+		return 0, 1
+	}
+	p := NormalPDF(t)
+	return p / (t + 1), p / t
+}

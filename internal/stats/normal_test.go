@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNormalPDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.3989422804014327},
+		{1, 0.24197072451914337},
+		{-1, 0.24197072451914337},
+		{2, 0.05399096651318806},
+		{3, 0.004431848411938008},
+	}
+	for _, c := range cases {
+		if got := NormalPDF(c.x); !approxEq(got, c.want, 1e-15) {
+			t.Errorf("NormalPDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+		{-2.575829303548901, 0.005},
+		{4, 0.9999683287581669},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !approxEq(got, c.want, 1e-12) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalTailSymmetry(t *testing.T) {
+	for _, x := range []float64{-3, -1, 0, 0.5, 2, 5} {
+		if got, want := NormalTail(x), 1-NormalCDF(x); !approxEq(got, want, 1e-14) {
+			t.Errorf("NormalTail(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestNormalTailDeepTail(t *testing.T) {
+	// At t=10, Pr[Z>=t] ~ 7.62e-24; naive 1-Phi would be 0.
+	got := NormalTail(10)
+	want := 7.619853024160527e-24
+	if math.Abs(got/want-1) > 1e-8 {
+		t.Errorf("NormalTail(10) = %v, want %v", got, want)
+	}
+}
+
+func TestLogNormalTailMatchesDirect(t *testing.T) {
+	for _, x := range []float64{0, 1, 3, 7, 7.99} {
+		got := LogNormalTail(x)
+		want := math.Log(NormalTail(x))
+		if !approxEq(got, want, 1e-10) {
+			t.Errorf("LogNormalTail(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestLogNormalTailAsymptoticRegime(t *testing.T) {
+	// Compare the asymptotic branch against the exact erfc-based value at a
+	// point where erfc still has precision (t = 9 .. 20).
+	for _, x := range []float64{9, 12, 20} {
+		got := LogNormalTail(x)
+		want := math.Log(NormalTail(x))
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("LogNormalTail(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestNormalQuantileInverse(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-6, 0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999, 1 - 1e-9} {
+		x := NormalQuantile(p)
+		back := NormalCDF(x)
+		if math.Abs(back-p) > 1e-12*math.Max(1, math.Abs(p)) && math.Abs(back-p) > 1e-15 {
+			t.Errorf("NormalCDF(NormalQuantile(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.84134474606854293, 1},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); !approxEq(got, c.want, 1e-9) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) should panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestNormalQuantileMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := 0.5 + 0.499*math.Tanh(a) // map to (0.001, 0.999)
+		pb := 0.5 + 0.499*math.Tanh(b)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return NormalQuantile(pa) <= NormalQuantile(pb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalTailBoundsBracket(t *testing.T) {
+	for _, tt := range []float64{0.1, 0.5, 1, 2, 4, 6} {
+		lo, hi := NormalTailBounds(tt)
+		exact := NormalTail(tt)
+		if !(lo <= exact && exact <= hi) {
+			t.Errorf("bounds at t=%v do not bracket: lo=%v exact=%v hi=%v", tt, lo, exact, hi)
+		}
+	}
+}
+
+func TestNormalTailBoundsNonPositive(t *testing.T) {
+	lo, hi := NormalTailBounds(0)
+	if lo != 0 || hi != 1 {
+		t.Errorf("NormalTailBounds(0) = %v, %v", lo, hi)
+	}
+}

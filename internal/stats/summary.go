@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (NaN for fewer than
+// two observations), using the numerically stable two-pass formula.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss, comp float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+		comp += d
+	}
+	n := float64(len(xs))
+	return (ss - comp*comp/n) / (n - 1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	i := int(math.Floor(pos))
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N                  int
+	Mean, StdDev       float64
+	Min, Median, Max   float64
+	P05, P25, P75, P95 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Mean, s.StdDev, s.Min, s.Median, s.Max = nan, nan, nan, nan, nan
+		s.P05, s.P25, s.P75, s.P95 = nan, nan, nan, nan
+		return s
+	}
+	s.Mean = Mean(xs)
+	if len(xs) >= 2 {
+		s.StdDev = StdDev(xs)
+	}
+	s.Min = Quantile(xs, 0)
+	s.P05 = Quantile(xs, 0.05)
+	s.P25 = Quantile(xs, 0.25)
+	s.Median = Quantile(xs, 0.5)
+	s.P75 = Quantile(xs, 0.75)
+	s.P95 = Quantile(xs, 0.95)
+	s.Max = Quantile(xs, 1)
+	return s
+}
+
+// LinearFit holds the result of an ordinary least squares fit y = a + b*x.
+type LinearFit struct {
+	Intercept, Slope float64
+	R2               float64
+}
+
+// FitLine fits y = a + b*x by ordinary least squares. It panics if the
+// slices have different lengths and returns NaNs for fewer than two points
+// or degenerate (constant) x.
+func FitLine(x, y []float64) LinearFit {
+	if len(x) != len(y) {
+		panic("stats: FitLine length mismatch")
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return LinearFit{math.NaN(), math.NaN(), math.NaN()}
+	}
+	mx := Mean(x)
+	my := Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{math.NaN(), math.NaN(), math.NaN()}
+	}
+	slope := sxy / sxx
+	fit := LinearFit{
+		Intercept: my - slope*mx,
+		Slope:     slope,
+	}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		fit.R2 = 1 // y constant and perfectly fit by slope 0 line
+	}
+	_ = n
+	return fit
+}

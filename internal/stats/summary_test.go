@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !approxEq(got, 5, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	// Sample variance with n-1 denominator: 32/7.
+	if got := Variance(xs); !approxEq(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := StdDev(xs); !approxEq(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single element should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 5, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !approxEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileClamp(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := Quantile(xs, -0.5); got != 1 {
+		t.Errorf("Quantile(-0.5) = %v", got)
+	}
+	if got := Quantile(xs, 1.5); got != 3 {
+		t.Errorf("Quantile(1.5) = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || !approxEq(s.Mean, 5.5, 1e-12) || !approxEq(s.Median, 5.5, 1e-12) {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.Min != 1 || s.Max != 10 {
+		t.Errorf("Min/Max wrong: %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	fit := FitLine(x, y)
+	if !approxEq(fit.Slope, 2, 1e-12) || !approxEq(fit.Intercept, 1, 1e-12) {
+		t.Errorf("FitLine = %+v", fit)
+	}
+	if !approxEq(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9} // ~ 2x
+	fit := FitLine(x, y)
+	if math.Abs(fit.Slope-2) > 0.1 {
+		t.Errorf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	fit := FitLine([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if !math.IsNaN(fit.Slope) {
+		t.Errorf("constant x should give NaN slope, got %v", fit.Slope)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	FitLine([]float64{1}, []float64{1, 2})
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		return Variance(xs) >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegratePolynomial(t *testing.T) {
+	// Integral of x^2 on [0,3] = 9.
+	got := Integrate(func(x float64) float64 { return x * x }, 0, 3, 1e-12)
+	if !approxEq(got, 9, 1e-9) {
+		t.Errorf("integral x^2 = %v", got)
+	}
+}
+
+func TestIntegrateGaussian(t *testing.T) {
+	// Integral of the standard normal pdf over [-8, 8] ~ 1.
+	got := Integrate(NormalPDF, -8, 8, 1e-12)
+	if !approxEq(got, 1, 1e-9) {
+		t.Errorf("integral of pdf = %v", got)
+	}
+	// And [-1, 1] matches CDF difference.
+	got = Integrate(NormalPDF, -1, 1, 1e-12)
+	want := NormalCDF(1) - NormalCDF(-1)
+	if !approxEq(got, want, 1e-10) {
+		t.Errorf("integral = %v, want %v", got, want)
+	}
+}
+
+func TestIntegrateReversedAndEmpty(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if got := Integrate(f, 2, 2, 1e-9); got != 0 {
+		t.Errorf("empty integral = %v", got)
+	}
+	fwd := Integrate(f, 0, 1, 1e-12)
+	rev := Integrate(f, 1, 0, 1e-12)
+	if !approxEq(fwd, -rev, 1e-12) {
+		t.Errorf("reversal: %v vs %v", fwd, rev)
+	}
+}
+
+func TestIntegrateOscillatory(t *testing.T) {
+	// Integral of sin over [0, pi] = 2.
+	got := Integrate(math.Sin, 0, math.Pi, 1e-12)
+	if !approxEq(got, 2, 1e-9) {
+		t.Errorf("integral sin = %v", got)
+	}
+}

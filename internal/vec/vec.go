@@ -1,0 +1,234 @@
+// Package vec provides dense float64 vector operations and the random
+// geometric generators used by the unit-sphere and Euclidean constructions:
+// Gaussian vectors, uniform points on S^{d-1}, pairs of unit vectors with a
+// prescribed inner product, pairs of points at a prescribed Euclidean
+// distance, and the tensor-power embeddings of Valiant used by Theorem 5.1.
+package vec
+
+import (
+	"math"
+
+	"dsh/internal/xrand"
+)
+
+// Dot returns the inner product of x and y. It panics on length mismatch.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vec: dimension mismatch")
+	}
+	var sum float64
+	for i, v := range x {
+		sum += v * y[i]
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm of x.
+func Norm(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// Distance returns the Euclidean distance between x and y.
+func Distance(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vec: dimension mismatch")
+	}
+	var sum float64
+	for i := range x {
+		d := x[i] - y[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// CosineSimilarity returns <x,y>/(|x||y|), NaN if either vector is zero.
+func CosineSimilarity(x, y []float64) float64 {
+	nx, ny := Norm(x), Norm(y)
+	if nx == 0 || ny == 0 {
+		return math.NaN()
+	}
+	return Dot(x, y) / (nx * ny)
+}
+
+// AngularDistance returns the angle in radians between x and y, in [0, pi].
+func AngularDistance(x, y []float64) float64 {
+	c := CosineSimilarity(x, y)
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// Scale multiplies x by s in place and returns x.
+func Scale(x []float64, s float64) []float64 {
+	for i := range x {
+		x[i] *= s
+	}
+	return x
+}
+
+// Scaled returns a new vector equal to s*x.
+func Scaled(x []float64, s float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = s * v
+	}
+	return out
+}
+
+// Add returns x + y as a new vector.
+func Add(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("vec: dimension mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return out
+}
+
+// Sub returns x - y as a new vector.
+func Sub(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("vec: dimension mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return out
+}
+
+// Axpy computes y += a*x in place and returns y.
+func Axpy(a float64, x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("vec: dimension mismatch")
+	}
+	for i := range y {
+		y[i] += a * x[i]
+	}
+	return y
+}
+
+// Neg returns -x as a new vector. Negating the query point is the central
+// asymmetry trick of the paper (Sections 2.1 and 2.2).
+func Neg(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = -v
+	}
+	return out
+}
+
+// Normalize scales x to unit norm in place and returns x.
+// It panics if x is the zero vector.
+func Normalize(x []float64) []float64 {
+	n := Norm(x)
+	if n == 0 {
+		panic("vec: cannot normalize zero vector")
+	}
+	return Scale(x, 1/n)
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Gaussian returns a vector of d independent standard normal entries.
+func Gaussian(rng *xrand.Rand, d int) []float64 {
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// RandomUnit returns a uniformly random point on the unit sphere S^{d-1}.
+func RandomUnit(rng *xrand.Rand, d int) []float64 {
+	for {
+		g := Gaussian(rng, d)
+		if Norm(g) > 1e-12 {
+			return Normalize(g)
+		}
+	}
+}
+
+// UnitPairWithDot returns two unit vectors x, y with <x, y> = alpha exactly
+// (up to floating point), with the pair's orientation uniformly random.
+// alpha must lie in [-1, 1].
+func UnitPairWithDot(rng *xrand.Rand, d int, alpha float64) (x, y []float64) {
+	if alpha < -1 || alpha > 1 {
+		panic("vec: alpha out of [-1,1]")
+	}
+	if d < 2 {
+		panic("vec: need dimension >= 2 for a prescribed inner product")
+	}
+	x = RandomUnit(rng, d)
+	// Build a unit vector u orthogonal to x, then y = alpha*x + sqrt(1-a^2)*u.
+	var u []float64
+	for {
+		g := Gaussian(rng, d)
+		Axpy(-Dot(g, x), x, g)
+		if Norm(g) > 1e-9 {
+			u = Normalize(g)
+			break
+		}
+	}
+	y = Scaled(x, alpha)
+	Axpy(math.Sqrt(1-alpha*alpha), u, y)
+	return x, y
+}
+
+// PairAtDistance returns two points in R^d at Euclidean distance exactly
+// delta, centered near the origin with random orientation.
+func PairAtDistance(rng *xrand.Rand, d int, delta float64) (x, y []float64) {
+	if delta < 0 {
+		panic("vec: negative distance")
+	}
+	x = Gaussian(rng, d)
+	dir := RandomUnit(rng, d)
+	y = Clone(x)
+	Axpy(delta, dir, y)
+	return x, y
+}
+
+// TensorPower returns the k-th tensor power x^(k) of x flattened into a
+// vector of dimension len(x)^k, with x^(0) = [1]. Inner products satisfy
+// <x^(k), y^(k)> = <x, y>^k, the identity at the heart of Valiant's
+// polynomial embedding (Theorem 5.1 of the paper).
+func TensorPower(x []float64, k int) []float64 {
+	if k < 0 {
+		panic("vec: negative tensor power")
+	}
+	out := []float64{1}
+	for p := 0; p < k; p++ {
+		next := make([]float64, 0, len(out)*len(x))
+		for _, a := range out {
+			for _, b := range x {
+				next = append(next, a*b)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// Concat returns the concatenation of the given vectors.
+func Concat(vs ...[]float64) []float64 {
+	total := 0
+	for _, v := range vs {
+		total += len(v)
+	}
+	out := make([]float64, 0, total)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}

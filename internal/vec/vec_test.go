@@ -1,0 +1,259 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsh/internal/xrand"
+)
+
+func TestDotNormDistance(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, -5, 6}
+	if got := Dot(x, y); got != 12 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := Distance([]float64{1, 1}, []float64{4, 5}); got != 5 {
+		t.Errorf("Distance = %v", got)
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	funcs := []func(){
+		func() { Dot([]float64{1}, []float64{1, 2}) },
+		func() { Distance([]float64{1}, []float64{1, 2}) },
+		func() { Add([]float64{1}, []float64{1, 2}) },
+		func() { Sub([]float64{1}, []float64{1, 2}) },
+		func() { Axpy(1, []float64{1}, []float64{1, 2}) },
+	}
+	for i, fn := range funcs {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{10, 20}
+	if got := Add(x, y); got[0] != 11 || got[1] != 22 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(y, x); got[0] != 9 || got[1] != 18 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scaled(x, 3); got[0] != 3 || got[1] != 6 {
+		t.Errorf("Scaled = %v", got)
+	}
+	if got := Neg(x); got[0] != -1 || got[1] != -2 {
+		t.Errorf("Neg = %v", got)
+	}
+	z := Clone(x)
+	Axpy(2, y, z)
+	if z[0] != 21 || z[1] != 42 {
+		t.Errorf("Axpy = %v", z)
+	}
+	if x[0] != 1 {
+		t.Error("Clone aliases input")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{3, 4}
+	Normalize(x)
+	if math.Abs(Norm(x)-1) > 1e-15 {
+		t.Errorf("Normalize norm = %v", Norm(x))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("normalizing zero should panic")
+		}
+	}()
+	Normalize([]float64{0, 0})
+}
+
+func TestCosineAndAngular(t *testing.T) {
+	e1 := []float64{1, 0}
+	e2 := []float64{0, 1}
+	if got := CosineSimilarity(e1, e2); got != 0 {
+		t.Errorf("cos = %v", got)
+	}
+	if got := AngularDistance(e1, e2); math.Abs(got-math.Pi/2) > 1e-15 {
+		t.Errorf("angle = %v", got)
+	}
+	if got := AngularDistance(e1, []float64{-1, 0}); math.Abs(got-math.Pi) > 1e-15 {
+		t.Errorf("angle = %v", got)
+	}
+	if !math.IsNaN(CosineSimilarity(e1, []float64{0, 0})) {
+		t.Error("cosine with zero vector should be NaN")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	rng := xrand.New(1)
+	g := Gaussian(rng, 100000)
+	mean := 0.0
+	for _, v := range g {
+		mean += v
+	}
+	mean /= float64(len(g))
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("gaussian mean = %v", mean)
+	}
+	norm2 := Dot(g, g) / float64(len(g))
+	if math.Abs(norm2-1) > 0.02 {
+		t.Errorf("gaussian second moment = %v", norm2)
+	}
+}
+
+func TestRandomUnitOnSphere(t *testing.T) {
+	rng := xrand.New(2)
+	for i := 0; i < 50; i++ {
+		u := RandomUnit(rng, 10)
+		if math.Abs(Norm(u)-1) > 1e-12 {
+			t.Fatalf("norm = %v", Norm(u))
+		}
+	}
+	// Mean of many unit vectors should be near zero (uniformity check).
+	const n, d = 5000, 5
+	sum := make([]float64, d)
+	for i := 0; i < n; i++ {
+		Axpy(1, RandomUnit(rng, d), sum)
+	}
+	for j := 0; j < d; j++ {
+		if math.Abs(sum[j]/n) > 0.05 {
+			t.Fatalf("coordinate %d mean = %v", j, sum[j]/n)
+		}
+	}
+}
+
+func TestUnitPairWithDot(t *testing.T) {
+	rng := xrand.New(3)
+	for _, alpha := range []float64{-1, -0.9, -0.3, 0, 0.5, 0.99, 1} {
+		for i := 0; i < 20; i++ {
+			x, y := UnitPairWithDot(rng, 16, alpha)
+			if math.Abs(Norm(x)-1) > 1e-12 || math.Abs(Norm(y)-1) > 1e-12 {
+				t.Fatalf("not unit: %v %v", Norm(x), Norm(y))
+			}
+			if math.Abs(Dot(x, y)-alpha) > 1e-10 {
+				t.Fatalf("alpha=%v: dot = %v", alpha, Dot(x, y))
+			}
+		}
+	}
+}
+
+func TestUnitPairWithDotPanics(t *testing.T) {
+	rng := xrand.New(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("alpha > 1 should panic")
+			}
+		}()
+		UnitPairWithDot(rng, 8, 1.5)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("d < 2 should panic")
+			}
+		}()
+		UnitPairWithDot(rng, 1, 0.5)
+	}()
+}
+
+func TestPairAtDistance(t *testing.T) {
+	rng := xrand.New(5)
+	for _, delta := range []float64{0, 0.5, 1, 3.7, 100} {
+		x, y := PairAtDistance(rng, 12, delta)
+		if math.Abs(Distance(x, y)-delta) > 1e-9*math.Max(1, delta) {
+			t.Fatalf("distance = %v, want %v", Distance(x, y), delta)
+		}
+	}
+}
+
+func TestTensorPowerInnerProduct(t *testing.T) {
+	rng := xrand.New(6)
+	for _, k := range []int{0, 1, 2, 3, 4} {
+		x := RandomUnit(rng, 5)
+		y := RandomUnit(rng, 5)
+		tx := TensorPower(x, k)
+		ty := TensorPower(y, k)
+		wantLen := 1
+		for i := 0; i < k; i++ {
+			wantLen *= 5
+		}
+		if len(tx) != wantLen {
+			t.Fatalf("k=%d: len = %d, want %d", k, len(tx), wantLen)
+		}
+		got := Dot(tx, ty)
+		want := math.Pow(Dot(x, y), float64(k))
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("k=%d: <x^k,y^k> = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestTensorPowerNormPreserved(t *testing.T) {
+	rng := xrand.New(7)
+	x := RandomUnit(rng, 6)
+	for k := 0; k <= 3; k++ {
+		if n := Norm(TensorPower(x, k)); math.Abs(n-1) > 1e-10 {
+			t.Fatalf("k=%d: |x^k| = %v", k, n)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat([]float64{1, 2}, nil, []float64{3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Concat = %v", got)
+	}
+}
+
+func TestDotSymmetryQuick(t *testing.T) {
+	f := func(seed uint64, dRaw uint8) bool {
+		d := int(dRaw%20) + 1
+		rng := xrand.New(seed)
+		x := Gaussian(rng, d)
+		y := Gaussian(rng, d)
+		return math.Abs(Dot(x, y)-Dot(y, x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCauchySchwarzQuick(t *testing.T) {
+	f := func(seed uint64, dRaw uint8) bool {
+		d := int(dRaw%20) + 1
+		rng := xrand.New(seed)
+		x := Gaussian(rng, d)
+		y := Gaussian(rng, d)
+		return math.Abs(Dot(x, y)) <= Norm(x)*Norm(y)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDot128(b *testing.B) {
+	rng := xrand.New(1)
+	x := Gaussian(rng, 128)
+	y := Gaussian(rng, 128)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	_ = sink
+}

@@ -1,0 +1,229 @@
+// Package workload generates the synthetic datasets used by the examples,
+// experiments and benchmarks: uniform points on the unit sphere with
+// planted annulus/near-neighbor structure, clustered "article embedding"
+// corpora for the paper's recommender motivating example, and Hamming-cube
+// workloads. It also provides exact brute-force scanners used as ground
+// truth and as the linear-scan baseline.
+package workload
+
+import (
+	"math"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+// SpherePoints returns n independent uniform points on S^{d-1}.
+func SpherePoints(rng *xrand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = vec.RandomUnit(rng, d)
+	}
+	return out
+}
+
+// PlantedSphere is a sphere dataset with one query and a set of points
+// planted at prescribed inner products from it, hidden among uniform noise.
+type PlantedSphere struct {
+	Query  []float64
+	Points [][]float64
+	// PlantedIdx[i] is the index in Points of the point planted at
+	// PlantedAlpha[i].
+	PlantedIdx   []int
+	PlantedAlpha []float64
+}
+
+// NewPlantedSphere builds a dataset of nNoise uniform points plus one
+// planted point per entry of alphas, all shuffled together.
+func NewPlantedSphere(rng *xrand.Rand, d, nNoise int, alphas []float64) *PlantedSphere {
+	q := vec.RandomUnit(rng, d)
+	pts := make([][]float64, 0, nNoise+len(alphas))
+	for i := 0; i < nNoise; i++ {
+		pts = append(pts, vec.RandomUnit(rng, d))
+	}
+	planted := make([]int, len(alphas))
+	for i, a := range alphas {
+		x := pointAtAlpha(rng, q, a)
+		planted[i] = len(pts)
+		pts = append(pts, x)
+	}
+	// Shuffle, tracking planted indices.
+	where := make([]int, len(pts))
+	for i := range where {
+		where[i] = i
+	}
+	rng.Shuffle(len(pts), func(i, j int) {
+		pts[i], pts[j] = pts[j], pts[i]
+		where[i], where[j] = where[j], where[i]
+	})
+	inv := make(map[int]int, len(where))
+	for pos, orig := range where {
+		inv[orig] = pos
+	}
+	for i := range planted {
+		planted[i] = inv[planted[i]]
+	}
+	return &PlantedSphere{
+		Query:        q,
+		Points:       pts,
+		PlantedIdx:   planted,
+		PlantedAlpha: append([]float64(nil), alphas...),
+	}
+}
+
+// PointAtAlpha returns a unit vector with <q, x> = alpha, random otherwise.
+func PointAtAlpha(rng *xrand.Rand, q []float64, alpha float64) []float64 {
+	return pointAtAlpha(rng, q, alpha)
+}
+
+// pointAtAlpha returns a unit vector with <q, x> = alpha, random otherwise.
+func pointAtAlpha(rng *xrand.Rand, q []float64, alpha float64) []float64 {
+	d := len(q)
+	for {
+		g := vec.Gaussian(rng, d)
+		vec.Axpy(-vec.Dot(g, q), q, g)
+		if vec.Norm(g) > 1e-9 {
+			u := vec.Normalize(g)
+			x := vec.Scaled(q, alpha)
+			vec.Axpy(math.Sqrt(1-alpha*alpha), u, x)
+			return x
+		}
+	}
+}
+
+// ArticleCorpus models the paper's recommender-system motivating example:
+// articles grouped into topics, with embeddings clustered around unit
+// topic centroids.
+type ArticleCorpus struct {
+	Centers [][]float64
+	Points  [][]float64
+	Topic   []int // Topic[i] is the topic of Points[i]
+}
+
+// NewArticleCorpus generates nTopics topic centroids and perArticle points
+// per topic at dispersion sigma (noise scale before renormalization).
+// Smaller sigma means tighter topics.
+func NewArticleCorpus(rng *xrand.Rand, d, nTopics, perTopic int, sigma float64) *ArticleCorpus {
+	c := &ArticleCorpus{}
+	for t := 0; t < nTopics; t++ {
+		center := vec.RandomUnit(rng, d)
+		c.Centers = append(c.Centers, center)
+		for j := 0; j < perTopic; j++ {
+			p := vec.Clone(center)
+			vec.Axpy(sigma, vec.Gaussian(rng, d), p)
+			vec.Normalize(p)
+			c.Points = append(c.Points, p)
+			c.Topic = append(c.Topic, t)
+		}
+	}
+	return c
+}
+
+// HierarchicalCorpus is a two-level clustered dataset: topics containing
+// subtopics containing points. Within-subtopic pairs are near-duplicates
+// (high similarity), same-topic cross-subtopic pairs land at intermediate
+// similarity (the "related but distinct" band an annulus join targets),
+// and cross-topic pairs are near-orthogonal.
+type HierarchicalCorpus struct {
+	Points   [][]float64
+	Topic    []int
+	Subtopic []int // globally unique subtopic id
+}
+
+// NewHierarchicalCorpus generates the corpus. sigmaSub controls subtopic
+// spread within a topic, sigmaPoint the point spread within a subtopic
+// (per-coordinate Gaussian scale before renormalization; the expected
+// similarity between a center and its perturbation is ~1/sqrt(1+sigma^2*d)).
+func NewHierarchicalCorpus(rng *xrand.Rand, d, topics, subPerTopic, perSub int, sigmaSub, sigmaPoint float64) *HierarchicalCorpus {
+	c := &HierarchicalCorpus{}
+	sub := 0
+	for t := 0; t < topics; t++ {
+		center := vec.RandomUnit(rng, d)
+		for s := 0; s < subPerTopic; s++ {
+			sc := vec.Clone(center)
+			vec.Axpy(sigmaSub, vec.Gaussian(rng, d), sc)
+			vec.Normalize(sc)
+			for p := 0; p < perSub; p++ {
+				pt := vec.Clone(sc)
+				vec.Axpy(sigmaPoint, vec.Gaussian(rng, d), pt)
+				vec.Normalize(pt)
+				c.Points = append(c.Points, pt)
+				c.Topic = append(c.Topic, t)
+				c.Subtopic = append(c.Subtopic, sub)
+			}
+			sub++
+		}
+	}
+	return c
+}
+
+// HammingPoints returns n uniform points of {0,1}^d.
+func HammingPoints(rng *xrand.Rand, n, d int) []bitvec.Vector {
+	out := make([]bitvec.Vector, n)
+	for i := range out {
+		out[i] = bitvec.Random(rng, d)
+	}
+	return out
+}
+
+// PlantedHamming builds a Hamming dataset with a query, noise points, and
+// points planted at exact distances rs from the query.
+type PlantedHamming struct {
+	Query      bitvec.Vector
+	Points     []bitvec.Vector
+	PlantedIdx []int
+	PlantedR   []int
+}
+
+// NewPlantedHamming returns nNoise uniform points plus one planted point at
+// each distance in rs.
+func NewPlantedHamming(rng *xrand.Rand, d, nNoise int, rs []int) *PlantedHamming {
+	q := bitvec.Random(rng, d)
+	pts := make([]bitvec.Vector, 0, nNoise+len(rs))
+	for i := 0; i < nNoise; i++ {
+		pts = append(pts, bitvec.Random(rng, d))
+	}
+	planted := make([]int, len(rs))
+	for i, r := range rs {
+		planted[i] = len(pts)
+		pts = append(pts, bitvec.AtDistance(rng, q, r))
+	}
+	return &PlantedHamming{Query: q, Points: pts, PlantedIdx: planted, PlantedR: append([]int(nil), rs...)}
+}
+
+// ScanSphereAnnulus returns the indices of all points whose inner product
+// with q lies in [alphaLo, alphaHi] (the brute-force annulus ground truth).
+func ScanSphereAnnulus(points [][]float64, q []float64, alphaLo, alphaHi float64) []int {
+	var out []int
+	for i, p := range points {
+		a := vec.Dot(p, q)
+		if a >= alphaLo && a <= alphaHi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ScanSphereRange returns the indices of all points with inner product at
+// least alphaMin with q (i.e. within the corresponding distance).
+func ScanSphereRange(points [][]float64, q []float64, alphaMin float64) []int {
+	var out []int
+	for i, p := range points {
+		if vec.Dot(p, q) >= alphaMin {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ScanNearest returns the index of the point maximizing <p, q>.
+func ScanNearest(points [][]float64, q []float64) int {
+	best, bestDot := -1, math.Inf(-1)
+	for i, p := range points {
+		if d := vec.Dot(p, q); d > bestDot {
+			best, bestDot = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+func TestSpherePoints(t *testing.T) {
+	rng := xrand.New(1)
+	pts := SpherePoints(rng, 50, 8)
+	if len(pts) != 50 {
+		t.Fatalf("n = %d", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(vec.Norm(p)-1) > 1e-12 {
+			t.Fatal("not unit norm")
+		}
+	}
+}
+
+func TestNewPlantedSphere(t *testing.T) {
+	rng := xrand.New(2)
+	alphas := []float64{0.9, 0.5, -0.2}
+	ds := NewPlantedSphere(rng, 16, 100, alphas)
+	if len(ds.Points) != 103 {
+		t.Fatalf("points = %d", len(ds.Points))
+	}
+	if math.Abs(vec.Norm(ds.Query)-1) > 1e-12 {
+		t.Fatal("query not unit")
+	}
+	for i, idx := range ds.PlantedIdx {
+		got := vec.Dot(ds.Points[idx], ds.Query)
+		if math.Abs(got-alphas[i]) > 1e-9 {
+			t.Errorf("planted %d has alpha %v, want %v", i, got, alphas[i])
+		}
+	}
+}
+
+func TestArticleCorpus(t *testing.T) {
+	rng := xrand.New(3)
+	c := NewArticleCorpus(rng, 24, 5, 20, 0.3)
+	if len(c.Points) != 100 || len(c.Topic) != 100 || len(c.Centers) != 5 {
+		t.Fatalf("sizes wrong: %d %d %d", len(c.Points), len(c.Topic), len(c.Centers))
+	}
+	// Same-topic points should be closer (higher dot) to their centroid
+	// than to other centroids, most of the time.
+	good := 0
+	for i, p := range c.Points {
+		own := vec.Dot(p, c.Centers[c.Topic[i]])
+		best := true
+		for tt, ctr := range c.Centers {
+			if tt != c.Topic[i] && vec.Dot(p, ctr) > own {
+				best = false
+				break
+			}
+		}
+		if best {
+			good++
+		}
+	}
+	if good < 90 {
+		t.Errorf("only %d/100 points nearest their own centroid", good)
+	}
+}
+
+func TestNewPlantedHamming(t *testing.T) {
+	rng := xrand.New(4)
+	rs := []int{0, 5, 30}
+	ds := NewPlantedHamming(rng, 128, 50, rs)
+	if len(ds.Points) != 53 {
+		t.Fatalf("points = %d", len(ds.Points))
+	}
+	for i, idx := range ds.PlantedIdx {
+		if got := bitvec.Distance(ds.Points[idx], ds.Query); got != rs[i] {
+			t.Errorf("planted %d at distance %d, want %d", i, got, rs[i])
+		}
+	}
+}
+
+func TestScanners(t *testing.T) {
+	rng := xrand.New(5)
+	ds := NewPlantedSphere(rng, 16, 200, []float64{0.95, 0.6, 0.1})
+	ann := ScanSphereAnnulus(ds.Points, ds.Query, 0.55, 0.65)
+	found := false
+	for _, i := range ann {
+		if i == ds.PlantedIdx[1] {
+			found = true
+		}
+		a := vec.Dot(ds.Points[i], ds.Query)
+		if a < 0.55 || a > 0.65 {
+			t.Errorf("annulus scan returned alpha %v", a)
+		}
+	}
+	if !found {
+		t.Error("annulus scan missed the planted point")
+	}
+
+	rangeHits := ScanSphereRange(ds.Points, ds.Query, 0.9)
+	foundClose := false
+	for _, i := range rangeHits {
+		if i == ds.PlantedIdx[0] {
+			foundClose = true
+		}
+	}
+	if !foundClose {
+		t.Error("range scan missed the 0.95 point")
+	}
+
+	if best := ScanNearest(ds.Points, ds.Query); best != ds.PlantedIdx[0] {
+		got := vec.Dot(ds.Points[best], ds.Query)
+		if got < 0.95 {
+			t.Errorf("nearest scan returned alpha %v", got)
+		}
+	}
+}
+
+func TestHammingPoints(t *testing.T) {
+	rng := xrand.New(6)
+	pts := HammingPoints(rng, 10, 100)
+	if len(pts) != 10 {
+		t.Fatalf("n = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Dim() != 100 {
+			t.Fatal("wrong dimension")
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestNewFromString(t *testing.T) {
+	a := NewFromString("TestNewFromString")
+	b := NewFromString("TestNewFromString")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("equal strings should produce equal streams")
+	}
+	c := NewFromString("other")
+	d := NewFromString("another")
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("distinct strings should (almost surely) differ")
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	r := New(0)
+	zeros := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("seed 0 produced %d zero outputs out of 64", zeros)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	// Standard error is 1/sqrt(12 n) ~ 0.00065; allow 6 sigma.
+	if math.Abs(mean-0.5) > 0.004 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(5)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		// 6-sigma band for a binomial count.
+		sigma := math.Sqrt(want * (1 - 1.0/n))
+		if math.Abs(float64(c)-want) > 6*sigma {
+			t.Fatalf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 400000
+	var sum, sumSq, sumCube float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+		sumCube += v * v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	skew := sumCube / n
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+	if math.Abs(skew) > 0.05 {
+		t.Fatalf("normal third moment = %v, want ~0", skew)
+	}
+}
+
+func TestNormFloat64TailFractions(t *testing.T) {
+	r := New(17)
+	const n = 400000
+	beyond1, beyond2 := 0, 0
+	for i := 0; i < n; i++ {
+		v := math.Abs(r.NormFloat64())
+		if v > 1 {
+			beyond1++
+		}
+		if v > 2 {
+			beyond2++
+		}
+	}
+	// P(|Z|>1) ~ 0.3173, P(|Z|>2) ~ 0.0455.
+	f1 := float64(beyond1) / n
+	f2 := float64(beyond2) / n
+	if math.Abs(f1-0.3173) > 0.01 {
+		t.Fatalf("P(|Z|>1) = %v", f1)
+	}
+	if math.Abs(f2-0.0455) > 0.005 {
+		t.Fatalf("P(|Z|>2) = %v", f2)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) returned %d elements", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(29)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 1}, {10, 3}, {10, 10}, {1000, 5}, {16, 12}} {
+		s := r.Sample(tc.n, tc.k)
+		if len(s) != tc.k {
+			t.Fatalf("Sample(%d,%d) returned %d values", tc.n, tc.k, len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("Sample(%d,%d) invalid: %v", tc.n, tc.k, s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleUniformMarginals(t *testing.T) {
+	r := New(31)
+	const n, k, trials = 20, 4, 50000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range r.Sample(n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(trials*k) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("index %d sampled %d times, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(37)
+	child := r.Split()
+	matches := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == child.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("split stream matched parent %d times", matches)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	r := New(41)
+	for _, n := range []int{0, 1, 7, 8, 9, 31, 64} {
+		b := make([]byte, n)
+		r.Bytes(b)
+		if n >= 16 {
+			allZero := true
+			for _, v := range b {
+				if v != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				t.Fatalf("Bytes(%d) produced all zeros", n)
+			}
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(43)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(47)
+	const p, n = 0.3, 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) rate = %v", p, rate)
+	}
+}
+
+func TestUint64nPropertyInRange(t *testing.T) {
+	r := New(53)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.NormFloat64()
+	}
+	_ = sink
+}
