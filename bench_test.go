@@ -325,3 +325,28 @@ func workloadPoints(n, d int) [][]float64 {
 	}
 	return out
 }
+
+// --- batch query engine (serving path) ---
+
+// BenchmarkBatchQueryEngine compares the sequential query loop against the
+// concurrent QueryBatch engine through the root API. On multi-core
+// hardware the batch variant should approach a GOMAXPROCS-fold speedup
+// with results identical to the sequential loop.
+func BenchmarkBatchQueryEngine(b *testing.B) {
+	pts := workloadPoints(4000, 24)
+	fam := dsh.Power(dsh.SimHash(24), 6)
+	ix := dsh.NewIndex(xrand.New(5), fam, 48, pts)
+	queries := workloadPoints(256, 24)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				ix.CollectDistinct(q, 0)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.QueryBatch(queries, dsh.BatchOptions{})
+		}
+	})
+}

@@ -57,12 +57,34 @@ func main() {
 	trials := flag.Int("trials", 20000, "Monte-Carlo samples per probed point")
 	seed := flag.Uint64("seed", 7, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	throughput := flag.Bool("throughput", false, "run the serving-throughput mode instead of experiments")
+	points := flag.Int("points", 20000, "throughput: indexed points")
+	queries := flag.Int("queries", 2000, "throughput: total queries")
+	batch := flag.Int("batch", 256, "throughput: queries per batch")
+	workers := flag.Int("workers", 0, "throughput: batch workers (0 = GOMAXPROCS)")
+	dim := flag.Int("dim", 24, "throughput: dimension")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dshbench [flags] [experiment...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(names(), " "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *throughput {
+		if *points <= 0 || *queries <= 0 || *batch <= 0 || *dim <= 0 {
+			fmt.Fprintln(os.Stderr, "dshbench: -points, -queries, -batch and -dim must be positive")
+			os.Exit(2)
+		}
+		runThroughput(os.Stdout, throughputConfig{
+			Points:    *points,
+			Queries:   *queries,
+			BatchSize: *batch,
+			Workers:   *workers,
+			Dim:       *dim,
+			Seed:      *seed,
+		})
+		return
+	}
 
 	cfg := experiments.Config{Trials: *trials, Seed: *seed}
 	args := flag.Args()

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dsh/internal/index"
+	"dsh/internal/sphere"
+	"dsh/internal/vec"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+// throughputConfig parameterizes the serving-throughput mode: an annulus
+// index over n random unit vectors, answering query batches through the
+// concurrent batch engine and reporting QPS plus latency percentiles
+// against the sequential per-query loop.
+type throughputConfig struct {
+	Points    int
+	Queries   int
+	BatchSize int
+	Workers   int
+	Dim       int
+	Seed      uint64
+}
+
+func runThroughput(w io.Writer, cfg throughputConfig) {
+	rng := xrand.New(cfg.Seed)
+	const alphaTarget = 0.5
+	fam := sphere.NewAnnulus(cfg.Dim, alphaTarget, 1.8)
+	L := index.RepetitionsForCPF(fam.CPF().Eval(alphaTarget))
+	within := func(q, x []float64) bool {
+		a := vec.Dot(q, x)
+		return a >= 0.3 && a <= 0.7
+	}
+
+	points := workload.SpherePoints(rng, cfg.Points, cfg.Dim)
+	// Half the queries are planted at the CPF peak of an indexed point;
+	// half are uniform over the sphere.
+	queries := make([][]float64, cfg.Queries)
+	for i := range queries {
+		if i%2 == 0 {
+			queries[i] = workload.PointAtAlpha(rng, points[i%cfg.Points], alphaTarget)
+		} else {
+			queries[i] = vec.RandomUnit(rng, cfg.Dim)
+		}
+	}
+
+	buildStart := time.Now()
+	ai := index.NewAnnulus[[]float64](rng, fam, L, points, within)
+	buildTime := time.Since(buildStart)
+	fmt.Fprintf(w, "throughput: n=%d queries=%d batch=%d workers=%d dim=%d L=%d\n",
+		cfg.Points, cfg.Queries, cfg.BatchSize, cfg.Workers, cfg.Dim, L)
+	fmt.Fprintf(w, "build: %v\n", buildTime)
+
+	// Sequential baseline: one query at a time.
+	seqPer := make([]index.QueryStats, len(queries))
+	seqFound := 0
+	seqStart := time.Now()
+	for i, q := range queries {
+		qStart := time.Now()
+		id, st := ai.Query(q)
+		st.Latency = time.Since(qStart)
+		seqPer[i] = st
+		if id >= 0 {
+			seqFound++
+		}
+	}
+	seqAgg := index.AggregateStats(seqPer, time.Since(seqStart))
+	printThroughputRow(w, "sequential", seqAgg, seqFound)
+
+	// Batched: fan each batch of BatchSize queries across the pool.
+	opts := index.BatchOptions{Workers: cfg.Workers}
+	var batchPer []index.QueryStats
+	batchFound := 0
+	var wall time.Duration
+	for lo := 0; lo < len(queries); lo += cfg.BatchSize {
+		hi := lo + cfg.BatchSize
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		ids, per, agg := ai.QueryBatch(queries[lo:hi], opts)
+		for _, id := range ids {
+			if id >= 0 {
+				batchFound++
+			}
+		}
+		batchPer = append(batchPer, per...)
+		wall += agg.Wall
+	}
+	batchAgg := index.AggregateStats(batchPer, wall)
+	printThroughputRow(w, "batch", batchAgg, batchFound)
+	if seqAgg.Wall > 0 && batchAgg.Wall > 0 {
+		fmt.Fprintf(w, "speedup: %.2fx\n", seqAgg.Wall.Seconds()/batchAgg.Wall.Seconds())
+	}
+	if seqFound != batchFound {
+		fmt.Fprintf(w, "WARNING: sequential found %d, batch found %d (expected identical)\n",
+			seqFound, batchFound)
+	}
+}
+
+func printThroughputRow(w io.Writer, label string, agg index.BatchStats, found int) {
+	fmt.Fprintf(w, "%-10s qps=%10.0f  p50=%-10v p90=%-10v p99=%-10v max=%-10v cand/q=%.1f found=%d/%d\n",
+		label, agg.QPS, agg.LatP50, agg.LatP90, agg.LatP99, agg.LatMax,
+		float64(agg.Candidates)/float64(agg.Queries), found, agg.Queries)
+}

@@ -40,6 +40,8 @@
 package dsh
 
 import (
+	"time"
+
 	"dsh/internal/bitvec"
 	"dsh/internal/core"
 	"dsh/internal/cpfit"
@@ -301,6 +303,41 @@ func SelfJoin[P any](rng *Rand, fam Family[P], L int, set []P, verify func(a, b 
 // NewParallelIndex builds an index with concurrent table construction.
 func NewParallelIndex[P any](rng *Rand, fam Family[P], L int, points []P) *Index[P] {
 	return index.NewParallel(rng, fam, L, points)
+}
+
+// Concurrent batch querying (the serving path): every index structure has
+// a QueryBatch method fanning a slice of queries across a worker pool with
+// deterministic results; see BatchOptions and BatchStats.
+
+// QueryStats reports the work performed by a single query.
+type QueryStats = index.QueryStats
+
+// BatchOptions configures a concurrent batch query (worker count,
+// per-query candidate cap, optional deterministic per-query randomness).
+type BatchOptions = index.BatchOptions
+
+// BatchStats aggregates work and latency percentiles over a query batch.
+type BatchStats = index.BatchStats
+
+// RunBatch fans fn over n query indices across a worker pool, splitting a
+// private deterministic generator per index when opts.Rand is set, and
+// returns the wall-clock duration of the run (for AggregateStats). It is
+// the engine underneath every QueryBatch method.
+func RunBatch(n int, opts BatchOptions, fn func(i int, rng *Rand)) time.Duration {
+	return index.RunBatch(n, opts, fn)
+}
+
+// AggregateStats folds per-query stats and a wall-clock duration into a
+// BatchStats with latency percentiles.
+func AggregateStats(per []QueryStats, wall time.Duration) BatchStats {
+	return index.AggregateStats(per, wall)
+}
+
+// JoinParallel computes the same join as Join — identical output and stats
+// for the same rng stream — fanning the L repetitions across workers
+// (workers <= 0 means GOMAXPROCS).
+func JoinParallel[P any](rng *Rand, fam Family[P], L int, setA, setB []P, verify func(a, b P) bool, workers int) ([]JoinPair, JoinStats) {
+	return index.JoinParallel(rng, fam, L, setA, setB, verify, workers)
 }
 
 // CPF design (fitting target CPFs over the Lemma 1.4 closure).

@@ -137,3 +137,60 @@ func TestFacadeIndexAndPrivacy(t *testing.T) {
 		t.Errorf("self-estimate: %+v with N=%d", out, est.N())
 	}
 }
+
+func TestFacadeBatchQuery(t *testing.T) {
+	rng := dsh.NewRand(5)
+	pts := make([][]float64, 300)
+	for i := range pts {
+		g := make([]float64, 16)
+		n := 0.0
+		for j := range g {
+			g[j] = rng.NormFloat64()
+			n += g[j] * g[j]
+		}
+		n = math.Sqrt(n)
+		for j := range g {
+			g[j] /= n
+		}
+		pts[i] = g
+	}
+	ix := dsh.NewIndex(rng, dsh.Power(dsh.SimHash(16), 4), 16, pts)
+	queries := pts[:32]
+	ids, per, agg := ix.QueryBatch(queries, dsh.BatchOptions{Workers: 4})
+	if len(ids) != len(queries) || len(per) != len(queries) || agg.Queries != len(queries) {
+		t.Fatalf("batch sizes wrong: %d/%d/%d", len(ids), len(per), agg.Queries)
+	}
+	for i, q := range queries {
+		want := ix.CollectDistinct(q, 0)
+		if len(want) != len(ids[i]) {
+			t.Errorf("query %d: batch returned %d ids, sequential %d", i, len(ids[i]), len(want))
+		}
+		// Every query is an indexed point, so it must at least find itself.
+		found := false
+		for _, id := range ids[i] {
+			if id == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("query %d did not find itself", i)
+		}
+	}
+	if agg.LatP50 > agg.LatMax {
+		t.Errorf("latency percentiles out of order: %+v", agg)
+	}
+
+	verify := func(a, b []float64) bool {
+		dot := 0.0
+		for k := range a {
+			dot += a[k] * b[k]
+		}
+		return dot >= 0.4
+	}
+	seq, seqStats := dsh.Join(dsh.NewRand(6), dsh.Power(dsh.SimHash(16), 3), 8, pts, pts[:100], verify)
+	par, parStats := dsh.JoinParallel(dsh.NewRand(6), dsh.Power(dsh.SimHash(16), 3), 8, pts, pts[:100], verify, 4)
+	if len(seq) != len(par) || seqStats != parStats {
+		t.Errorf("JoinParallel diverged from Join: %d/%d pairs, stats %+v vs %+v",
+			len(par), len(seq), parStats, seqStats)
+	}
+}

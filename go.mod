@@ -1,0 +1,3 @@
+module dsh
+
+go 1.24

@@ -309,9 +309,34 @@ func TestCheckLowerBound(t *testing.T) {
 func TestEstimateCollisionFixedPoints(t *testing.T) {
 	fam := lineLSH()
 	rng := xrand.New(9)
-	est := EstimateCollisionFixedPoints(rng, fam, 0.0, 0.5, 20000, 5)
+	est := EstimateCollisionFixedPoints(rng, fam, 0.0, 0.5, 0.5, 20000, 5)
 	if !est.Interval.Contains(0.5) {
 		t.Errorf("fixed-point estimate %v excludes 0.5", est.P)
+	}
+	if est.X != 0.5 {
+		t.Errorf("fixed-point estimate X = %v, want 0.5", est.X)
+	}
+}
+
+func TestEstimatorsRejectNonPositiveTrials(t *testing.T) {
+	fam := lineLSH()
+	for _, trials := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EstimateCollision with trials=%d should panic", trials)
+				}
+			}()
+			EstimateCollision(xrand.New(1), fam, linePairs, 0.5, trials, 5)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EstimateCollisionFixedPoints with trials=%d should panic", trials)
+				}
+			}()
+			EstimateCollisionFixedPoints(xrand.New(1), fam, 0.0, 0.5, 0.5, trials, 5)
+		}()
 	}
 }
 

@@ -26,6 +26,9 @@ type PairGenerator[P any] func(rng *xrand.Rand, x float64) (P, P)
 // the generator produces exact distances the two notions coincide.
 // The returned interval is a Wilson score interval at the given z.
 func EstimateCollision[P any](rng *xrand.Rand, fam Family[P], gen PairGenerator[P], x float64, trials int, z float64) Estimate {
+	if trials <= 0 {
+		panic("core: EstimateCollision requires trials > 0")
+	}
 	hits := 0
 	for i := 0; i < trials; i++ {
 		px, py := gen(rng, x)
@@ -44,8 +47,14 @@ func EstimateCollision[P any](rng *xrand.Rand, fam Family[P], gen PairGenerator[
 }
 
 // EstimateCollisionFixedPoints estimates Pr[h(x)=g(y)] for one fixed point
-// pair over `trials` independent (h, g) draws.
-func EstimateCollisionFixedPoints[P any](rng *xrand.Rand, fam Family[P], x, y P, trials int, z float64) Estimate {
+// pair over `trials` independent (h, g) draws. at is the CPF argument
+// (distance or similarity) of the pair, recorded in the returned
+// Estimate's X field so fixed-point estimates tabulate like EstimateCPF
+// sweeps.
+func EstimateCollisionFixedPoints[P any](rng *xrand.Rand, fam Family[P], x, y P, at float64, trials int, z float64) Estimate {
+	if trials <= 0 {
+		panic("core: EstimateCollisionFixedPoints requires trials > 0")
+	}
 	hits := 0
 	for i := 0; i < trials; i++ {
 		pair := fam.Sample(rng)
@@ -54,6 +63,7 @@ func EstimateCollisionFixedPoints[P any](rng *xrand.Rand, fam Family[P], x, y P,
 		}
 	}
 	return Estimate{
+		X:        at,
 		Hits:     hits,
 		Trials:   trials,
 		P:        float64(hits) / float64(trials),

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"math"
+
 	"dsh/internal/core"
 	"dsh/internal/sphere"
 	"dsh/internal/xrand"
@@ -68,13 +70,7 @@ func ConcatAnnulusBaseline(rng *xrand.Rand, d, k1, k2, L int, points [][]float64
 // selection: f(alpha) = SimHashCPF(alpha)^k1 * SimHashCPF(-alpha)^k2.
 func ConcatAnnulusCPF(k1, k2 int) core.CPF {
 	return core.CPF{Domain: core.DomainInnerProduct, Eval: func(alpha float64) float64 {
-		p := 1.0
-		for i := 0; i < k1; i++ {
-			p *= sphere.SimHashCPF(alpha)
-		}
-		for i := 0; i < k2; i++ {
-			p *= sphere.SimHashCPF(-alpha)
-		}
-		return p
+		return math.Pow(sphere.SimHashCPF(alpha), float64(k1)) *
+			math.Pow(sphere.SimHashCPF(-alpha), float64(k2))
 	}}
 }

@@ -1,0 +1,209 @@
+package index
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsh/internal/stats"
+	"dsh/internal/xrand"
+)
+
+// sortedQuantile reads the q-th quantile off an already sorted sample with
+// the same linear interpolation as stats.Quantile.
+func sortedQuantile(sorted []float64, q float64) float64 {
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// BatchOptions configures a concurrent batch query.
+type BatchOptions struct {
+	// Workers is the number of concurrent workers; values <= 0 mean
+	// GOMAXPROCS.
+	Workers int
+	// MaxCandidates caps the number of distinct candidates collected per
+	// query by Index.QueryBatch (<= 0 means no limit). The other batch
+	// entry points ignore it.
+	MaxCandidates int
+	// Rand, when non-nil, supplies per-query deterministic generators: it
+	// is Split once per query in query order before any worker starts, so
+	// randomized per-query work is reproducible regardless of how queries
+	// are scheduled onto workers. The batch entry points in this package
+	// need no randomness themselves; the field exists for callers driving
+	// randomized verification through RunBatch.
+	Rand *xrand.Rand
+}
+
+func (o BatchOptions) workerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// BatchStats aggregates the work and latency of a batch of queries.
+type BatchStats struct {
+	// Queries is the number of queries in the batch.
+	Queries int
+	// Candidates, Distinct and Verified sum the per-query QueryStats
+	// counters across the batch.
+	Candidates int64
+	Distinct   int64
+	Verified   int64
+	// Wall is the wall-clock time of the whole batch (all workers).
+	Wall time.Duration
+	// QPS is Queries divided by Wall, in queries per second.
+	QPS float64
+	// Latency percentiles over the per-query latencies.
+	LatMean time.Duration
+	LatP50  time.Duration
+	LatP90  time.Duration
+	LatP99  time.Duration
+	LatMax  time.Duration
+}
+
+// AggregateStats folds per-query stats and a wall-clock duration into a
+// BatchStats with latency percentiles.
+func AggregateStats(per []QueryStats, wall time.Duration) BatchStats {
+	agg := BatchStats{Queries: len(per), Wall: wall}
+	if len(per) == 0 {
+		return agg
+	}
+	lats := make([]float64, len(per))
+	for i, s := range per {
+		agg.Candidates += int64(s.Candidates)
+		agg.Distinct += int64(s.Distinct)
+		agg.Verified += int64(s.Verified)
+		lats[i] = float64(s.Latency)
+	}
+	if wall > 0 {
+		agg.QPS = float64(len(per)) / wall.Seconds()
+	}
+	agg.LatMean = time.Duration(stats.Mean(lats))
+	// Sort once and read all quantiles off the sorted sample rather than
+	// paying stats.Quantile's copy+sort per percentile.
+	sort.Float64s(lats)
+	agg.LatP50 = time.Duration(sortedQuantile(lats, 0.50))
+	agg.LatP90 = time.Duration(sortedQuantile(lats, 0.90))
+	agg.LatP99 = time.Duration(sortedQuantile(lats, 0.99))
+	agg.LatMax = time.Duration(lats[len(lats)-1])
+	return agg
+}
+
+// RunBatch fans fn over n query indices across a worker pool and returns
+// the wall-clock duration of the run. Queries are claimed from a shared
+// cursor, so stragglers do not idle the pool. When opts.Rand is non-nil
+// each index i receives a private generator derived by the i-th Split of
+// opts.Rand (split sequentially before the workers start); otherwise the
+// rng argument is nil. fn must treat distinct indices as independent: it
+// is called concurrently from multiple goroutines.
+func RunBatch(n int, opts BatchOptions, fn func(i int, rng *xrand.Rand)) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	var rngs []*xrand.Rand
+	if opts.Rand != nil {
+		rngs = make([]*xrand.Rand, n)
+		for i := range rngs {
+			rngs[i] = opts.Rand.Split()
+		}
+	}
+	workers := opts.workerCount(n)
+	start := time.Now()
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if rngs != nil {
+				fn(i, rngs[i])
+			} else {
+				fn(i, nil)
+			}
+		}
+		return time.Since(start)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if rngs != nil {
+					fn(i, rngs[i])
+				} else {
+					fn(i, nil)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// QueryBatch collects distinct candidates for every query concurrently,
+// fanning the batch across opts.Workers workers. Results are identical to
+// calling CollectDistinct(q, opts.MaxCandidates) sequentially for each
+// query, in query order; only the wall-clock time changes. Per-query
+// stats (including latency) and aggregated batch stats are returned
+// alongside the candidate lists.
+func (ix *Index[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
+	out := make([][]int, len(queries))
+	per := make([]QueryStats, len(queries))
+	wall := RunBatch(len(queries), opts, func(i int, _ *xrand.Rand) {
+		start := time.Now()
+		out[i], per[i] = ix.collectDistinct(queries[i], opts.MaxCandidates)
+		per[i].Latency = time.Since(start)
+	})
+	return out, per, AggregateStats(per, wall)
+}
+
+// QueryBatch answers every annulus query concurrently. Element i of the
+// returned slice is exactly what Query(queries[i]) returns: the id of
+// some point within the report interval, or -1 after the 8L early
+// termination bound.
+func (ai *AnnulusIndex[P]) QueryBatch(queries []P, opts BatchOptions) ([]int, []QueryStats, BatchStats) {
+	out := make([]int, len(queries))
+	per := make([]QueryStats, len(queries))
+	wall := RunBatch(len(queries), opts, func(i int, _ *xrand.Rand) {
+		start := time.Now()
+		out[i], per[i] = ai.Query(queries[i])
+		per[i].Latency = time.Since(start)
+	})
+	return out, per, AggregateStats(per, wall)
+}
+
+// QueryBatch runs every range-reporting query concurrently. Element i of
+// the returned slice is exactly what Query(queries[i]) returns.
+func (rr *RangeReporter[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
+	out := make([][]int, len(queries))
+	per := make([]QueryStats, len(queries))
+	wall := RunBatch(len(queries), opts, func(i int, _ *xrand.Rand) {
+		start := time.Now()
+		out[i], per[i] = rr.Query(queries[i])
+		per[i].Latency = time.Since(start)
+	})
+	return out, per, AggregateStats(per, wall)
+}
+
+// QueryBatch answers every hyperplane query concurrently, mirroring
+// Query element-wise.
+func (hi *HyperplaneIndex) QueryBatch(queries [][]float64, opts BatchOptions) ([]int, []QueryStats, BatchStats) {
+	return hi.inner.QueryBatch(queries, opts)
+}

@@ -1,0 +1,96 @@
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"dsh/internal/core"
+	"dsh/internal/sphere"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+// BenchmarkBatchQueryIndex compares a sequential CollectDistinct loop
+// against QueryBatch over the same query slice; the batch variant should
+// win by roughly the core count on multi-core hardware while returning
+// identical results (see TestQueryBatchMatchesSequential).
+func BenchmarkBatchQueryIndex(b *testing.B) {
+	ix, queries := batchFixture(7, 4000, 256)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				ix.CollectDistinct(q, 0)
+			}
+		}
+	})
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("batch_w%d", workers), func(b *testing.B) {
+			opts := BatchOptions{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				ix.QueryBatch(queries, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchQueryAnnulus compares per-query annulus search against the
+// batched variant.
+func BenchmarkBatchQueryAnnulus(b *testing.B) {
+	rng := xrand.New(8)
+	const alphaTarget = 0.5
+	ds := workload.NewPlantedSphere(rng, testDim, 4000, []float64{alphaTarget})
+	fam := sphere.NewAnnulus(testDim, alphaTarget, 1.8)
+	L := RepetitionsForCPF(fam.CPF().Eval(alphaTarget))
+	ai := NewAnnulus[[]float64](rng, fam, L, ds.Points, withinSim(0.3, 0.7))
+	queries := workload.SpherePoints(rng, 256, testDim)
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				ai.Query(q)
+			}
+		}
+	})
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("batch_w%d", workers), func(b *testing.B) {
+			opts := BatchOptions{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				ai.QueryBatch(queries, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchQueryJoin compares the sequential join against
+// JoinParallel at full parallelism (identical output, see
+// TestJoinParallelMatchesJoin).
+func BenchmarkBatchQueryJoin(b *testing.B) {
+	fam := core.Power[[]float64](sphere.SimHash(testDim), 3)
+	setA := workload.SpherePoints(xrand.New(25), 1000, testDim)
+	setB := workload.SpherePoints(xrand.New(26), 1000, testDim)
+	verify := withinSim(0.4, 1.0)
+	const L = 24
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Join(xrand.New(27), fam, L, setA, setB, verify)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			JoinParallel(xrand.New(27), fam, L, setA, setB, verify, 0)
+		}
+	})
+}
+
+func benchWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{2, 4, max}
+	var out []int
+	for _, c := range counts {
+		if c <= max && (len(out) == 0 || out[len(out)-1] != c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

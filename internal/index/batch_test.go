@@ -1,0 +1,197 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"dsh/internal/core"
+	"dsh/internal/sphere"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+// batchFixture builds a shared index workload: SimHash^4 over a planted
+// sphere, with a mix of planted and uniform queries.
+func batchFixture(seed uint64, nPoints, nQueries int) (*Index[[]float64], [][]float64) {
+	rng := xrand.New(seed)
+	fam := core.Power[[]float64](sphere.SimHash(testDim), 4)
+	pts := workload.SpherePoints(rng, nPoints, testDim)
+	ix := New(rng, fam, 24, pts)
+	queries := workload.SpherePoints(rng, nQueries, testDim)
+	return ix, queries
+}
+
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	ix, queries := batchFixture(11, 400, 64)
+	for _, max := range []int{0, 7} {
+		opts := BatchOptions{Workers: 8, MaxCandidates: max}
+		got, per, agg := ix.QueryBatch(queries, opts)
+		if len(got) != len(queries) || len(per) != len(queries) {
+			t.Fatalf("max=%d: result lengths %d/%d, want %d", max, len(got), len(per), len(queries))
+		}
+		if agg.Queries != len(queries) {
+			t.Errorf("max=%d: aggregated Queries = %d", max, agg.Queries)
+		}
+		var wantCands, wantDistinct int64
+		for i, q := range queries {
+			want := ix.CollectDistinct(q, max)
+			if len(want) == 0 {
+				want = nil
+			}
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("max=%d query %d: batch %v != sequential %v", max, i, got[i], want)
+			}
+			wantCands += int64(per[i].Candidates)
+			wantDistinct += int64(per[i].Distinct)
+			if per[i].Distinct != len(want) {
+				t.Errorf("max=%d query %d: Distinct = %d, want %d", max, i, per[i].Distinct, len(want))
+			}
+		}
+		if agg.Candidates != wantCands || agg.Distinct != wantDistinct {
+			t.Errorf("max=%d: aggregation mismatch: %d/%d want %d/%d",
+				max, agg.Candidates, agg.Distinct, wantCands, wantDistinct)
+		}
+	}
+}
+
+func TestQueryBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	ix, queries := batchFixture(12, 300, 48)
+	ref, _, _ := ix.QueryBatch(queries, BatchOptions{Workers: 1})
+	for _, workers := range []int{2, 4, 16} {
+		got, _, _ := ix.QueryBatch(queries, BatchOptions{Workers: workers})
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: results differ from single-worker run", workers)
+		}
+	}
+}
+
+func TestAnnulusQueryBatchMatchesSequential(t *testing.T) {
+	rng := xrand.New(13)
+	const alphaTarget = 0.5
+	ds := workload.NewPlantedSphere(rng, testDim, 1500, []float64{alphaTarget})
+	fam := sphere.NewAnnulus(testDim, alphaTarget, 1.8)
+	L := RepetitionsForCPF(fam.CPF().Eval(alphaTarget))
+	ai := NewAnnulus[[]float64](rng, fam, L, ds.Points, withinSim(0.3, 0.7))
+
+	queries := append([][]float64{ds.Query}, workload.SpherePoints(rng, 31, testDim)...)
+	got, per, agg := ai.QueryBatch(queries, BatchOptions{Workers: 8})
+	for i, q := range queries {
+		wantID, wantStats := ai.Query(q)
+		if got[i] != wantID {
+			t.Errorf("query %d: batch id %d != sequential %d", i, got[i], wantID)
+		}
+		if per[i].Candidates != wantStats.Candidates || per[i].Verified != wantStats.Verified {
+			t.Errorf("query %d: batch stats %+v != sequential %+v", i, per[i], wantStats)
+		}
+	}
+	if agg.Queries != len(queries) || agg.LatP50 > agg.LatMax {
+		t.Errorf("aggregate stats implausible: %+v", agg)
+	}
+}
+
+func TestRangeReporterQueryBatchMatchesSequential(t *testing.T) {
+	rng := xrand.New(14)
+	pts := workload.SpherePoints(rng, 800, testDim)
+	fam := sphere.NewStep(testDim, 0.5, 0.9, 3, 2.0)
+	rr := NewRangeReporter[[]float64](rng, fam, 40, pts, withinSim(0.45, 1.0))
+
+	queries := workload.SpherePoints(rng, 32, testDim)
+	got, per, _ := rr.QueryBatch(queries, BatchOptions{Workers: 8})
+	for i, q := range queries {
+		wantIDs, wantStats := rr.Query(q)
+		if !reflect.DeepEqual(got[i], wantIDs) {
+			t.Errorf("query %d: batch %v != sequential %v", i, got[i], wantIDs)
+		}
+		if per[i].Distinct != wantStats.Distinct || per[i].Verified != wantStats.Verified {
+			t.Errorf("query %d: batch stats %+v != sequential %+v", i, per[i], wantStats)
+		}
+	}
+}
+
+func TestJoinParallelMatchesJoin(t *testing.T) {
+	fam := core.Power[[]float64](sphere.SimHash(testDim), 3)
+	setA := workload.SpherePoints(xrand.New(21), 150, testDim)
+	setB := workload.SpherePoints(xrand.New(22), 170, testDim)
+	verify := withinSim(0.4, 1.0)
+
+	seqPairs, seqStats := Join(xrand.New(23), fam, 20, setA, setB, verify)
+	for _, workers := range []int{2, 8} {
+		parPairs, parStats := JoinParallel(xrand.New(23), fam, 20, setA, setB, verify, workers)
+		if !reflect.DeepEqual(parPairs, seqPairs) {
+			t.Errorf("workers=%d: pairs differ: %d vs %d", workers, len(parPairs), len(seqPairs))
+		}
+		if parStats != seqStats {
+			t.Errorf("workers=%d: stats %+v != %+v", workers, parStats, seqStats)
+		}
+	}
+
+	// Self-join: same diagonal/normalization handling in both paths.
+	seqSelf, seqSelfStats := SelfJoin(xrand.New(24), fam, 20, setA, verify)
+	parSelf, parSelfStats := JoinParallel(xrand.New(24), fam, 20, setA, setA, verify, 8)
+	if !reflect.DeepEqual(parSelf, seqSelf) || parSelfStats != seqSelfStats {
+		t.Errorf("self-join mismatch: %d pairs %+v vs %d pairs %+v",
+			len(parSelf), parSelfStats, len(seqSelf), seqSelfStats)
+	}
+}
+
+// TestNewParallelMatchesSplitStreams checks that NewParallel's tables are
+// exactly what a sequential build over the same Split streams produces:
+// the i-th repetition samples its pair from the i-th Split of the seed
+// generator, so parallel construction is seed-deterministic.
+func TestNewParallelMatchesSplitStreams(t *testing.T) {
+	fam := core.Power[[]float64](sphere.SimHash(testDim), 4)
+	pts := workload.SpherePoints(xrand.New(31), 400, testDim)
+	const L = 24
+
+	par := NewParallel[[]float64](xrand.New(32), fam, L, pts)
+
+	// Sequential replica of NewParallel's seeding discipline.
+	rng := xrand.New(32)
+	tables := make([]map[uint64][]int32, L)
+	for i := 0; i < L; i++ {
+		pair := fam.Sample(rng.Split())
+		table := make(map[uint64][]int32)
+		for j, p := range pts {
+			key := pair.H.Hash(p)
+			table[key] = append(table[key], int32(j))
+		}
+		tables[i] = table
+	}
+	if !reflect.DeepEqual(par.tables, tables) {
+		t.Fatal("NewParallel tables differ from sequential build over the same Split streams")
+	}
+
+	// And NewParallel is reproducible from the seed alone.
+	again := NewParallel[[]float64](xrand.New(32), fam, L, pts)
+	if !reflect.DeepEqual(par.tables, again.tables) {
+		t.Fatal("NewParallel is not deterministic for a fixed seed")
+	}
+	queries := workload.SpherePoints(xrand.New(33), 16, testDim)
+	for _, q := range queries {
+		if !reflect.DeepEqual(par.CollectDistinct(q, 0), again.CollectDistinct(q, 0)) {
+			t.Fatal("NewParallel query results differ between identical seeds")
+		}
+	}
+}
+
+func TestRunBatchSplitsRandDeterministically(t *testing.T) {
+	draw := func(workers int) []uint64 {
+		out := make([]uint64, 32)
+		RunBatch(len(out), BatchOptions{Workers: workers, Rand: xrand.New(41)}, func(i int, r *xrand.Rand) {
+			out[i] = r.Uint64()
+		})
+		return out
+	}
+	ref := draw(1)
+	for _, workers := range []int{3, 8} {
+		if got := draw(workers); !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: per-query rng streams depend on scheduling", workers)
+		}
+	}
+	// Without a Rand, fn receives nil.
+	RunBatch(4, BatchOptions{Workers: 2}, func(i int, r *xrand.Rand) {
+		if r != nil {
+			t.Error("expected nil rng when BatchOptions.Rand is unset")
+		}
+	})
+}

@@ -14,6 +14,7 @@ package index
 
 import (
 	"math"
+	"time"
 
 	"dsh/internal/core"
 	"dsh/internal/xrand"
@@ -78,16 +79,26 @@ func (ix *Index[P]) Candidates(q P, visit func(id int) bool) {
 // CollectDistinct gathers up to max distinct candidate ids for q
 // (max <= 0 means no limit).
 func (ix *Index[P]) CollectDistinct(q P, max int) []int {
+	out, _ := ix.collectDistinct(q, max)
+	return out
+}
+
+// collectDistinct is CollectDistinct plus the candidate/distinct counters;
+// it is the single implementation behind the sequential and batch paths.
+func (ix *Index[P]) collectDistinct(q P, max int) ([]int, QueryStats) {
+	var stats QueryStats
 	seen := make(map[int]struct{})
 	var out []int
 	ix.Candidates(q, func(id int) bool {
+		stats.Candidates++
 		if _, dup := seen[id]; !dup {
 			seen[id] = struct{}{}
 			out = append(out, id)
+			stats.Distinct++
 		}
 		return max <= 0 || len(out) < max
 	})
-	return out
+	return out, stats
 }
 
 // QueryStats reports the work performed by a query.
@@ -100,6 +111,9 @@ type QueryStats struct {
 	// Verified is the number of candidate points whose distance was
 	// actually evaluated.
 	Verified int
+	// Latency is the wall-clock time of the query. It is populated by the
+	// batch entry points in batch.go; single-query paths leave it zero.
+	Latency time.Duration
 }
 
 // RepetitionsForCPF returns the standard repetition count L = ceil(1/f)

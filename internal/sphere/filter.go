@@ -3,6 +3,8 @@ package sphere
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"dsh/internal/core"
 	"dsh/internal/stats"
@@ -93,24 +95,47 @@ func (f *Filter) Name() string {
 // deterministically from the draw's seed the first time they are needed
 // and memoized, so hashing many points against the same draw (the common
 // case when building an index) generates each z_i exactly once.
-// A capSequence is shared by the h and g of one pair and is not safe for
-// concurrent use.
+// A capSequence is shared by the h and g of one pair and may be hashed
+// from concurrent goroutines (the index batch query engine does): reads
+// go through an atomic snapshot and are lock-free once a projection is
+// materialized; extension takes a mutex. Each z_i is a pure function of
+// (seed, i), so the sequence is identical however the calls interleave.
 type capSequence struct {
-	seed  uint64
-	d     int
-	projs [][]float64
+	seed uint64
+	d    int
+	mu   sync.Mutex
+	// projs holds an immutable snapshot of the materialized prefix;
+	// extension publishes a fresh, longer snapshot.
+	projs atomic.Pointer[[][]float64]
 }
 
 func (c *capSequence) proj(i int) []float64 {
-	for len(c.projs) < i {
-		r := xrand.New(c.seed ^ (uint64(len(c.projs)+1) * 0x9e3779b97f4a7c15))
+	if snap := c.projs.Load(); snap != nil && len(*snap) >= i {
+		return (*snap)[i-1]
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var cur [][]float64
+	if snap := c.projs.Load(); snap != nil {
+		cur = *snap
+	}
+	if len(cur) >= i {
+		return cur[i-1]
+	}
+	// Copy the prefix so published snapshots are never appended to in
+	// place under a concurrent reader.
+	next := make([][]float64, len(cur), i)
+	copy(next, cur)
+	for len(next) < i {
+		r := xrand.New(c.seed ^ (uint64(len(next)+1) * 0x9e3779b97f4a7c15))
 		g := make([]float64, c.d)
 		for j := range g {
 			g[j] = r.NormFloat64()
 		}
-		c.projs = append(c.projs, g)
+		next = append(next, g)
 	}
-	return c.projs[i-1]
+	c.projs.Store(&next)
+	return next[i-1]
 }
 
 // filterHasher scans the lazily generated cap sequence.
