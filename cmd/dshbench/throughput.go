@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"dsh/internal/index"
@@ -11,6 +12,15 @@ import (
 	"dsh/internal/workload"
 	"dsh/internal/xrand"
 )
+
+// heapAllocated returns the cumulative bytes allocated so far; deltas
+// around a query loop expose the per-query allocation cost of the serving
+// path (the flat-table engine should be near zero in steady state).
+func heapAllocated() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
 
 // throughputConfig parameterizes the serving-throughput mode: an annulus
 // index over n random unit vectors, answering query batches through the
@@ -54,33 +64,45 @@ func runThroughput(w io.Writer, cfg throughputConfig) {
 		cfg.Points, cfg.Queries, cfg.BatchSize, cfg.Workers, cfg.Dim, L)
 	fmt.Fprintf(w, "build: %v\n", buildTime)
 
-	// Sequential baseline: one query at a time.
+	// Sequential baseline: one query at a time, driving one reusable
+	// Querier so the loop exercises the zero-allocation steady state.
+	qr := ai.Index().NewQuerier()
 	seqPer := make([]index.QueryStats, len(queries))
 	seqFound := 0
+	seqAllocs := heapAllocated()
 	seqStart := time.Now()
 	for i, q := range queries {
 		qStart := time.Now()
-		id, st := ai.Query(q)
+		id, st := ai.QueryWith(qr, q)
 		st.Latency = time.Since(qStart)
 		seqPer[i] = st
 		if id >= 0 {
 			seqFound++
 		}
 	}
-	seqAgg := index.AggregateStats(seqPer, time.Since(seqStart))
-	printThroughputRow(w, "sequential", seqAgg, seqFound)
+	seqWall := time.Since(seqStart)
+	// Measure before aggregation so B/q reflects the query path alone.
+	seqAllocs = heapAllocated() - seqAllocs
+	seqAgg := index.AggregateStats(seqPer, seqWall)
+	printThroughputRow(w, "sequential", seqAgg, seqFound, seqAllocs)
 
-	// Batched: fan each batch of BatchSize queries across the pool.
+	// Batched: fan each batch of BatchSize queries across the pool. The
+	// allocation delta is scoped to the QueryBatch calls themselves so the
+	// B/q column is comparable with the sequential row (harness
+	// bookkeeping like batchPer growth is excluded from both).
 	opts := index.BatchOptions{Workers: cfg.Workers}
 	var batchPer []index.QueryStats
 	batchFound := 0
+	var batchAllocs uint64
 	var wall time.Duration
 	for lo := 0; lo < len(queries); lo += cfg.BatchSize {
 		hi := lo + cfg.BatchSize
 		if hi > len(queries) {
 			hi = len(queries)
 		}
+		before := heapAllocated()
 		ids, per, agg := ai.QueryBatch(queries[lo:hi], opts)
+		batchAllocs += heapAllocated() - before
 		for _, id := range ids {
 			if id >= 0 {
 				batchFound++
@@ -90,7 +112,7 @@ func runThroughput(w io.Writer, cfg throughputConfig) {
 		wall += agg.Wall
 	}
 	batchAgg := index.AggregateStats(batchPer, wall)
-	printThroughputRow(w, "batch", batchAgg, batchFound)
+	printThroughputRow(w, "batch", batchAgg, batchFound, batchAllocs)
 	if seqAgg.Wall > 0 && batchAgg.Wall > 0 {
 		fmt.Fprintf(w, "speedup: %.2fx\n", seqAgg.Wall.Seconds()/batchAgg.Wall.Seconds())
 	}
@@ -100,8 +122,8 @@ func runThroughput(w io.Writer, cfg throughputConfig) {
 	}
 }
 
-func printThroughputRow(w io.Writer, label string, agg index.BatchStats, found int) {
-	fmt.Fprintf(w, "%-10s qps=%10.0f  p50=%-10v p90=%-10v p99=%-10v max=%-10v cand/q=%.1f found=%d/%d\n",
+func printThroughputRow(w io.Writer, label string, agg index.BatchStats, found int, allocs uint64) {
+	fmt.Fprintf(w, "%-10s qps=%10.0f  p50=%-10v p90=%-10v p99=%-10v max=%-10v cand/q=%.1f B/q=%-8.0f found=%d/%d\n",
 		label, agg.QPS, agg.LatP50, agg.LatP90, agg.LatP99, agg.LatMax,
-		float64(agg.Candidates)/float64(agg.Queries), found, agg.Queries)
+		float64(agg.Candidates)/float64(agg.Queries), float64(allocs)/float64(agg.Queries), found, agg.Queries)
 }

@@ -236,6 +236,15 @@ func NewRangeReporter[P any](rng *Rand, fam Family[P], L int, points []P, inRang
 // RepetitionsForCPF returns L = ceil(1/f).
 func RepetitionsForCPF(f float64) int { return index.RepetitionsForCPF(f) }
 
+// Querier is a reusable query-scratch object bound to one Index: an
+// epoch-stamped visited array for deduplication, a negated-query buffer,
+// and a reusable output buffer. Obtain one with Index.NewQuerier; a
+// Querier is not safe for concurrent use (use one per goroutine).
+// Steady-state queries through a Querier perform no heap allocations; its
+// CollectDistinct returns a slice that is only valid until the Querier's
+// next use.
+type Querier[P any] = index.Querier[P]
+
 // Privacy (Section 6.4).
 
 // DistanceEstimator is the PSI-based private distance estimation protocol.

@@ -234,33 +234,50 @@ func AtDistance(rng *xrand.Rand, x Vector, r int) Vector {
 	return y
 }
 
-// Append returns the concatenation of v followed by w.
+// Append returns the concatenation of v followed by w. It copies v's words
+// wholesale and ORs in w's words shifted by v.d mod 64 bits, so the cost is
+// O(words), not O(bits).
 func Append(v, w Vector) Vector {
 	out := New(v.d + w.d)
-	for i := 0; i < v.d; i++ {
-		if v.Bit(i) {
-			out.Set(i, true)
+	copy(out.words, v.words)
+	base := v.d >> 6
+	shift := uint(v.d) & 63
+	if shift == 0 {
+		copy(out.words[base:], w.words)
+	} else {
+		// Each word of w straddles two output words; the tail bits beyond
+		// w.d are zero by the maskTail invariant, so the high spill of the
+		// final word never reaches past the output array.
+		for i, word := range w.words {
+			out.words[base+i] |= word << shift
+			if base+i+1 < len(out.words) {
+				out.words[base+i+1] |= word >> (64 - shift)
+			}
 		}
 	}
-	for i := 0; i < w.d; i++ {
-		if w.Bit(i) {
-			out.Set(v.d+i, true)
-		}
-	}
+	out.maskTail()
 	return out
 }
 
 // PadOnes returns v extended to dimension dNew with all-one padding, the
-// embedding hat-x = x . 1 used in the proof of Theorem 3.8.
+// embedding hat-x = x . 1 used in the proof of Theorem 3.8. The padding is
+// written word-at-a-time: a masked OR into the word straddling v.d, then
+// whole ^uint64(0) words, with maskTail clearing the overhang.
 func PadOnes(v Vector, dNew int) Vector {
 	if dNew < v.d {
 		panic("bitvec: PadOnes target smaller than source")
 	}
 	out := New(dNew)
 	copy(out.words, v.words)
-	for i := v.d; i < dNew; i++ {
-		out.Set(i, true)
+	start := v.d >> 6
+	if rem := uint(v.d) & 63; rem != 0 && start < len(out.words) {
+		out.words[start] |= ^uint64(0) << rem
+		start++
 	}
+	for i := start; i < len(out.words); i++ {
+		out.words[i] = ^uint64(0)
+	}
+	out.maskTail()
 	return out
 }
 

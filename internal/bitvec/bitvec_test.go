@@ -310,3 +310,88 @@ func BenchmarkDistance1024(b *testing.B) {
 	}
 	_ = sink
 }
+
+// appendRef is the old bit-by-bit Append, kept as the reference for the
+// word-level implementation.
+func appendRef(v, w Vector) Vector {
+	out := New(v.Dim() + w.Dim())
+	for i := 0; i < v.Dim(); i++ {
+		if v.Bit(i) {
+			out.Set(i, true)
+		}
+	}
+	for i := 0; i < w.Dim(); i++ {
+		if w.Bit(i) {
+			out.Set(v.Dim()+i, true)
+		}
+	}
+	return out
+}
+
+// padOnesRef is the old bit-by-bit PadOnes reference.
+func padOnesRef(v Vector, dNew int) Vector {
+	out := New(dNew)
+	for i := 0; i < v.Dim(); i++ {
+		if v.Bit(i) {
+			out.Set(i, true)
+		}
+	}
+	for i := v.Dim(); i < dNew; i++ {
+		out.Set(i, true)
+	}
+	return out
+}
+
+// TestAppendMatchesBitReference round-trips the word-level Append against
+// the bit-by-bit reference across word-boundary dimensions.
+func TestAppendMatchesBitReference(t *testing.T) {
+	rng := xrand.New(31)
+	dims := []int{1, 3, 63, 64, 65, 127, 128, 129, 200}
+	for _, dv := range dims {
+		for _, dw := range dims {
+			v := Random(rng, dv)
+			w := Random(rng, dw)
+			got := Append(v, w)
+			want := appendRef(v, w)
+			if !got.Equal(want) {
+				t.Fatalf("Append(%d,%d) = %q, want %q", dv, dw, got.String(), want.String())
+			}
+			// Tail invariant: weight must count only in-range bits.
+			if got.Weight() != v.Weight()+w.Weight() {
+				t.Fatalf("Append(%d,%d) weight %d, want %d", dv, dw, got.Weight(), v.Weight()+w.Weight())
+			}
+			// String round-trip catches stray bits past d.
+			back, err := FromString(got.String())
+			if err != nil || !back.Equal(got) {
+				t.Fatalf("Append(%d,%d) string round-trip failed", dv, dw)
+			}
+		}
+	}
+}
+
+// TestPadOnesMatchesBitReference round-trips the word-level PadOnes
+// against the bit-by-bit reference, including the dNew == d edge.
+func TestPadOnesMatchesBitReference(t *testing.T) {
+	rng := xrand.New(32)
+	dims := []int{1, 3, 63, 64, 65, 127, 128, 129, 200}
+	for _, d := range dims {
+		v := Random(rng, d)
+		for _, pad := range []int{0, 1, 5, 63, 64, 65, 130} {
+			dNew := d + pad
+			got := PadOnes(v, dNew)
+			want := padOnesRef(v, dNew)
+			if !got.Equal(want) {
+				t.Fatalf("PadOnes(d=%d,dNew=%d) = %q, want %q", d, dNew, got.String(), want.String())
+			}
+			if got.Weight() != v.Weight()+pad {
+				t.Fatalf("PadOnes(d=%d,dNew=%d) weight %d, want %d", d, dNew, got.Weight(), v.Weight()+pad)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PadOnes shrinking should panic")
+		}
+	}()
+	PadOnes(Random(rng, 10), 5)
+}

@@ -57,25 +57,65 @@ func (c concatFamily[P]) Name() string {
 }
 
 func (c concatFamily[P]) Sample(rng *xrand.Rand) Pair[P] {
-	pairs := make([]Pair[P], len(c.parts))
+	hs := make([]Hasher[P], len(c.parts))
+	gs := make([]Hasher[P], len(c.parts))
+	ngs := make([]negHasher, len(c.parts))
+	negOK := true
 	for i, p := range c.parts {
-		pairs[i] = p.Sample(rng)
+		pair := p.Sample(rng)
+		hs[i] = pair.H
+		gs[i] = pair.G
+		if ng, ok := pair.G.(negHasher); ok {
+			ngs[i] = ng
+		} else {
+			negOK = false
+		}
 	}
-	h := HasherFunc[P](func(x P) uint64 {
-		acc := uint64(len(pairs))
-		for _, pr := range pairs {
-			acc = combine(acc, pr.H.Hash(x))
-		}
-		return acc
-	})
-	g := HasherFunc[P](func(y P) uint64 {
-		acc := uint64(len(pairs))
-		for _, pr := range pairs {
-			acc = combine(acc, pr.G.Hash(y))
-		}
-		return acc
-	})
-	return Pair[P]{H: h, G: g}
+	var g Hasher[P] = combinedHasher[P]{parts: gs}
+	if negOK {
+		// Every component query hasher evaluates on the negated point, so
+		// the concatenation does too: preserve the HashNeg fast path that
+		// lets the index layer negate a query once across all components.
+		g = combinedNegHasher[P]{combinedHasher[P]{parts: gs}, ngs}
+	}
+	return Pair[P]{H: combinedHasher[P]{parts: hs}, G: g}
+}
+
+// negHasher mirrors the index layer's per-query negation fast path: a
+// hasher whose Hash evaluates on the negated point and can consume a
+// pre-negated one. Combined hashers forward it when every component
+// supports it.
+type negHasher interface {
+	HashNeg(neg []float64) uint64
+}
+
+// combinedHasher digests the component hash values in order, exactly as
+// the concatenation's collision semantics require.
+type combinedHasher[P any] struct {
+	parts []Hasher[P]
+}
+
+func (c combinedHasher[P]) Hash(x P) uint64 {
+	acc := uint64(len(c.parts))
+	for _, h := range c.parts {
+		acc = combine(acc, h.Hash(x))
+	}
+	return acc
+}
+
+// combinedNegHasher is a combinedHasher whose components all hash the
+// negated point; HashNeg feeds each one the caller's pre-negated query.
+type combinedNegHasher[P any] struct {
+	combinedHasher[P]
+	negs []negHasher
+}
+
+func (c combinedNegHasher[P]) HashNeg(neg []float64) uint64 {
+	acc := uint64(len(c.negs))
+	for _, ng := range c.negs {
+		acc = combine(acc, ng.HashNeg(neg))
+	}
+	return acc
 }
 
 func (c concatFamily[P]) CPF() CPF {
@@ -161,9 +201,31 @@ func (m mixtureFamily[P]) Sample(rng *xrand.Rand) Pair[P] {
 	}
 	inner := m.parts[idx].Sample(rng)
 	tag := uint64(idx + 1)
-	h := HasherFunc[P](func(x P) uint64 { return combine(tag, inner.H.Hash(x)) })
-	g := HasherFunc[P](func(y P) uint64 { return combine(tag, inner.G.Hash(y)) })
-	return Pair[P]{H: h, G: g}
+	var g Hasher[P] = taggedHasher[P]{tag: tag, inner: inner.G}
+	if ng, ok := inner.G.(negHasher); ok {
+		g = taggedNegHasher[P]{taggedHasher[P]{tag: tag, inner: inner.G}, ng}
+	}
+	return Pair[P]{H: taggedHasher[P]{tag: tag, inner: inner.H}, G: g}
+}
+
+// taggedHasher combines a mixture component's hash with the component
+// index so draws from different components never collide.
+type taggedHasher[P any] struct {
+	tag   uint64
+	inner Hasher[P]
+}
+
+func (t taggedHasher[P]) Hash(x P) uint64 { return combine(t.tag, t.inner.Hash(x)) }
+
+// taggedNegHasher preserves the component's HashNeg fast path through the
+// mixture tag.
+type taggedNegHasher[P any] struct {
+	taggedHasher[P]
+	neg negHasher
+}
+
+func (t taggedNegHasher[P]) HashNeg(neg []float64) uint64 {
+	return combine(t.tag, t.neg.HashNeg(neg))
 }
 
 func (m mixtureFamily[P]) CPF() CPF {

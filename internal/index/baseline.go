@@ -33,16 +33,23 @@ func (ls *LinearScan[P]) Query(q P, within func(q, x P) bool) (int, QueryStats) 
 
 // QueryAll returns every point satisfying within.
 func (ls *LinearScan[P]) QueryAll(q P, within func(q, x P) bool) ([]int, QueryStats) {
+	return ls.AppendQueryAll(nil, q, within)
+}
+
+// AppendQueryAll appends every point id satisfying within to dst and
+// returns the extended slice; reusing dst across queries makes the
+// baseline scan allocation-free, matching the flat index's AppendQuery for
+// fair benchmark comparisons.
+func (ls *LinearScan[P]) AppendQueryAll(dst []int, q P, within func(q, x P) bool) ([]int, QueryStats) {
 	stats := QueryStats{}
-	var out []int
 	for i, p := range ls.points {
 		stats.Candidates++
 		stats.Verified++
 		if within(q, p) {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out, stats
+	return dst, stats
 }
 
 // ConcatAnnulusBaseline reproduces the ad-hoc two-stage annulus solution of

@@ -112,6 +112,18 @@ func AggregateStats(per []QueryStats, wall time.Duration) BatchStats {
 // rng argument is nil. fn must treat distinct indices as independent: it
 // is called concurrently from multiple goroutines.
 func RunBatch(n int, opts BatchOptions, fn func(i int, rng *xrand.Rand)) time.Duration {
+	return runBatchScratch(n, opts,
+		func() struct{} { return struct{}{} },
+		func(struct{}) {},
+		func(i int, rng *xrand.Rand, _ struct{}) { fn(i, rng) })
+}
+
+// runBatchScratch is RunBatch with per-worker scratch: every worker
+// acquires one scratch value before claiming queries and releases it when
+// the batch drains. The QueryBatch entry points use it to hand each worker
+// a reusable Querier, so concurrent queries share no dedup state and the
+// steady-state batch path does not allocate per query.
+func runBatchScratch[T any](n int, opts BatchOptions, acquire func() T, release func(T), fn func(i int, rng *xrand.Rand, scratch T)) time.Duration {
 	if n <= 0 {
 		return 0
 	}
@@ -125,13 +137,15 @@ func RunBatch(n int, opts BatchOptions, fn func(i int, rng *xrand.Rand)) time.Du
 	workers := opts.workerCount(n)
 	start := time.Now()
 	if workers == 1 {
+		scratch := acquire()
 		for i := 0; i < n; i++ {
 			if rngs != nil {
-				fn(i, rngs[i])
+				fn(i, rngs[i], scratch)
 			} else {
-				fn(i, nil)
+				fn(i, nil, scratch)
 			}
 		}
+		release(scratch)
 		return time.Since(start)
 	}
 	var cursor atomic.Int64
@@ -140,15 +154,17 @@ func RunBatch(n int, opts BatchOptions, fn func(i int, rng *xrand.Rand)) time.Du
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := acquire()
+			defer release(scratch)
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				if rngs != nil {
-					fn(i, rngs[i])
+					fn(i, rngs[i], scratch)
 				} else {
-					fn(i, nil)
+					fn(i, nil, scratch)
 				}
 			}
 		}()
@@ -166,11 +182,17 @@ func RunBatch(n int, opts BatchOptions, fn func(i int, rng *xrand.Rand)) time.Du
 func (ix *Index[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
 	out := make([][]int, len(queries))
 	per := make([]QueryStats, len(queries))
-	wall := RunBatch(len(queries), opts, func(i int, _ *xrand.Rand) {
-		start := time.Now()
-		out[i], per[i] = ix.collectDistinct(queries[i], opts.MaxCandidates)
-		per[i].Latency = time.Since(start)
-	})
+	wall := runBatchScratch(len(queries), opts, ix.acquireQuerier, ix.releaseQuerier,
+		func(i int, _ *xrand.Rand, qr *Querier[P]) {
+			start := time.Now()
+			res, st := qr.CollectDistinct(queries[i], opts.MaxCandidates)
+			if len(res) > 0 {
+				out[i] = make([]int, len(res))
+				copy(out[i], res)
+			}
+			per[i] = st
+			per[i].Latency = time.Since(start)
+		})
 	return out, per, AggregateStats(per, wall)
 }
 
@@ -181,11 +203,13 @@ func (ix *Index[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []Query
 func (ai *AnnulusIndex[P]) QueryBatch(queries []P, opts BatchOptions) ([]int, []QueryStats, BatchStats) {
 	out := make([]int, len(queries))
 	per := make([]QueryStats, len(queries))
-	wall := RunBatch(len(queries), opts, func(i int, _ *xrand.Rand) {
-		start := time.Now()
-		out[i], per[i] = ai.Query(queries[i])
-		per[i].Latency = time.Since(start)
-	})
+	ix := ai.Index()
+	wall := runBatchScratch(len(queries), opts, ix.acquireQuerier, ix.releaseQuerier,
+		func(i int, _ *xrand.Rand, qr *Querier[P]) {
+			start := time.Now()
+			out[i], per[i] = ai.QueryWith(qr, queries[i])
+			per[i].Latency = time.Since(start)
+		})
 	return out, per, AggregateStats(per, wall)
 }
 
@@ -194,11 +218,13 @@ func (ai *AnnulusIndex[P]) QueryBatch(queries []P, opts BatchOptions) ([]int, []
 func (rr *RangeReporter[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
 	out := make([][]int, len(queries))
 	per := make([]QueryStats, len(queries))
-	wall := RunBatch(len(queries), opts, func(i int, _ *xrand.Rand) {
-		start := time.Now()
-		out[i], per[i] = rr.Query(queries[i])
-		per[i].Latency = time.Since(start)
-	})
+	ix := rr.Index()
+	wall := runBatchScratch(len(queries), opts, ix.acquireQuerier, ix.releaseQuerier,
+		func(i int, _ *xrand.Rand, qr *Querier[P]) {
+			start := time.Now()
+			out[i], per[i] = rr.appendQueryWith(qr, nil, queries[i])
+			per[i].Latency = time.Since(start)
+		})
 	return out, per, AggregateStats(per, wall)
 }
 

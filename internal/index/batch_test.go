@@ -147,15 +147,14 @@ func TestNewParallelMatchesSplitStreams(t *testing.T) {
 
 	// Sequential replica of NewParallel's seeding discipline.
 	rng := xrand.New(32)
-	tables := make([]map[uint64][]int32, L)
+	tables := make([]flatTable, L)
+	keys := make([]uint64, len(pts))
 	for i := 0; i < L; i++ {
 		pair := fam.Sample(rng.Split())
-		table := make(map[uint64][]int32)
 		for j, p := range pts {
-			key := pair.H.Hash(p)
-			table[key] = append(table[key], int32(j))
+			keys[j] = pair.H.Hash(p)
 		}
-		tables[i] = table
+		tables[i] = buildFlatTable(keys)
 	}
 	if !reflect.DeepEqual(par.tables, tables) {
 		t.Fatal("NewParallel tables differ from sequential build over the same Split streams")

@@ -1,0 +1,94 @@
+package index
+
+import (
+	"testing"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/core"
+	"dsh/internal/hamming"
+	"dsh/internal/sphere"
+	"dsh/internal/vec"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+// Benchmarks for the frozen flat-table layout. Run with
+//
+//	go test -bench 'IndexBuild|IndexQuery|RangeReport' -benchmem ./internal/index/
+//
+// IndexQuery and RangeReport should report 0 allocs/op in steady state.
+
+func benchHammingIndex(b *testing.B) (*Index[bitvec.Vector], bitvec.Vector) {
+	b.Helper()
+	rng := xrand.New(77)
+	const d, n, L = 256, 20000, 48
+	pts := make([]bitvec.Vector, n)
+	for i := range pts {
+		pts[i] = bitvec.Random(rng, d)
+	}
+	fam := core.Power[bitvec.Vector](hamming.BitSampling(d), 8)
+	ix := New(rng, fam, L, pts)
+	q := bitvec.AtDistance(rng, pts[0], d/16)
+	return ix, q
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	rng := xrand.New(78)
+	const d, n, L = 256, 20000, 48
+	pts := make([]bitvec.Vector, n)
+	for i := range pts {
+		pts[i] = bitvec.Random(rng, d)
+	}
+	fam := core.Power[bitvec.Vector](hamming.BitSampling(d), 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(xrand.New(uint64(i)+1), fam, L, pts)
+	}
+}
+
+func BenchmarkIndexQuery(b *testing.B) {
+	ix, q := benchHammingIndex(b)
+	qr := ix.NewQuerier()
+	qr.CollectDistinct(q, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qr.CollectDistinct(q, 0)
+	}
+}
+
+func BenchmarkIndexQueryNegatedSphere(b *testing.B) {
+	rng := xrand.New(79)
+	const d, n, L = 64, 20000, 48
+	pts := workload.SpherePoints(rng, n, d)
+	fam := core.Power[[]float64](sphere.NegateQuery(sphere.SimHash(d)), 6)
+	ix := New(rng, fam, L, pts)
+	q := vec.RandomUnit(rng, d)
+	qr := ix.NewQuerier()
+	qr.CollectDistinct(q, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qr.CollectDistinct(q, 0)
+	}
+}
+
+func BenchmarkRangeReport(b *testing.B) {
+	rng := xrand.New(80)
+	const d, n, L = 256, 20000, 48
+	pts := make([]bitvec.Vector, n)
+	for i := range pts {
+		pts[i] = bitvec.Random(rng, d)
+	}
+	fam := core.Power[bitvec.Vector](hamming.BitSampling(d), 8)
+	within := func(a, x bitvec.Vector) bool { return bitvec.Distance(a, x) <= d/8 }
+	rr := NewRangeReporter(rng, fam, L, pts, within)
+	q := bitvec.AtDistance(rng, pts[0], d/16)
+	dst, _ := rr.AppendQuery(nil, q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = rr.AppendQuery(dst[:0], q)
+	}
+}

@@ -44,6 +44,18 @@ func (hi *HyperplaneIndex) Query(q []float64) (int, QueryStats) {
 	return hi.inner.Query(q)
 }
 
+// NewQuerier returns a reusable query scratch bound to the underlying
+// index, for callers that drive many sequential queries through QueryWith.
+func (hi *HyperplaneIndex) NewQuerier() *Querier[[]float64] {
+	return hi.inner.Index().NewQuerier()
+}
+
+// QueryWith is Query with an explicit Querier, avoiding the internal
+// scratch pool on the hot path.
+func (hi *HyperplaneIndex) QueryWith(qr *Querier[[]float64], q []float64) (int, QueryStats) {
+	return hi.inner.QueryWith(qr, q)
+}
+
 // Alpha returns the orthogonality tolerance.
 func (hi *HyperplaneIndex) Alpha() float64 { return hi.alpha }
 

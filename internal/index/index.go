@@ -10,15 +10,32 @@
 //     reporting with a step-function CPF.
 //   - Linear-scan baselines and a [41]-style concatenation baseline are in
 //     baseline.go.
+//
+// Storage is the frozen flat-table layout of table.go: each repetition is
+// an open-addressed key array plus a CSR id array built once at
+// construction, so a probe is one hash, a short linear scan, and one
+// contiguous []int32 slice. Query-time scratch (dedup sets, negated-query
+// buffers, output buffers) lives in reusable Querier objects so the
+// steady-state query path performs no heap allocations.
 package index
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"dsh/internal/core"
 	"dsh/internal/xrand"
 )
+
+// negQueryHasher is implemented by query-side hashers that evaluate an
+// inner hasher on the negated query point (the paper's central asymmetry
+// device; see sphere.NegateQuery and the anti families). HashNeg hashes an
+// already-negated point, letting the index negate a query once per query
+// instead of once per repetition.
+type negQueryHasher interface {
+	HashNeg(neg []float64) uint64
+}
 
 // Index is a multi-repetition asymmetric hash index: L independent draws
 // (h_i, g_i) from a DSH family; point x is stored in table i under key
@@ -26,30 +43,57 @@ import (
 type Index[P any] struct {
 	family core.Family[P]
 	pairs  []core.Pair[P]
-	tables []map[uint64][]int32
+	// negG[i] is non-nil iff pairs[i].G hashes the negated query, in
+	// which case queriers negate the query once and call HashNeg per
+	// repetition.
+	negG   []negQueryHasher
+	tables []flatTable
 	points []P
+	// queriers pools *Querier scratch for the single-query entry points;
+	// batch paths hand each worker its own Querier.
+	queriers sync.Pool
 }
 
-// New builds an index over points with L repetitions of the family.
-func New[P any](rng *xrand.Rand, family core.Family[P], L int, points []P) *Index[P] {
+// newIndexShell allocates an Index with empty tables and wires the
+// querier pool.
+func newIndexShell[P any](family core.Family[P], L int, points []P) *Index[P] {
 	if L <= 0 {
 		panic("index: repetitions must be positive")
 	}
 	ix := &Index[P]{
 		family: family,
 		pairs:  make([]core.Pair[P], L),
-		tables: make([]map[uint64][]int32, L),
+		tables: make([]flatTable, L),
 		points: points,
 	}
+	ix.queriers.New = func() any { return ix.NewQuerier() }
+	return ix
+}
+
+// freezeNegG records, per repetition, whether the query-side hasher
+// supports the pre-negated fast path. Called after all pairs are sampled.
+func (ix *Index[P]) freezeNegG() {
+	ix.negG = make([]negQueryHasher, len(ix.pairs))
+	for i, pair := range ix.pairs {
+		if nh, ok := pair.G.(negQueryHasher); ok {
+			ix.negG[i] = nh
+		}
+	}
+}
+
+// New builds an index over points with L repetitions of the family.
+func New[P any](rng *xrand.Rand, family core.Family[P], L int, points []P) *Index[P] {
+	ix := newIndexShell(family, L, points)
+	keys := make([]uint64, len(points))
 	for i := 0; i < L; i++ {
 		ix.pairs[i] = family.Sample(rng)
-		table := make(map[uint64][]int32)
+		h := ix.pairs[i].H
 		for j, p := range points {
-			key := ix.pairs[i].H.Hash(p)
-			table[key] = append(table[key], int32(j))
+			keys[j] = h.Hash(p)
 		}
-		ix.tables[i] = table
+		ix.tables[i] = buildFlatTable(keys)
 	}
+	ix.freezeNegG()
 	return ix
 }
 
@@ -62,22 +106,24 @@ func (ix *Index[P]) Len() int { return len(ix.points) }
 // Point returns the stored point with the given id.
 func (ix *Index[P]) Point(id int) P { return ix.points[id] }
 
+// acquireQuerier draws a Querier from the pool.
+func (ix *Index[P]) acquireQuerier() *Querier[P] { return ix.queriers.Get().(*Querier[P]) }
+
+// releaseQuerier returns a Querier to the pool.
+func (ix *Index[P]) releaseQuerier(qr *Querier[P]) { ix.queriers.Put(qr) }
+
 // Candidates streams the ids colliding with query q, table by table
 // (duplicates across tables included), invoking visit for each. If visit
 // returns false the scan stops early.
 func (ix *Index[P]) Candidates(q P, visit func(id int) bool) {
-	for i, pair := range ix.pairs {
-		key := pair.G.Hash(q)
-		for _, id := range ix.tables[i][key] {
-			if !visit(int(id)) {
-				return
-			}
-		}
-	}
+	qr := ix.acquireQuerier()
+	qr.Candidates(q, visit)
+	ix.releaseQuerier(qr)
 }
 
 // CollectDistinct gathers up to max distinct candidate ids for q
-// (max <= 0 means no limit).
+// (max <= 0 means no limit). The returned slice is freshly allocated and
+// owned by the caller; use a Querier for the zero-allocation variant.
 func (ix *Index[P]) CollectDistinct(q P, max int) []int {
 	out, _ := ix.collectDistinct(q, max)
 	return out
@@ -86,18 +132,129 @@ func (ix *Index[P]) CollectDistinct(q P, max int) []int {
 // collectDistinct is CollectDistinct plus the candidate/distinct counters;
 // it is the single implementation behind the sequential and batch paths.
 func (ix *Index[P]) collectDistinct(q P, max int) ([]int, QueryStats) {
-	var stats QueryStats
-	seen := make(map[int]struct{})
+	qr := ix.acquireQuerier()
+	res, stats := qr.CollectDistinct(q, max)
 	var out []int
-	ix.Candidates(q, func(id int) bool {
-		stats.Candidates++
-		if _, dup := seen[id]; !dup {
-			seen[id] = struct{}{}
-			out = append(out, id)
-			stats.Distinct++
+	if len(res) > 0 {
+		out = make([]int, len(res))
+		copy(out, res)
+	}
+	ix.releaseQuerier(qr)
+	return out, stats
+}
+
+// Querier is a reusable query-scratch object bound to one Index: an
+// epoch-stamped visited array sized to Len() (so deduplication never
+// allocates), a negated-query buffer for NegateQuery-backed families, and
+// a reusable output buffer. A Querier is not safe for concurrent use; use
+// one per goroutine (the batch engine hands each worker its own, and the
+// single-query entry points draw from an internal pool). Steady-state
+// queries through a Querier perform no heap allocations.
+type Querier[P any] struct {
+	ix      *Index[P]
+	visited []uint32
+	epoch   uint32
+	out     []int
+	neg     []float64
+	negOK   bool
+}
+
+// NewQuerier returns a fresh Querier bound to ix.
+func (ix *Index[P]) NewQuerier() *Querier[P] {
+	return &Querier[P]{ix: ix, visited: make([]uint32, len(ix.points))}
+}
+
+// begin opens a new query: advance the visited epoch (clearing the array
+// only on uint32 wraparound) and invalidate the negated-query buffer.
+func (qr *Querier[P]) begin() {
+	qr.negOK = false
+	qr.epoch++
+	if qr.epoch == 0 {
+		for i := range qr.visited {
+			qr.visited[i] = 0
 		}
-		return max <= 0 || len(out) < max
-	})
+		qr.epoch = 1
+	}
+}
+
+// gKey returns g_i(q), negating q once per query (into the reused scratch
+// buffer) when repetition i's query hasher supports the pre-negated path.
+func (qr *Querier[P]) gKey(i int, q P) uint64 {
+	ix := qr.ix
+	if nh := ix.negG[i]; nh != nil {
+		if qr.prepNeg(q) {
+			return nh.HashNeg(qr.neg)
+		}
+	}
+	return ix.pairs[i].G.Hash(q)
+}
+
+// prepNeg fills qr.neg with -q if q is a []float64 and reports success.
+// The negation is computed at most once per query.
+func (qr *Querier[P]) prepNeg(q P) bool {
+	if qr.negOK {
+		return true
+	}
+	fq, ok := any(q).([]float64)
+	if !ok {
+		return false
+	}
+	if cap(qr.neg) < len(fq) {
+		qr.neg = make([]float64, len(fq))
+	}
+	qr.neg = qr.neg[:len(fq)]
+	for i, v := range fq {
+		qr.neg[i] = -v
+	}
+	qr.negOK = true
+	return true
+}
+
+// Candidates streams the ids colliding with q exactly like
+// Index.Candidates, using this Querier's scratch for the per-query
+// negated-hash hoisting.
+func (qr *Querier[P]) Candidates(q P, visit func(id int) bool) {
+	qr.negOK = false
+	ix := qr.ix
+	for i := range ix.pairs {
+		key := qr.gKey(i, q)
+		for _, id := range ix.tables[i].lookup(key) {
+			if !visit(int(id)) {
+				return
+			}
+		}
+	}
+}
+
+// CollectDistinct gathers up to max distinct candidate ids for q (max <= 0
+// means no limit), returning the same ids in the same order as
+// Index.CollectDistinct. The returned slice is owned by the Querier and
+// valid only until its next use; steady-state calls perform no heap
+// allocations.
+func (qr *Querier[P]) CollectDistinct(q P, max int) ([]int, QueryStats) {
+	qr.begin()
+	var stats QueryStats
+	ix := qr.ix
+	out := qr.out[:0]
+	visited := qr.visited
+	epoch := qr.epoch
+scan:
+	for i := range ix.pairs {
+		key := qr.gKey(i, q)
+		for _, id32 := range ix.tables[i].lookup(key) {
+			stats.Candidates++
+			id := int(id32)
+			if visited[id] != epoch {
+				visited[id] = epoch
+				out = append(out, id)
+				stats.Distinct++
+				if max > 0 && len(out) >= max {
+					break scan
+				}
+			}
+		}
+	}
+	qr.out = out
 	return out, stats
 }
 
@@ -158,19 +315,39 @@ func NewAnnulus[P any](rng *xrand.Rand, family core.Family[P], L int, points []P
 // -1 if none was found among the first 8L candidates (the Markov-bound
 // early termination from the proof of Theorem 6.1).
 func (ai *AnnulusIndex[P]) Query(q P) (int, QueryStats) {
+	qr := ai.ix.acquireQuerier()
+	id, stats := ai.QueryWith(qr, q)
+	ai.ix.releaseQuerier(qr)
+	return id, stats
+}
+
+// QueryWith is Query with an explicit Querier, for callers that manage
+// their own per-goroutine scratch. The candidate loop is written out
+// directly (rather than through Candidates' visit callback) so the steady
+// state allocates nothing.
+func (ai *AnnulusIndex[P]) QueryWith(qr *Querier[P], q P) (int, QueryStats) {
+	if qr.ix != ai.ix {
+		panic("index: Querier bound to a different index")
+	}
 	var stats QueryStats
-	limit := 8 * ai.ix.L()
-	found := -1
-	ai.ix.Candidates(q, func(id int) bool {
-		stats.Candidates++
-		stats.Verified++
-		if ai.within(q, ai.ix.Point(id)) {
-			found = id
-			return false
+	ix := ai.ix
+	limit := 8 * ix.L()
+	qr.negOK = false
+	for i := range ix.pairs {
+		key := qr.gKey(i, q)
+		for _, id32 := range ix.tables[i].lookup(key) {
+			stats.Candidates++
+			stats.Verified++
+			id := int(id32)
+			if ai.within(q, ix.points[id]) {
+				return id, stats
+			}
+			if stats.Candidates >= limit {
+				return -1, stats
+			}
 		}
-		return stats.Candidates < limit
-	})
-	return found, stats
+	}
+	return -1, stats
 }
 
 // Index exposes the underlying index (for inspection in experiments).
@@ -196,26 +373,47 @@ func NewRangeReporter[P any](rng *xrand.Rand, family core.Family[P], L int, poin
 }
 
 // Query returns the distinct ids of reported points within range of q.
-// Every candidate is verified once (the verification status is memoized),
-// so the work is Candidates hash probes plus Distinct distance evaluations.
+// Every candidate is verified once, so the work is Candidates hash probes
+// plus Distinct distance evaluations. The returned slice is owned by the
+// caller; AppendQuery is the allocation-free variant.
 func (rr *RangeReporter[P]) Query(q P) ([]int, QueryStats) {
+	return rr.AppendQuery(nil, q)
+}
+
+// AppendQuery appends the distinct ids of reported points within range of
+// q to dst and returns the extended slice. Reusing dst across queries
+// makes the steady-state reporting path allocation-free.
+func (rr *RangeReporter[P]) AppendQuery(dst []int, q P) ([]int, QueryStats) {
+	qr := rr.ix.acquireQuerier()
+	dst, stats := rr.appendQueryWith(qr, dst, q)
+	rr.ix.releaseQuerier(qr)
+	return dst, stats
+}
+
+// appendQueryWith is AppendQuery against an explicit Querier; the batch
+// path reuses one Querier per worker through it.
+func (rr *RangeReporter[P]) appendQueryWith(qr *Querier[P], dst []int, q P) ([]int, QueryStats) {
+	qr.begin()
 	var stats QueryStats
-	status := make(map[int]bool)
-	var out []int
-	rr.ix.Candidates(q, func(id int) bool {
-		stats.Candidates++
-		if _, seen := status[id]; !seen {
-			stats.Distinct++
-			stats.Verified++
-			ok := rr.inRange(q, rr.ix.Point(id))
-			status[id] = ok
-			if ok {
-				out = append(out, id)
+	ix := rr.ix
+	visited := qr.visited
+	epoch := qr.epoch
+	for i := range ix.pairs {
+		key := qr.gKey(i, q)
+		for _, id32 := range ix.tables[i].lookup(key) {
+			stats.Candidates++
+			id := int(id32)
+			if visited[id] != epoch {
+				visited[id] = epoch
+				stats.Distinct++
+				stats.Verified++
+				if rr.inRange(q, ix.points[id]) {
+					dst = append(dst, id)
+				}
 			}
 		}
-		return true
-	})
-	return out, stats
+	}
+	return dst, stats
 }
 
 // Index exposes the underlying index.

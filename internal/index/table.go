@@ -1,0 +1,205 @@
+package index
+
+// This file implements the frozen flat-table storage behind Index and the
+// join paths. A flatTable replaces one map[uint64][]int32 repetition table
+// with three contiguous arrays: an open-addressed key array (linear
+// probing, load factor <= 1/2) mapping a 64-bit hash key to a bucket
+// index, and a CSR-style (starts, ids) pair holding every bucket's point
+// ids back to back. A probe is one SplitMix64 finalization, a short linear
+// scan over the key array, and one contiguous []int32 slice — no pointer
+// chasing and no per-bucket allocations.
+//
+// Buckets are numbered in first-appearance order and ids within a bucket
+// are stored in insertion order, so iterating a bucket yields exactly the
+// sequence the old append-to-map-value layout produced. Candidates streams
+// are therefore bit-identical to the map-based implementation.
+
+// tableMix64 is the SplitMix64 finalizer. Family hash keys are not
+// guaranteed to be well distributed (bit-sampling emits 0/1), so every
+// probe mixes the key before masking.
+func tableMix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// flatTable is one frozen repetition table. The zero value is an empty,
+// unusable table; construct with buildFlatTable.
+type flatTable struct {
+	mask uint64
+	// keys[s] is the hash key stored in slot s; meaningful only where
+	// slotBucket[s] >= 0.
+	keys []uint64
+	// slotBucket[s] is the bucket index stored in slot s, or -1 if the
+	// slot is empty.
+	slotBucket []int32
+	// starts has one entry per bucket plus a terminator: bucket b's ids
+	// are ids[starts[b]:starts[b+1]].
+	starts []int32
+	// ids holds every bucket's point ids back to back, each bucket in
+	// insertion order.
+	ids []int32
+}
+
+// buildFlatTable freezes keys (keys[j] is the hash key of point j) into a
+// flatTable. Two passes: the first assigns buckets in first-appearance
+// order and counts occupancy (growing the open-addressed key array with
+// the number of *distinct* keys, which can be far below n for coarse
+// families like bit-sampling), the second fills the CSR id array in point
+// order, so per-bucket id order matches map-append order exactly.
+func buildFlatTable(keys []uint64) flatTable {
+	n := len(keys)
+	t := flatTable{
+		mask:       15,
+		keys:       make([]uint64, 16),
+		slotBucket: make([]int32, 16),
+	}
+	for i := range t.slotBucket {
+		t.slotBucket[i] = -1
+	}
+	counts := make([]int32, 0, 16)
+	bucketOf := make([]int32, n)
+	for j, key := range keys {
+		if 2*(len(counts)+1) > len(t.keys) {
+			t.growSlots()
+		}
+		s := tableMix64(key) & t.mask
+		for {
+			b := t.slotBucket[s]
+			if b < 0 {
+				b = int32(len(counts))
+				t.keys[s] = key
+				t.slotBucket[s] = b
+				counts = append(counts, 0)
+			} else if t.keys[s] != key {
+				s = (s + 1) & t.mask
+				continue
+			}
+			counts[b]++
+			bucketOf[j] = b
+			break
+		}
+	}
+	starts := make([]int32, len(counts)+1)
+	var acc int32
+	for b, c := range counts {
+		starts[b] = acc
+		acc += c
+	}
+	starts[len(counts)] = acc
+	// Reuse counts as per-bucket write cursors for the fill pass.
+	cursor := counts
+	copy(cursor, starts[:len(counts)])
+	ids := make([]int32, n)
+	for j := range keys {
+		b := bucketOf[j]
+		ids[cursor[b]] = int32(j)
+		cursor[b]++
+	}
+	t.starts = starts
+	t.ids = ids
+	return t
+}
+
+// growSlots doubles the open-addressed key array, preserving bucket
+// assignments. Only used during the build pass; frozen tables never grow.
+func (t *flatTable) growSlots() {
+	oldKeys, oldBuckets := t.keys, t.slotBucket
+	size := 2 * len(oldKeys)
+	t.keys = make([]uint64, size)
+	t.slotBucket = make([]int32, size)
+	t.mask = uint64(size - 1)
+	for i := range t.slotBucket {
+		t.slotBucket[i] = -1
+	}
+	for i, b := range oldBuckets {
+		if b < 0 {
+			continue
+		}
+		key := oldKeys[i]
+		s := tableMix64(key) & t.mask
+		for t.slotBucket[s] >= 0 {
+			s = (s + 1) & t.mask
+		}
+		t.keys[s] = key
+		t.slotBucket[s] = b
+	}
+}
+
+// lookup returns the ids bucketed under key, in insertion order, or nil.
+// The returned slice aliases the table's storage and must not be modified.
+func (t *flatTable) lookup(key uint64) []int32 {
+	s := tableMix64(key) & t.mask
+	for {
+		b := t.slotBucket[s]
+		if b < 0 {
+			return nil
+		}
+		if t.keys[s] == key {
+			return t.ids[t.starts[b]:t.starts[b+1]]
+		}
+		s = (s + 1) & t.mask
+	}
+}
+
+// buckets returns the number of distinct keys in the table.
+func (t *flatTable) buckets() int { return len(t.starts) - 1 }
+
+// u64Set is an open-addressed set of uint64 keys strictly below
+// 1<<63 (slot 0 marks empty; stored values are key+1), used by the join
+// paths to deduplicate composite (a, b) pair ids without the pointer
+// chasing of map[uint64]struct{}. The zero value is unusable; construct
+// with newU64Set.
+type u64Set struct {
+	slots []uint64
+	mask  uint64
+	n     int
+}
+
+// newU64Set returns a set pre-sized for about hint keys.
+func newU64Set(hint int) *u64Set {
+	size := 16
+	for size < 2*hint {
+		size <<= 1
+	}
+	return &u64Set{slots: make([]uint64, size), mask: uint64(size - 1)}
+}
+
+// add inserts key and reports whether it was absent. The set grows to keep
+// the load factor at or below 1/2.
+func (s *u64Set) add(key uint64) bool {
+	if 2*(s.n+1) > len(s.slots) {
+		s.grow()
+	}
+	v := key + 1
+	i := tableMix64(key) & s.mask
+	for {
+		cur := s.slots[i]
+		if cur == 0 {
+			s.slots[i] = v
+			s.n++
+			return true
+		}
+		if cur == v {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func (s *u64Set) grow() {
+	old := s.slots
+	size := 2 * len(old)
+	s.slots = make([]uint64, size)
+	s.mask = uint64(size - 1)
+	for _, v := range old {
+		if v == 0 {
+			continue
+		}
+		i := tableMix64(v-1) & s.mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.slots[i] = v
+	}
+}

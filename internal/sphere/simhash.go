@@ -17,6 +17,7 @@ package sphere
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dsh/internal/core"
 	"dsh/internal/vec"
@@ -101,7 +102,31 @@ func (s antiSimHash) CPF() core.CPF {
 // central asymmetry device (Sections 2.1, 2.2).
 type negatedHasher struct{ inner core.Hasher[Point] }
 
-func (n negatedHasher) Hash(p Point) uint64 { return n.inner.Hash(vec.Neg(p)) }
+// negScratch pools negation buffers so Hash is allocation-free in steady
+// state. Buffers are pooled (not per-hasher) because one hasher may be
+// shared by concurrent query workers.
+var negScratch = sync.Pool{New: func() any { return new([]float64) }}
+
+func (n negatedHasher) Hash(p Point) uint64 {
+	bp := negScratch.Get().(*[]float64)
+	buf := *bp
+	if cap(buf) < len(p) {
+		buf = make([]float64, len(p))
+	}
+	buf = buf[:len(p)]
+	for i, v := range p {
+		buf[i] = -v
+	}
+	key := n.inner.Hash(buf)
+	*bp = buf
+	negScratch.Put(bp)
+	return key
+}
+
+// HashNeg hashes a point that the caller has already negated, letting the
+// index layer negate a query once per query instead of once per
+// repetition (internal/index recognizes this method on query hashers).
+func (n negatedHasher) HashNeg(neg Point) uint64 { return n.inner.Hash(neg) }
 
 // NegateQuery converts any symmetric sphere family with CPF f(alpha) into
 // the family with CPF f(-alpha) by applying g to the negated query point.

@@ -337,3 +337,40 @@ func TestAnnulusConstructorPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestNegatedHasherScratchAndHashNeg pins the allocation-free negate path:
+// Hash through the pooled scratch must agree with hashing an explicitly
+// negated copy, HashNeg must consume a pre-negated point, and the steady
+// state must not allocate.
+func TestNegatedHasherScratchAndHashNeg(t *testing.T) {
+	rng := xrand.New(91)
+	for _, fam := range []core.Family[Point]{
+		AntiSimHash(testDim),
+		NegateQuery(SimHash(testDim)),
+		AntiCrossPolytope(testDim),
+	} {
+		for trial := 0; trial < 20; trial++ {
+			pair := fam.Sample(rng)
+			p := vec.RandomUnit(rng, testDim)
+			neg := vec.Neg(p)
+			nh, ok := pair.G.(interface{ HashNeg(Point) uint64 })
+			if !ok {
+				t.Fatalf("%s: query hasher does not expose HashNeg", fam.Name())
+			}
+			got := pair.G.Hash(p)
+			if want := nh.HashNeg(neg); got != want {
+				t.Fatalf("%s: Hash(p)=%d != HashNeg(-p)=%d", fam.Name(), got, want)
+			}
+		}
+	}
+
+	// Steady-state Hash through the pooled scratch should not allocate.
+	// sync.Pool contents can be dropped by a concurrent GC, so allow a
+	// tiny residue instead of demanding exactly zero.
+	pair := AntiSimHash(testDim).Sample(rng)
+	p := vec.RandomUnit(rng, testDim)
+	pair.G.Hash(p)
+	if allocs := testing.AllocsPerRun(500, func() { pair.G.Hash(p) }); allocs > 0.1 {
+		t.Errorf("negatedHasher.Hash allocates %.2f/op in steady state, want ~0", allocs)
+	}
+}
