@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"dsh/internal/core"
+	"dsh/internal/index"
+	"dsh/internal/sphere"
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+// churnConfig parameterizes the dynamic-index churn mode: a DynamicIndex
+// over random unit vectors absorbing interleaved inserts, deletes and
+// query batches, then compacted, so the report shows serving QPS and
+// latency percentiles before and after compaction.
+type churnConfig struct {
+	Points    int
+	Queries   int
+	BatchSize int
+	Workers   int
+	Dim       int
+	Seed      uint64
+}
+
+func runChurn(w io.Writer, cfg churnConfig) {
+	rng := xrand.New(cfg.Seed)
+	fam := core.Power[[]float64](sphere.SimHash(cfg.Dim), 6)
+	const L = 32
+
+	initial := cfg.Points / 2
+	pts := workload.SpherePoints(rng, cfg.Points, cfg.Dim)
+	queries := workload.SpherePoints(rng, cfg.Queries, cfg.Dim)
+
+	buildStart := time.Now()
+	dx := index.NewDynamic(rng, fam, L, pts[:initial],
+		index.DynamicOptions{MemtableThreshold: maxInt(cfg.Points/16, 256)})
+	buildTime := time.Since(buildStart)
+	fmt.Fprintf(w, "churn: n0=%d inserts=%d queries=%d batch=%d workers=%d dim=%d L=%d\n",
+		initial, cfg.Points-initial, cfg.Queries, cfg.BatchSize, cfg.Workers, cfg.Dim, L)
+	fmt.Fprintf(w, "build: %v\n", buildTime)
+
+	// Query batches run through the RunBatch worker pool with one pooled
+	// DynamicQuerier per in-flight query — the serving loop, with no
+	// per-query result copying — so the B/q column measures the query
+	// path itself. runPhase scopes the allocation delta to the batches.
+	opts := index.BatchOptions{Workers: cfg.Workers}
+	pool := &dynQuerierPool{dx: dx}
+	runPhase := func(qs [][]float64, between func(batch int)) (index.BatchStats, uint64) {
+		per := make([]index.QueryStats, len(qs))
+		var wall time.Duration
+		var allocs uint64
+		for lo, batch := 0, 0; lo < len(qs); lo, batch = lo+cfg.BatchSize, batch+1 {
+			hi := lo + cfg.BatchSize
+			if hi > len(qs) {
+				hi = len(qs)
+			}
+			if between != nil {
+				between(batch)
+			}
+			chunk := qs[lo:hi]
+			chunkPer := per[lo:hi]
+			before := heapAllocated()
+			wall += index.RunBatch(len(chunk), opts, func(i int, _ *xrand.Rand) {
+				qr := pool.get()
+				start := time.Now()
+				_, st := qr.CollectDistinct(chunk[i], 0)
+				st.Latency = time.Since(start)
+				chunkPer[i] = st
+				pool.put(qr)
+			})
+			allocs += heapAllocated() - before
+		}
+		return index.AggregateStats(per, wall), allocs
+	}
+
+	// Churn phase: before each batch, insert a slice of the remaining
+	// points and delete a matching fraction of live ids, so queries run
+	// against a layered index (frozen segments + live memtable +
+	// tombstones). Half the query budget is spent here, half after
+	// compaction.
+	half := cfg.Queries / 2
+	batches := (half + cfg.BatchSize - 1) / cfg.BatchSize
+	mrng := xrand.New(cfg.Seed + 1)
+	nextInsert := initial
+	churnAgg, churnAllocs := runPhase(queries[:half], func(batch int) {
+		target := initial + (cfg.Points-initial)*(batch+1)/batches
+		for ; nextInsert < target; nextInsert++ {
+			dx.Insert(pts[nextInsert])
+			if mrng.Bernoulli(0.25) {
+				dx.Delete(mrng.Intn(nextInsert + 1))
+			}
+		}
+	})
+	fmt.Fprintf(w, "state: live=%d segments=%d memtable=%d tombstones=%d\n",
+		dx.Len(), dx.Segments(), dx.MemtableLen(), nextInsert-dx.Len())
+	printChurnRow(w, "pre-compact", churnAgg, churnAllocs)
+
+	compactStart := time.Now()
+	dx.Compact()
+	fmt.Fprintf(w, "compact: %v (live=%d segments=%d memtable=%d)\n",
+		time.Since(compactStart), dx.Len(), dx.Segments(), dx.MemtableLen())
+
+	steadyAgg, steadyAllocs := runPhase(queries[half:], nil)
+	printChurnRow(w, "post-compact", steadyAgg, steadyAllocs)
+	if churnAgg.QPS > 0 && steadyAgg.QPS > 0 {
+		fmt.Fprintf(w, "compaction speedup: %.2fx\n", steadyAgg.QPS/churnAgg.QPS)
+	}
+}
+
+// dynQuerierPool pools DynamicQueriers for the churn serving loop.
+type dynQuerierPool struct {
+	dx   *index.DynamicIndex[[]float64]
+	pool sync.Pool
+}
+
+func (p *dynQuerierPool) get() *index.DynamicQuerier[[]float64] {
+	if qr, ok := p.pool.Get().(*index.DynamicQuerier[[]float64]); ok {
+		return qr
+	}
+	return p.dx.NewQuerier()
+}
+
+func (p *dynQuerierPool) put(qr *index.DynamicQuerier[[]float64]) { p.pool.Put(qr) }
+
+func printChurnRow(w io.Writer, label string, agg index.BatchStats, allocs uint64) {
+	fmt.Fprintf(w, "%-12s qps=%10.0f  p50=%-10v p90=%-10v p99=%-10v max=%-10v cand/q=%.1f B/q=%.0f\n",
+		label, agg.QPS, agg.LatP50, agg.LatP90, agg.LatP99, agg.LatMax,
+		float64(agg.Candidates)/float64(agg.Queries), float64(allocs)/float64(agg.Queries))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

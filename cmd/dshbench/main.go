@@ -58,11 +58,12 @@ func main() {
 	seed := flag.Uint64("seed", 7, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	throughput := flag.Bool("throughput", false, "run the serving-throughput mode instead of experiments")
-	points := flag.Int("points", 20000, "throughput: indexed points")
-	queries := flag.Int("queries", 2000, "throughput: total queries")
-	batch := flag.Int("batch", 256, "throughput: queries per batch")
-	workers := flag.Int("workers", 0, "throughput: batch workers (0 = GOMAXPROCS)")
-	dim := flag.Int("dim", 24, "throughput: dimension")
+	churn := flag.Bool("churn", false, "run the dynamic-index churn mode (interleaved inserts/deletes/queries, QPS before/after compaction)")
+	points := flag.Int("points", 20000, "throughput/churn: indexed points")
+	queries := flag.Int("queries", 2000, "throughput/churn: total queries")
+	batch := flag.Int("batch", 256, "throughput/churn: queries per batch")
+	workers := flag.Int("workers", 0, "throughput/churn: batch workers (0 = GOMAXPROCS)")
+	dim := flag.Int("dim", 24, "throughput/churn: dimension")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dshbench [flags] [experiment...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(names(), " "))
@@ -70,11 +71,24 @@ func main() {
 	}
 	flag.Parse()
 
-	if *throughput {
+	if *throughput || *churn {
 		if *points <= 0 || *queries <= 0 || *batch <= 0 || *dim <= 0 {
 			fmt.Fprintln(os.Stderr, "dshbench: -points, -queries, -batch and -dim must be positive")
 			os.Exit(2)
 		}
+	}
+	if *churn {
+		runChurn(os.Stdout, churnConfig{
+			Points:    *points,
+			Queries:   *queries,
+			BatchSize: *batch,
+			Workers:   *workers,
+			Dim:       *dim,
+			Seed:      *seed,
+		})
+		return
+	}
+	if *throughput {
 		runThroughput(os.Stdout, throughputConfig{
 			Points:    *points,
 			Queries:   *queries,

@@ -236,6 +236,31 @@ func NewRangeReporter[P any](rng *Rand, fam Family[P], L int, points []P, inRang
 // RepetitionsForCPF returns L = ceil(1/f).
 func RepetitionsForCPF(f float64) int { return index.RepetitionsForCPF(f) }
 
+// DynamicIndex is the mutable, LSM-style variant of Index: a map-layout
+// memtable absorbs Inserts, immutable flat-table segments hold frozen
+// points, and a tombstone bitmap records Deletes. The repetition draws are
+// shared across all layers, so collision-probability semantics match a
+// static Index over the live points exactly. All methods are safe for
+// concurrent use; Compact folds everything into one flat segment, after
+// which steady-state queries through a DynamicQuerier allocate nothing.
+type DynamicIndex[P any] = index.DynamicIndex[P]
+
+// DynamicOptions configures a DynamicIndex (memtable freeze threshold,
+// background compaction).
+type DynamicOptions = index.DynamicOptions
+
+// DynamicQuerier is the reusable per-goroutine query scratch of a
+// DynamicIndex; obtain one with DynamicIndex.NewQuerier.
+type DynamicQuerier[P any] = index.DynamicQuerier[P]
+
+// NewDynamicIndex builds a dynamic index over the initial points (global
+// ids 0..len-1) with L repetitions of fam. It consumes rng exactly like
+// NewIndex, so a static and a dynamic index seeded identically share
+// their repetition draws.
+func NewDynamicIndex[P any](rng *Rand, fam Family[P], L int, points []P, opts DynamicOptions) *DynamicIndex[P] {
+	return index.NewDynamic(rng, fam, L, points, opts)
+}
+
 // Querier is a reusable query-scratch object bound to one Index: an
 // epoch-stamped visited array for deduplication, a negated-query buffer,
 // and a reusable output buffer. Obtain one with Index.NewQuerier; a

@@ -194,3 +194,58 @@ func TestFacadeBatchQuery(t *testing.T) {
 			len(par), len(seq), parStats, seqStats)
 	}
 }
+
+func TestFacadeDynamicIndex(t *testing.T) {
+	rng := dsh.NewRand(9)
+	unit := func() []float64 {
+		g := make([]float64, 16)
+		n := 0.0
+		for j := range g {
+			g[j] = rng.NormFloat64()
+			n += g[j] * g[j]
+		}
+		n = math.Sqrt(n)
+		for j := range g {
+			g[j] /= n
+		}
+		return g
+	}
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = unit()
+	}
+	dx := dsh.NewDynamicIndex(rng, dsh.Power(dsh.SimHash(16), 4), 12, pts[:100],
+		dsh.DynamicOptions{MemtableThreshold: 32})
+	for _, p := range pts[100:] {
+		dx.Insert(p)
+	}
+	if dx.Len() != 200 {
+		t.Fatalf("Len = %d", dx.Len())
+	}
+	if !dx.Delete(0) || dx.Delete(0) {
+		t.Fatal("Delete semantics wrong through the facade")
+	}
+	dx.Compact()
+	if dx.Segments() != 1 || dx.Len() != 199 {
+		t.Fatalf("post-compact: segments=%d len=%d", dx.Segments(), dx.Len())
+	}
+	// A point finds itself; the deleted point never appears.
+	qr := dx.NewQuerier()
+	ids, _ := qr.CollectDistinct(pts[5], 0)
+	found := false
+	for _, id := range ids {
+		if id == 0 {
+			t.Fatal("deleted id reported")
+		}
+		if id == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("point 5 not retrievable")
+	}
+	got, per, agg := dx.QueryBatch(pts[:16], dsh.BatchOptions{Workers: 4})
+	if len(got) != 16 || len(per) != 16 || agg.Queries != 16 {
+		t.Fatalf("batch sizes wrong: %d/%d/%d", len(got), len(per), agg.Queries)
+	}
+}

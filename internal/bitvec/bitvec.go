@@ -281,6 +281,81 @@ func PadOnes(v Vector, dNew int) Vector {
 	return out
 }
 
+// Bitmap is a growable bit set over non-negative integer ids, stored 64
+// bits per word. Unlike Vector it has no fixed dimension: Set grows the
+// word array on demand and Get treats ids beyond the grown range as unset.
+// The zero value is an empty, ready-to-use bitmap. The dynamic index uses
+// it as the tombstone set over stable global point ids.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// Set marks id as present. It panics for negative ids and grows the bitmap
+// as needed.
+func (b *Bitmap) Set(id int) {
+	if id < 0 {
+		panic("bitvec: negative bitmap id")
+	}
+	w := id >> 6
+	if w >= len(b.words) {
+		// append doubles capacity, so monotone id growth is amortized O(1).
+		b.words = append(b.words, make([]uint64, w+1-len(b.words))...)
+	}
+	mask := uint64(1) << (uint(id) & 63)
+	if b.words[w]&mask == 0 {
+		b.words[w] |= mask
+		b.n++
+	}
+}
+
+// Clear marks id as absent. Ids beyond the grown range are already absent.
+func (b *Bitmap) Clear(id int) {
+	if id < 0 {
+		panic("bitvec: negative bitmap id")
+	}
+	w := id >> 6
+	if w >= len(b.words) {
+		return
+	}
+	mask := uint64(1) << (uint(id) & 63)
+	if b.words[w]&mask != 0 {
+		b.words[w] &^= mask
+		b.n--
+	}
+}
+
+// Get reports whether id is present. Ids outside the grown range (including
+// negative ids) report false, so callers can probe without bounds checks.
+func (b *Bitmap) Get(id int) bool {
+	w := id >> 6
+	if id < 0 || w >= len(b.words) {
+		return false
+	}
+	return b.words[w]>>(uint(id)&63)&1 == 1
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int { return b.n }
+
+// Clone returns an independent deep copy of b.
+func (b *Bitmap) Clone() Bitmap {
+	out := Bitmap{n: b.n}
+	if len(b.words) > 0 {
+		out.words = make([]uint64, len(b.words))
+		copy(out.words, b.words)
+	}
+	return out
+}
+
+// Reset clears every bit, retaining the grown capacity.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.n = 0
+}
+
 // SignVector returns the +/-1 encoding of v scaled by 1/sqrt(d), i.e. the
 // standard embedding of the Hamming cube onto the unit sphere: bit 0 maps to
 // +1/sqrt(d) and bit 1 maps to -1/sqrt(d). Under this embedding the inner

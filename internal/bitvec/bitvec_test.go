@@ -395,3 +395,74 @@ func TestPadOnesMatchesBitReference(t *testing.T) {
 	}()
 	PadOnes(Random(rng, 10), 5)
 }
+
+func TestBitmapSetClearGetCount(t *testing.T) {
+	var b Bitmap
+	if b.Get(0) || b.Get(1000) || b.Count() != 0 {
+		t.Fatal("zero-value bitmap should be empty")
+	}
+	ids := []int{0, 1, 63, 64, 65, 500, 4096}
+	for _, id := range ids {
+		b.Set(id)
+	}
+	b.Set(63) // idempotent
+	if b.Count() != len(ids) {
+		t.Errorf("Count = %d, want %d", b.Count(), len(ids))
+	}
+	for _, id := range ids {
+		if !b.Get(id) {
+			t.Errorf("Get(%d) = false after Set", id)
+		}
+	}
+	if b.Get(2) || b.Get(4097) || b.Get(1<<20) {
+		t.Error("unset ids report present")
+	}
+	b.Clear(64)
+	b.Clear(64)      // idempotent
+	b.Clear(1 << 21) // beyond grown range: no-op
+	if b.Get(64) || b.Count() != len(ids)-1 {
+		t.Errorf("after Clear(64): Get=%v Count=%d", b.Get(64), b.Count())
+	}
+	clone := b.Clone()
+	b.Reset()
+	if b.Count() != 0 || b.Get(63) {
+		t.Error("Reset did not clear")
+	}
+	if clone.Count() != len(ids)-1 || !clone.Get(63) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestBitmapMatchesMapReference(t *testing.T) {
+	rng := xrand.New(99)
+	var b Bitmap
+	ref := map[int]bool{}
+	for step := 0; step < 5000; step++ {
+		id := rng.Intn(2000)
+		if rng.Bernoulli(0.5) {
+			b.Set(id)
+			ref[id] = true
+		} else {
+			b.Clear(id)
+			delete(ref, id)
+		}
+	}
+	if b.Count() != len(ref) {
+		t.Fatalf("Count = %d, want %d", b.Count(), len(ref))
+	}
+	for id := 0; id < 2000; id++ {
+		if b.Get(id) != ref[id] {
+			t.Fatalf("Get(%d) = %v, want %v", id, b.Get(id), ref[id])
+		}
+	}
+}
+
+func TestBitmapNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set(-1) should panic")
+		}
+	}()
+	var b Bitmap
+	b.Set(-1)
+}

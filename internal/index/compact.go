@@ -1,0 +1,128 @@
+package index
+
+// Compaction for DynamicIndex. A merge rebuilds every frozen segment into
+// one flat segment over the surviving points, dropping tombstoned ids from
+// the tables while keeping survivors' global ids unchanged. The expensive
+// build runs against an immutable snapshot *outside* the structural lock,
+// so concurrent queriers keep answering from the old segments; the swap
+// retakes the lock and validates that the snapshotted segments are still
+// the prefix of the segment list, retrying if a concurrent merge replaced
+// them (freezes only append, so they never invalidate the build).
+
+// Compact freezes the memtable and merges all frozen segments into a
+// single segment, dropping deleted points from the tables. After Compact
+// the index answers queries from one flat segment and an empty memtable —
+// the zero-allocation steady state, with candidate order matching a static
+// Index over the live points. Safe to call concurrently with queries and
+// mutations.
+func (dx *DynamicIndex[P]) Compact() {
+	for {
+		dx.mu.Lock()
+		dx.freezeLocked()
+		segs := dx.segments
+		if len(segs) <= 1 && !dx.segmentsHaveTombstonesLocked() {
+			dx.mu.Unlock()
+			return
+		}
+		points := dx.points
+		dead := dx.dead.Clone()
+		dx.mu.Unlock()
+
+		// Build outside the lock: segments and points[0:len] are immutable,
+		// and the tombstone snapshot decides survivors. Deletes that land
+		// during the build stay tombstoned (bits are never cleared), so
+		// they remain filtered at query time even though the merged tables
+		// still contain them until the next Compact.
+		var liveIDs []int32
+		var livePts []P
+		for _, seg := range segs {
+			for _, id := range seg.globalIDs {
+				if dead.Get(int(id)) {
+					continue
+				}
+				liveIDs = append(liveIDs, id)
+				livePts = append(livePts, points[id])
+			}
+		}
+		var merged *segment
+		if len(liveIDs) > 0 {
+			merged = buildSegment(dx.pairs, livePts, liveIDs)
+		}
+
+		dx.mu.Lock()
+		// Validate the snapshot: the merge replaces exactly the segments it
+		// read, so dx.segments must still start with them. Freezes only
+		// append (prefix intact, no retry needed); a concurrent merge
+		// replaced the prefix, so this build is stale and must retry.
+		stale := len(dx.segments) < len(segs)
+		if !stale {
+			for i := range segs {
+				if dx.segments[i] != segs[i] {
+					stale = true
+					break
+				}
+			}
+		}
+		if stale {
+			dx.mu.Unlock()
+			continue
+		}
+		rest := dx.segments[len(segs):]
+		if merged != nil {
+			dx.segments = append([]*segment{merged}, rest...)
+		} else {
+			dx.segments = append([]*segment(nil), rest...)
+		}
+		dx.mu.Unlock()
+		return
+	}
+}
+
+// segmentsHaveTombstonesLocked reports whether any frozen segment still
+// holds a tombstoned point (making a single-segment merge worthwhile).
+// Callers hold mu.
+func (dx *DynamicIndex[P]) segmentsHaveTombstonesLocked() bool {
+	if dx.dead.Count() == 0 {
+		return false
+	}
+	for _, seg := range dx.segments {
+		for _, id := range seg.globalIDs {
+			if dx.dead.Get(int(id)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// backgroundCompactor merges segments whenever a freeze pushes the count
+// past MaxSegments. It runs until Close.
+func (dx *DynamicIndex[P]) backgroundCompactor() {
+	defer dx.wg.Done()
+	for {
+		select {
+		case <-dx.closed:
+			return
+		case <-dx.compactCh:
+			dx.mu.RLock()
+			over := len(dx.segments) > dx.opts.MaxSegments
+			dx.mu.RUnlock()
+			if over {
+				dx.Compact()
+			}
+		}
+	}
+}
+
+// Close stops the background compactor, if one was started. It does not
+// invalidate the index: queries and mutations keep working, and Compact
+// remains explicitly callable. Close is idempotent.
+func (dx *DynamicIndex[P]) Close() {
+	if dx.compactCh == nil {
+		return
+	}
+	dx.closeOnce.Do(func() {
+		close(dx.closed)
+		dx.wg.Wait()
+	})
+}

@@ -1,0 +1,392 @@
+package index
+
+import (
+	"sync"
+	"time"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/core"
+	"dsh/internal/xrand"
+)
+
+// DynamicOptions configures a DynamicIndex.
+type DynamicOptions struct {
+	// MemtableThreshold is the number of buffered inserts after which the
+	// memtable is automatically frozen into a segment (<= 0 means the
+	// default of 1024).
+	MemtableThreshold int
+	// MaxSegments is the segment count above which the background
+	// compactor (when enabled) merges every frozen segment into one
+	// (<= 0 means the default of 8). Explicit Compact calls always merge.
+	MaxSegments int
+	// BackgroundCompaction starts a goroutine that merges segments when
+	// their count exceeds MaxSegments after a memtable freeze. Call Close
+	// to stop it. Queries remain race-free during background merges: the
+	// merge builds against an immutable snapshot and swaps it in under
+	// the structural lock after validating the snapshot is still current.
+	BackgroundCompaction bool
+}
+
+func (o DynamicOptions) withDefaults() DynamicOptions {
+	if o.MemtableThreshold <= 0 {
+		o.MemtableThreshold = 1024
+	}
+	if o.MaxSegments <= 0 {
+		o.MaxSegments = 8
+	}
+	return o
+}
+
+// DynamicIndex is the mutable, LSM-style variant of Index: a small
+// map-layout memtable absorbs fresh inserts, immutable flat-table segments
+// hold frozen points, and a tombstone bitmap records deletes, consulted
+// during candidate iteration. The L repetition draws (h_i, g_i) are
+// sampled once at construction and shared by every segment and the
+// memtable, so a query hashes once per repetition and probes every layer
+// with the same key — the collision-probability semantics of the family
+// are exactly those of a static Index over the live points.
+//
+// Every point keeps a stable global id, assigned by Insert in increasing
+// order (the initial points get ids 0..len-1) and preserved across freezes
+// and merges. Compact folds all frozen state back into a single flat
+// segment, dropping tombstoned points from the tables; ids are never
+// reused.
+//
+// All methods are safe for concurrent use. Steady-state queries through a
+// DynamicQuerier perform no heap allocations once the memtable has been
+// compacted away (map probes of an empty memtable and tombstone checks
+// allocate nothing).
+type DynamicIndex[P any] struct {
+	pairs []core.Pair[P]
+	negG  []negQueryHasher
+	opts  DynamicOptions
+
+	// mu guards every field below it. Queries hold it shared; Insert,
+	// Delete and the structural swaps of Compact hold it exclusively.
+	mu sync.RWMutex
+	// points holds every point ever inserted, indexed by global id. It is
+	// append-only: elements below len are immutable, so compaction can
+	// read a snapshot of the slice header outside the lock.
+	points   []P
+	segments []*segment
+	mem      *memtable
+	// dead is the tombstone bitmap over global ids. Bits are set by
+	// Delete and never cleared: after a merge drops a point from the
+	// tables its bit is simply never consulted again, and keeping it set
+	// makes double-Delete detection trivial.
+	dead bitvec.Bitmap
+	live int
+
+	queriers sync.Pool
+
+	// compactCh nudges the background compactor; nil when disabled.
+	compactCh chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewDynamic builds a dynamic index over the initial points (which become
+// one frozen segment with global ids 0..len-1) with L repetitions of the
+// family. It consumes rng exactly like New — L Sample calls — so a static
+// and a dynamic index built from generators with the same seed share their
+// repetition draws.
+func NewDynamic[P any](rng *xrand.Rand, family core.Family[P], L int, points []P, opts DynamicOptions) *DynamicIndex[P] {
+	if family == nil {
+		panic("index: family must be non-nil")
+	}
+	if L <= 0 {
+		panic("index: repetitions must be positive")
+	}
+	dx := &DynamicIndex[P]{
+		pairs:  make([]core.Pair[P], L),
+		opts:   opts.withDefaults(),
+		points: append([]P(nil), points...),
+		mem:    newMemtable(L),
+		live:   len(points),
+	}
+	for i := range dx.pairs {
+		dx.pairs[i] = family.Sample(rng)
+	}
+	dx.negG = negHashers(dx.pairs)
+	if len(dx.points) > 0 {
+		ids := make([]int32, len(dx.points))
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		dx.segments = []*segment{buildSegment(dx.pairs, dx.points, ids)}
+	}
+	dx.queriers.New = func() any { return dx.NewQuerier() }
+	if dx.opts.BackgroundCompaction {
+		dx.compactCh = make(chan struct{}, 1)
+		dx.closed = make(chan struct{})
+		dx.wg.Add(1)
+		go dx.backgroundCompactor()
+	}
+	return dx
+}
+
+// L returns the number of repetitions.
+func (dx *DynamicIndex[P]) L() int { return len(dx.pairs) }
+
+// Len returns the number of live (inserted and not deleted) points.
+func (dx *DynamicIndex[P]) Len() int {
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	return dx.live
+}
+
+// Point returns the point stored under the given global id. It remains
+// valid for deleted ids (points are retained until their segment is
+// compacted; the stored value is retained forever).
+func (dx *DynamicIndex[P]) Point(id int) P {
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	return dx.points[id]
+}
+
+// Deleted reports whether id has been deleted.
+func (dx *DynamicIndex[P]) Deleted(id int) bool {
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	return dx.dead.Get(id)
+}
+
+// Segments returns the current number of frozen segments.
+func (dx *DynamicIndex[P]) Segments() int {
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	return len(dx.segments)
+}
+
+// MemtableLen returns the number of points buffered in the memtable.
+func (dx *DynamicIndex[P]) MemtableLen() int {
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	return dx.mem.len()
+}
+
+// Insert adds a point and returns its stable global id. The point lands in
+// the memtable; when the buffer reaches MemtableThreshold it is frozen
+// into a new immutable segment (and the background compactor, if enabled,
+// is nudged once the segment count exceeds MaxSegments).
+//
+// The L hash evaluations run before the structural lock is taken, so
+// concurrent queries are blocked only for the map inserts themselves. The
+// Insert that crosses the threshold additionally pays for the freeze
+// (building L flat tables over the buffered keys, no rehashing) while
+// holding the lock — the classic LSM write stall; size MemtableThreshold
+// to bound it, or call Flush at quiet moments to schedule it explicitly.
+func (dx *DynamicIndex[P]) Insert(p P) int {
+	keys := make([]uint64, len(dx.pairs))
+	for i, pair := range dx.pairs {
+		keys[i] = pair.H.Hash(p)
+	}
+	dx.mu.Lock()
+	id := int32(len(dx.points))
+	dx.points = append(dx.points, p)
+	dx.mem.insert(id, keys)
+	dx.live++
+	needMerge := false
+	if dx.mem.len() >= dx.opts.MemtableThreshold {
+		dx.freezeLocked()
+		needMerge = dx.compactCh != nil && len(dx.segments) > dx.opts.MaxSegments
+	}
+	dx.mu.Unlock()
+	if needMerge {
+		select {
+		case dx.compactCh <- struct{}{}:
+		default:
+		}
+	}
+	return int(id)
+}
+
+// Delete tombstones the point with the given global id, reporting whether
+// it was live. The point disappears from query results immediately and
+// from the underlying tables at the next Compact.
+func (dx *DynamicIndex[P]) Delete(id int) bool {
+	dx.mu.Lock()
+	defer dx.mu.Unlock()
+	if id < 0 || id >= len(dx.points) || dx.dead.Get(id) {
+		return false
+	}
+	dx.dead.Set(id)
+	dx.live--
+	return true
+}
+
+// freezeLocked turns a non-empty memtable into a new frozen segment.
+// Callers hold mu exclusively.
+func (dx *DynamicIndex[P]) freezeLocked() {
+	if dx.mem.len() == 0 {
+		return
+	}
+	dx.segments = append(dx.segments, dx.mem.freeze())
+	dx.mem = newMemtable(len(dx.pairs))
+}
+
+// Flush freezes the memtable into a segment immediately, regardless of
+// the threshold. Useful before read-heavy phases: frozen probes are
+// cheaper than map probes.
+func (dx *DynamicIndex[P]) Flush() {
+	dx.mu.Lock()
+	dx.freezeLocked()
+	dx.mu.Unlock()
+}
+
+// acquireQuerier draws a DynamicQuerier from the pool.
+func (dx *DynamicIndex[P]) acquireQuerier() *DynamicQuerier[P] {
+	return dx.queriers.Get().(*DynamicQuerier[P])
+}
+
+// releaseQuerier returns a DynamicQuerier to the pool.
+func (dx *DynamicIndex[P]) releaseQuerier(qr *DynamicQuerier[P]) { dx.queriers.Put(qr) }
+
+// CollectDistinct gathers up to max distinct live candidate ids for q
+// (max <= 0 means no limit). The returned slice is freshly allocated and
+// owned by the caller; use a DynamicQuerier for the zero-allocation
+// variant.
+func (dx *DynamicIndex[P]) CollectDistinct(q P, max int) []int {
+	qr := dx.acquireQuerier()
+	res, _ := qr.CollectDistinct(q, max)
+	var out []int
+	if len(res) > 0 {
+		out = make([]int, len(res))
+		copy(out, res)
+	}
+	dx.releaseQuerier(qr)
+	return out
+}
+
+// DynamicQuerier is the reusable query scratch of a DynamicIndex,
+// mirroring Querier: an epoch-stamped visited array over global ids, a
+// negated-query buffer, and a reusable output buffer. A DynamicQuerier is
+// not safe for concurrent use; use one per goroutine (QueryBatch hands
+// each worker its own). Steady-state queries allocate nothing unless the
+// global id space grew since the previous query on this querier.
+type DynamicQuerier[P any] struct {
+	dx      *DynamicIndex[P]
+	visited []uint32
+	epoch   uint32
+	out     []int
+	neg     []float64
+	negOK   bool
+}
+
+// NewQuerier returns a fresh DynamicQuerier bound to dx.
+func (dx *DynamicIndex[P]) NewQuerier() *DynamicQuerier[P] {
+	return &DynamicQuerier[P]{dx: dx}
+}
+
+// begin opens a query over a global id space of size n: grow the visited
+// array if points were inserted since last use, and advance the epoch
+// (clearing only on uint32 wraparound).
+func (qr *DynamicQuerier[P]) begin(n int) {
+	qr.negOK = false
+	if len(qr.visited) < n {
+		grown := make([]uint32, n)
+		copy(grown, qr.visited)
+		qr.visited = grown
+	}
+	qr.epoch++
+	if qr.epoch == 0 {
+		for i := range qr.visited {
+			qr.visited[i] = 0
+		}
+		qr.epoch = 1
+	}
+}
+
+// gKey returns g_i(q), negating q once per query when repetition i's
+// query hasher supports the pre-negated path.
+func (qr *DynamicQuerier[P]) gKey(i int, q P) uint64 {
+	dx := qr.dx
+	if nh := dx.negG[i]; nh != nil {
+		if !qr.negOK {
+			qr.neg, qr.negOK = negateQuery(qr.neg, q)
+		}
+		if qr.negOK {
+			return nh.HashNeg(qr.neg)
+		}
+	}
+	return dx.pairs[i].G.Hash(q)
+}
+
+// CollectDistinct gathers up to max distinct live candidate ids for q
+// (max <= 0 means no limit): per repetition, the query key probes every
+// frozen segment oldest-first and then the memtable, skipping tombstoned
+// ids and deduplicating across repetitions and layers. After a full
+// Compact the candidate order equals that of a static Index over the live
+// points (with ids mapped through the survivors' global ids). The returned
+// slice is owned by the querier and valid only until its next use.
+func (qr *DynamicQuerier[P]) CollectDistinct(q P, max int) ([]int, QueryStats) {
+	dx := qr.dx
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	qr.begin(len(dx.points))
+	var stats QueryStats
+	out := qr.out[:0]
+	visited := qr.visited
+	epoch := qr.epoch
+	// take dereferences once outside the hot loops.
+	segments := dx.segments
+	mem := dx.mem
+scan:
+	for i := range dx.pairs {
+		key := qr.gKey(i, q)
+		for _, seg := range segments {
+			for _, local := range seg.lookup(i, key) {
+				stats.Candidates++
+				id := int(seg.globalIDs[local])
+				if dx.dead.Get(id) || visited[id] == epoch {
+					continue
+				}
+				visited[id] = epoch
+				out = append(out, id)
+				stats.Distinct++
+				if max > 0 && len(out) >= max {
+					break scan
+				}
+			}
+		}
+		for _, id32 := range mem.lookup(i, key) {
+			stats.Candidates++
+			id := int(id32)
+			if dx.dead.Get(id) || visited[id] == epoch {
+				continue
+			}
+			visited[id] = epoch
+			out = append(out, id)
+			stats.Distinct++
+			if max > 0 && len(out) >= max {
+				break scan
+			}
+		}
+	}
+	qr.out = out
+	return out, stats
+}
+
+// QueryBatch collects distinct live candidates for every query
+// concurrently, fanning the batch across opts.Workers workers with one
+// pooled DynamicQuerier per worker (so the steady-state batch path does
+// not allocate per query). Mutations and compactions may proceed
+// concurrently; each individual query sees a consistent snapshot of the
+// index.
+func (dx *DynamicIndex[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
+	out := make([][]int, len(queries))
+	per := make([]QueryStats, len(queries))
+	wall := runBatchScratch(len(queries), opts, dx.acquireQuerier, dx.releaseQuerier,
+		func(i int, _ *xrand.Rand, qr *DynamicQuerier[P]) {
+			start := time.Now()
+			res, st := qr.CollectDistinct(queries[i], opts.MaxCandidates)
+			if len(res) > 0 {
+				out[i] = make([]int, len(res))
+				copy(out[i], res)
+			}
+			per[i] = st
+			per[i].Latency = time.Since(start)
+		})
+	return out, per, AggregateStats(per, wall)
+}

@@ -17,6 +17,13 @@
 // contiguous []int32 slice. Query-time scratch (dedup sets, negated-query
 // buffers, output buffers) lives in reusable Querier objects so the
 // steady-state query path performs no heap allocations.
+//
+// DynamicIndex (dynamic.go, memtable.go, segment.go, compact.go) is the
+// mutable, LSM-style variant for churning workloads: a map-layout
+// memtable absorbs inserts, immutable flat-table segments hold frozen
+// points, a tombstone bitmap records deletes, and Compact merges
+// everything back into a single flat segment while points keep stable
+// global ids.
 package index
 
 import (
@@ -57,6 +64,9 @@ type Index[P any] struct {
 // newIndexShell allocates an Index with empty tables and wires the
 // querier pool.
 func newIndexShell[P any](family core.Family[P], L int, points []P) *Index[P] {
+	if family == nil {
+		panic("index: family must be non-nil")
+	}
 	if L <= 0 {
 		panic("index: repetitions must be positive")
 	}
@@ -70,15 +80,22 @@ func newIndexShell[P any](family core.Family[P], L int, points []P) *Index[P] {
 	return ix
 }
 
-// freezeNegG records, per repetition, whether the query-side hasher
-// supports the pre-negated fast path. Called after all pairs are sampled.
-func (ix *Index[P]) freezeNegG() {
-	ix.negG = make([]negQueryHasher, len(ix.pairs))
-	for i, pair := range ix.pairs {
+// negHashers records, per repetition, whether the query-side hasher
+// supports the pre-negated fast path. Called after all pairs are sampled;
+// the static and dynamic indexes share it.
+func negHashers[P any](pairs []core.Pair[P]) []negQueryHasher {
+	out := make([]negQueryHasher, len(pairs))
+	for i, pair := range pairs {
 		if nh, ok := pair.G.(negQueryHasher); ok {
-			ix.negG[i] = nh
+			out[i] = nh
 		}
 	}
+	return out
+}
+
+// freezeNegG caches the pre-negated fast-path hashers for ix.pairs.
+func (ix *Index[P]) freezeNegG() {
+	ix.negG = negHashers(ix.pairs)
 }
 
 // New builds an index over points with L repetitions of the family.
@@ -189,25 +206,34 @@ func (qr *Querier[P]) gKey(i int, q P) uint64 {
 	return ix.pairs[i].G.Hash(q)
 }
 
+// negateQuery fills buf with -q when q is a []float64, reporting success.
+// The returned slice reuses buf's capacity so steady-state negation does
+// not allocate; the static and dynamic queriers share it.
+func negateQuery[P any](buf []float64, q P) ([]float64, bool) {
+	fq, ok := any(q).([]float64)
+	if !ok {
+		return buf, false
+	}
+	if cap(buf) < len(fq) {
+		buf = make([]float64, len(fq))
+	}
+	buf = buf[:len(fq)]
+	for i, v := range fq {
+		buf[i] = -v
+	}
+	return buf, true
+}
+
 // prepNeg fills qr.neg with -q if q is a []float64 and reports success.
 // The negation is computed at most once per query.
 func (qr *Querier[P]) prepNeg(q P) bool {
 	if qr.negOK {
 		return true
 	}
-	fq, ok := any(q).([]float64)
-	if !ok {
-		return false
-	}
-	if cap(qr.neg) < len(fq) {
-		qr.neg = make([]float64, len(fq))
-	}
-	qr.neg = qr.neg[:len(fq)]
-	for i, v := range fq {
-		qr.neg[i] = -v
-	}
-	qr.negOK = true
-	return true
+	neg, ok := negateQuery(qr.neg, q)
+	qr.neg = neg
+	qr.negOK = ok
+	return ok
 }
 
 // Candidates streams the ids colliding with q exactly like

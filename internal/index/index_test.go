@@ -81,6 +81,46 @@ func TestNewPanicsOnBadL(t *testing.T) {
 	New(xrand.New(1), sphere.SimHash(testDim), 0, nil)
 }
 
+// mustPanicMessage asserts fn panics with exactly the given message, the
+// constructor-hardening contract: misuse fails at the call site with a
+// clear diagnosis instead of deep inside table construction.
+func mustPanicMessage(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("expected panic %q, got none", want)
+			return
+		}
+		if got, ok := r.(string); !ok || got != want {
+			t.Errorf("panic message = %v, want %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestConstructorValidationMessages(t *testing.T) {
+	const (
+		badL   = "index: repetitions must be positive"
+		badFam = "index: family must be non-nil"
+	)
+	rng := func() *xrand.Rand { return xrand.New(1) }
+	fam := sphere.SimHash(testDim)
+	within := withinSim(0.3, 0.7)
+
+	mustPanicMessage(t, badL, func() { New(rng(), fam, 0, nil) })
+	mustPanicMessage(t, badL, func() { New(rng(), fam, -3, nil) })
+	mustPanicMessage(t, badFam, func() { New[[]float64](rng(), nil, 4, nil) })
+	mustPanicMessage(t, badL, func() { NewParallel(rng(), fam, 0, nil) })
+	mustPanicMessage(t, badFam, func() { NewParallel[[]float64](rng(), nil, 4, nil) })
+	mustPanicMessage(t, badL, func() { NewAnnulus(rng(), fam, 0, nil, within) })
+	mustPanicMessage(t, badFam, func() { NewAnnulus[[]float64](rng(), nil, 4, nil, within) })
+	mustPanicMessage(t, badL, func() { NewRangeReporter(rng(), fam, 0, nil, within) })
+	mustPanicMessage(t, badFam, func() { NewRangeReporter[[]float64](rng(), nil, 4, nil, within) })
+	mustPanicMessage(t, badL, func() { NewDynamic(rng(), fam, 0, nil, DynamicOptions{}) })
+	mustPanicMessage(t, badFam, func() { NewDynamic[[]float64](rng(), nil, 4, nil, DynamicOptions{}) })
+}
+
 func withinSim(lo, hi float64) func(q, x []float64) bool {
 	return func(q, x []float64) bool {
 		a := vec.Dot(q, x)

@@ -1,6 +1,9 @@
 package index
 
 import (
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dsh/internal/core"
@@ -161,4 +164,53 @@ func TestNewParallelPanics(t *testing.T) {
 		}
 	}()
 	NewParallel[[]float64](xrand.New(1), sphere.SimHash(4), 0, nil)
+}
+
+// TestJoinParallelVerifyContract pins the documented verify contract:
+// JoinParallel calls verify exactly once per distinct candidate pair (never
+// twice, even across repetitions), possibly from concurrent goroutines,
+// and the output still matches the sequential Join.
+func TestJoinParallelVerifyContract(t *testing.T) {
+	rng := xrand.New(31)
+	const d = 16
+	setA := workload.SpherePoints(rng, 120, d)
+	setB := workload.SpherePoints(rng, 120, d)
+	fam := core.Power[[]float64](sphere.SimHash(d), 3)
+	plain := func(a, b []float64) bool { return vec.Dot(a, b) >= 0.3 }
+	want, wantStats := Join(xrand.New(32), fam, 24, setA, setB, plain)
+
+	var calls atomic.Int64
+	var mu sync.Mutex
+	seen := map[[2]*float64]bool{}
+	counting := func(a, b []float64) bool {
+		calls.Add(1)
+		mu.Lock()
+		key := [2]*float64{&a[0], &b[0]}
+		if seen[key] {
+			mu.Unlock()
+			t.Error("verify called twice for the same pair")
+			return false
+		}
+		seen[key] = true
+		mu.Unlock()
+		return plain(a, b)
+	}
+	got, gotStats := JoinParallel(xrand.New(32), fam, 24, setA, setB, counting, 8)
+	if !reflect.DeepEqual(got, want) || gotStats != wantStats {
+		t.Fatalf("parallel join diverged: %d pairs %+v vs %d pairs %+v",
+			len(got), gotStats, len(want), wantStats)
+	}
+	if int(calls.Load()) != gotStats.Verified {
+		t.Errorf("verify called %d times, stats.Verified = %d", calls.Load(), gotStats.Verified)
+	}
+
+	// With fewer repetitions than workers the verify fan-out still runs on
+	// the full pool (only the hashing phase is capped by L) and the output
+	// still matches the sequential join.
+	wantSmall, wantSmallStats := Join(xrand.New(33), fam, 2, setA, setB, plain)
+	gotSmall, gotSmallStats := JoinParallel(xrand.New(33), fam, 2, setA, setB, plain, 8)
+	if !reflect.DeepEqual(gotSmall, wantSmall) || gotSmallStats != wantSmallStats {
+		t.Fatalf("L=2 parallel join diverged: %d pairs %+v vs %d pairs %+v",
+			len(gotSmall), gotSmallStats, len(wantSmall), wantSmallStats)
+	}
 }

@@ -1,0 +1,66 @@
+package index
+
+// memtable is the mutable write buffer of a DynamicIndex. Fresh inserts
+// land here in the pre-PR-2 map layout — one map[uint64][]int32 per
+// repetition — which absorbs writes in O(1) without the rebuild cost of
+// the frozen flat tables. Alongside the maps it retains every point's
+// per-repetition keys in column order, so freezing into a segment is a
+// pure buildFlatTable pass with no rehashing of the points.
+//
+// A memtable is not safe for concurrent use; the DynamicIndex guards it
+// with its structural lock.
+type memtable struct {
+	// tables[i] maps the repetition-i data-side key h_i(x) to the global
+	// ids inserted under it, in insertion order.
+	tables []map[uint64][]int32
+	// ids are the global ids of the buffered points in insertion order.
+	ids []int32
+	// keys[i][j] is h_i of the j-th buffered point (same order as ids).
+	keys [][]uint64
+}
+
+// newMemtable returns an empty memtable with L repetition maps.
+func newMemtable(L int) *memtable {
+	mt := &memtable{
+		tables: make([]map[uint64][]int32, L),
+		keys:   make([][]uint64, L),
+	}
+	for i := range mt.tables {
+		mt.tables[i] = make(map[uint64][]int32)
+	}
+	return mt
+}
+
+// len returns the number of buffered points.
+func (mt *memtable) len() int { return len(mt.ids) }
+
+// insert buffers global id under its per-repetition keys (keys[i] is
+// h_i of the point; the caller owns and may reuse the slice).
+func (mt *memtable) insert(id int32, keys []uint64) {
+	mt.ids = append(mt.ids, id)
+	for i, k := range keys {
+		mt.tables[i][k] = append(mt.tables[i][k], id)
+		mt.keys[i] = append(mt.keys[i], k)
+	}
+}
+
+// lookup returns the global ids bucketed under key in repetition rep, in
+// insertion order. The slice aliases the memtable and is valid only while
+// the caller holds the index's structural lock.
+func (mt *memtable) lookup(rep int, key uint64) []int32 {
+	return mt.tables[rep][key]
+}
+
+// freeze converts the buffered points into an immutable segment using the
+// retained key columns (no rehashing). The memtable must not be used
+// afterwards; the caller replaces it with a fresh one.
+func (mt *memtable) freeze() *segment {
+	seg := &segment{
+		tables:    make([]flatTable, len(mt.tables)),
+		globalIDs: mt.ids,
+	}
+	for i := range mt.tables {
+		seg.tables[i] = buildFlatTable(mt.keys[i])
+	}
+	return seg
+}

@@ -1,0 +1,52 @@
+package index
+
+import "dsh/internal/core"
+
+// segment is one immutable frozen run of a DynamicIndex: the flat-table
+// layout of table.go applied to a batch of points that passed through the
+// memtable (or through a merge). A segment stores one flatTable per
+// repetition over *local* positions 0..len-1 plus the mapping from local
+// position to the stable global point id, so points keep their ids across
+// freezes and merges. Segments are never mutated after construction —
+// deletes are recorded in the DynamicIndex tombstone bitmap and applied
+// during candidate iteration, and compaction replaces whole segments.
+type segment struct {
+	// tables[i] buckets local positions by the repetition-i data-side key.
+	tables []flatTable
+	// globalIDs maps local position -> global point id, in insertion
+	// order. Global ids are strictly increasing within a segment, and
+	// segments are kept oldest-first, so concatenating segment id lists
+	// walks the live points in global-id order.
+	globalIDs []int32
+}
+
+// len returns the number of points frozen into the segment.
+func (s *segment) len() int { return len(s.globalIDs) }
+
+// lookup returns the local positions bucketed under key in repetition rep;
+// callers translate through globalIDs. The slice aliases frozen storage.
+func (s *segment) lookup(rep int, key uint64) []int32 {
+	return s.tables[rep].lookup(key)
+}
+
+// buildSegment freezes points (carrying their global ids) into a segment
+// by hashing every point with each repetition's data-side hasher. The
+// pairs are the index's shared repetition draws: reusing them across
+// segments is what lets a query hash once per repetition and probe every
+// segment with the same key, preserving the family's collision-probability
+// semantics exactly.
+func buildSegment[P any](pairs []core.Pair[P], points []P, globalIDs []int32) *segment {
+	seg := &segment{
+		tables:    make([]flatTable, len(pairs)),
+		globalIDs: globalIDs,
+	}
+	keys := make([]uint64, len(points))
+	for i, pair := range pairs {
+		h := pair.H
+		for j, p := range points {
+			keys[j] = h.Hash(p)
+		}
+		seg.tables[i] = buildFlatTable(keys)
+	}
+	return seg
+}
