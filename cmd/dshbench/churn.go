@@ -9,6 +9,7 @@ import (
 	"dsh/internal/core"
 	"dsh/internal/index"
 	"dsh/internal/sphere"
+	"dsh/internal/stats"
 	"dsh/internal/workload"
 	"dsh/internal/xrand"
 )
@@ -16,7 +17,8 @@ import (
 // churnConfig parameterizes the dynamic-index churn mode: a DynamicIndex
 // over random unit vectors absorbing interleaved inserts, deletes and
 // query batches, then compacted, so the report shows serving QPS and
-// latency percentiles before and after compaction.
+// latency percentiles before and after compaction, plus insert latency
+// percentiles that expose the freeze write stall.
 type churnConfig struct {
 	Points    int
 	Queries   int
@@ -24,9 +26,48 @@ type churnConfig struct {
 	Workers   int
 	Dim       int
 	Seed      uint64
+	// Policy is the background merge policy: "all" (monolithic) or
+	// "tiered".
+	Policy string
+	// Freeze selects the memtable freeze mode: "inline" (the crossing
+	// Insert builds the segment under the lock) or "async" (detach and
+	// build off-lock).
+	Freeze string
 }
 
-func runChurn(w io.Writer, cfg churnConfig) {
+// dynamicOptions translates the string flags into index options.
+func (cfg churnConfig) dynamicOptions() (index.DynamicOptions, error) {
+	// The threshold is kept small relative to the insert count so freezes
+	// land well inside the measured percentiles: the inline write stall
+	// strikes once per MemtableThreshold inserts, so with threshold ~1% of
+	// the stream the p99/p99.9 insert columns expose it directly.
+	opts := index.DynamicOptions{
+		MemtableThreshold:    maxInt(cfg.Points/64, 128),
+		BackgroundCompaction: true,
+	}
+	switch cfg.Policy {
+	case "", "all":
+		opts.Policy = index.CompactAll
+	case "tiered":
+		opts.Policy = index.CompactTiered
+	default:
+		return opts, fmt.Errorf("unknown -policy %q (want all or tiered)", cfg.Policy)
+	}
+	switch cfg.Freeze {
+	case "", "inline":
+	case "async":
+		opts.AsyncFreeze = true
+	default:
+		return opts, fmt.Errorf("unknown -freeze %q (want inline or async)", cfg.Freeze)
+	}
+	return opts, nil
+}
+
+func runChurn(w io.Writer, cfg churnConfig) error {
+	opts, err := cfg.dynamicOptions()
+	if err != nil {
+		return err
+	}
 	rng := xrand.New(cfg.Seed)
 	fam := core.Power[[]float64](sphere.SimHash(cfg.Dim), 6)
 	const L = 32
@@ -36,18 +77,19 @@ func runChurn(w io.Writer, cfg churnConfig) {
 	queries := workload.SpherePoints(rng, cfg.Queries, cfg.Dim)
 
 	buildStart := time.Now()
-	dx := index.NewDynamic(rng, fam, L, pts[:initial],
-		index.DynamicOptions{MemtableThreshold: maxInt(cfg.Points/16, 256)})
+	dx := index.NewDynamic(rng, fam, L, pts[:initial], opts)
+	defer dx.Close()
 	buildTime := time.Since(buildStart)
-	fmt.Fprintf(w, "churn: n0=%d inserts=%d queries=%d batch=%d workers=%d dim=%d L=%d\n",
-		initial, cfg.Points-initial, cfg.Queries, cfg.BatchSize, cfg.Workers, cfg.Dim, L)
+	fmt.Fprintf(w, "churn: n0=%d inserts=%d queries=%d batch=%d workers=%d dim=%d L=%d policy=%s freeze=%s\n",
+		initial, cfg.Points-initial, cfg.Queries, cfg.BatchSize, cfg.Workers, cfg.Dim, L,
+		orDefault(cfg.Policy, "all"), orDefault(cfg.Freeze, "inline"))
 	fmt.Fprintf(w, "build: %v\n", buildTime)
 
 	// Query batches run through the RunBatch worker pool with one pooled
 	// DynamicQuerier per in-flight query — the serving loop, with no
 	// per-query result copying — so the B/q column measures the query
 	// path itself. runPhase scopes the allocation delta to the batches.
-	opts := index.BatchOptions{Workers: cfg.Workers}
+	batchOpts := index.BatchOptions{Workers: cfg.Workers}
 	pool := &dynQuerierPool{dx: dx}
 	runPhase := func(qs [][]float64, between func(batch int)) (index.BatchStats, uint64) {
 		per := make([]index.QueryStats, len(qs))
@@ -64,7 +106,7 @@ func runChurn(w io.Writer, cfg churnConfig) {
 			chunk := qs[lo:hi]
 			chunkPer := per[lo:hi]
 			before := heapAllocated()
-			wall += index.RunBatch(len(chunk), opts, func(i int, _ *xrand.Rand) {
+			wall += index.RunBatch(len(chunk), batchOpts, func(i int, _ *xrand.Rand) {
 				qr := pool.get()
 				start := time.Now()
 				_, st := qr.CollectDistinct(chunk[i], 0)
@@ -81,22 +123,30 @@ func runChurn(w io.Writer, cfg churnConfig) {
 	// points and delete a matching fraction of live ids, so queries run
 	// against a layered index (frozen segments + live memtable +
 	// tombstones). Half the query budget is spent here, half after
-	// compaction.
+	// compaction. Every Insert is timed individually: the p99/max columns
+	// expose the freeze write stall that -freeze async removes.
 	half := cfg.Queries / 2
 	batches := (half + cfg.BatchSize - 1) / cfg.BatchSize
 	mrng := xrand.New(cfg.Seed + 1)
 	nextInsert := initial
+	insertLat := make([]float64, 0, cfg.Points-initial)
+	var insertWall time.Duration
 	churnAgg, churnAllocs := runPhase(queries[:half], func(batch int) {
 		target := initial + (cfg.Points-initial)*(batch+1)/batches
 		for ; nextInsert < target; nextInsert++ {
+			start := time.Now()
 			dx.Insert(pts[nextInsert])
+			lat := time.Since(start)
+			insertWall += lat
+			insertLat = append(insertLat, float64(lat))
 			if mrng.Bernoulli(0.25) {
 				dx.Delete(mrng.Intn(nextInsert + 1))
 			}
 		}
 	})
-	fmt.Fprintf(w, "state: live=%d segments=%d memtable=%d tombstones=%d\n",
-		dx.Len(), dx.Segments(), dx.MemtableLen(), nextInsert-dx.Len())
+	fmt.Fprintf(w, "state: live=%d segments=%d memtable=%d pending-freezes=%d tombstones=%d\n",
+		dx.Len(), dx.Segments(), dx.MemtableLen(), dx.PendingFreezes(), nextInsert-dx.Len())
+	printInsertRow(w, insertLat, insertWall)
 	printChurnRow(w, "pre-compact", churnAgg, churnAllocs)
 
 	compactStart := time.Now()
@@ -109,6 +159,7 @@ func runChurn(w io.Writer, cfg churnConfig) {
 	if churnAgg.QPS > 0 && steadyAgg.QPS > 0 {
 		fmt.Fprintf(w, "compaction speedup: %.2fx\n", steadyAgg.QPS/churnAgg.QPS)
 	}
+	return nil
 }
 
 // dynQuerierPool pools DynamicQueriers for the churn serving loop.
@@ -126,10 +177,32 @@ func (p *dynQuerierPool) get() *index.DynamicQuerier[[]float64] {
 
 func (p *dynQuerierPool) put(qr *index.DynamicQuerier[[]float64]) { p.pool.Put(qr) }
 
+func printInsertRow(w io.Writer, lat []float64, wall time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	rate := float64(len(lat)) / wall.Seconds()
+	fmt.Fprintf(w, "%-12s rate=%9.0f/s p50=%-10v p99=%-10v p99.9=%-10v max=%-10v\n",
+		"inserts", rate,
+		time.Duration(stats.Quantile(lat, 0.50)),
+		time.Duration(stats.Quantile(lat, 0.99)),
+		time.Duration(stats.Quantile(lat, 0.999)),
+		time.Duration(stats.Quantile(lat, 1.0)))
+}
+
 func printChurnRow(w io.Writer, label string, agg index.BatchStats, allocs uint64) {
-	fmt.Fprintf(w, "%-12s qps=%10.0f  p50=%-10v p90=%-10v p99=%-10v max=%-10v cand/q=%.1f B/q=%.0f\n",
+	fmt.Fprintf(w, "%-12s qps=%10.0f  p50=%-10v p90=%-10v p99=%-10v max=%-10v cand/q=%.1f probes/q=%.1f B/q=%.0f\n",
 		label, agg.QPS, agg.LatP50, agg.LatP90, agg.LatP99, agg.LatMax,
-		float64(agg.Candidates)/float64(agg.Queries), float64(allocs)/float64(agg.Queries))
+		float64(agg.Candidates)/float64(agg.Queries),
+		float64(agg.Probes)/float64(agg.Queries),
+		float64(allocs)/float64(agg.Queries))
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }
 
 func maxInt(a, b int) int {

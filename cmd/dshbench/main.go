@@ -64,6 +64,8 @@ func main() {
 	batch := flag.Int("batch", 256, "throughput/churn: queries per batch")
 	workers := flag.Int("workers", 0, "throughput/churn: batch workers (0 = GOMAXPROCS)")
 	dim := flag.Int("dim", 24, "throughput/churn: dimension")
+	policy := flag.String("policy", "all", "churn: background compaction policy (all or tiered)")
+	freeze := flag.String("freeze", "inline", "churn: memtable freeze mode (inline or async)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dshbench [flags] [experiment...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(names(), " "))
@@ -78,14 +80,20 @@ func main() {
 		}
 	}
 	if *churn {
-		runChurn(os.Stdout, churnConfig{
+		err := runChurn(os.Stdout, churnConfig{
 			Points:    *points,
 			Queries:   *queries,
 			BatchSize: *batch,
 			Workers:   *workers,
 			Dim:       *dim,
 			Seed:      *seed,
+			Policy:    *policy,
+			Freeze:    *freeze,
 		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dshbench: %v\n", err)
+			os.Exit(2)
+		}
 		return
 	}
 	if *throughput {

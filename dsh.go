@@ -217,20 +217,42 @@ func NewIndex[P any](rng *Rand, fam Family[P], L int, points []P) *Index[P] {
 	return index.New(rng, fam, L, points)
 }
 
-// AnnulusIndex is the Theorem 6.1 annulus-search structure.
+// AnnulusIndex is the Theorem 6.1 annulus-search structure: a query
+// veneer served by either backend — a frozen static index
+// (NewAnnulusIndex) or a mutable DynamicIndex (NewDynamicAnnulusIndex).
 type AnnulusIndex[P any] = index.AnnulusIndex[P]
 
-// NewAnnulusIndex builds the Theorem 6.1 structure.
+// NewAnnulusIndex builds the Theorem 6.1 structure over a fresh static
+// index.
 func NewAnnulusIndex[P any](rng *Rand, fam Family[P], L int, points []P, within func(q, x P) bool) *AnnulusIndex[P] {
 	return index.NewAnnulus(rng, fam, L, points, within)
 }
 
-// RangeReporter is the Theorem 6.5 output-sensitive reporting structure.
+// NewDynamicAnnulusIndex wraps an existing DynamicIndex in the
+// Theorem 6.1 annulus-search algorithm. The veneer shares the backend's
+// storage: Inserts, Deletes and compactions through dx are visible to
+// subsequent queries immediately, and several veneers may wrap one
+// backend.
+func NewDynamicAnnulusIndex[P any](dx *DynamicIndex[P], within func(q, x P) bool) *AnnulusIndex[P] {
+	return index.NewDynamicAnnulus(dx, within)
+}
+
+// RangeReporter is the Theorem 6.5 output-sensitive reporting structure:
+// a query veneer served by either backend — a frozen static index
+// (NewRangeReporter) or a mutable DynamicIndex (NewDynamicRangeReporter).
 type RangeReporter[P any] = index.RangeReporter[P]
 
-// NewRangeReporter builds the Theorem 6.5 structure.
+// NewRangeReporter builds the Theorem 6.5 structure over a fresh static
+// index.
 func NewRangeReporter[P any](rng *Rand, fam Family[P], L int, points []P, inRange func(q, x P) bool) *RangeReporter[P] {
 	return index.NewRangeReporter(rng, fam, L, points, inRange)
+}
+
+// NewDynamicRangeReporter wraps an existing DynamicIndex in the
+// Theorem 6.5 reporting algorithm; mutations through dx are visible to
+// subsequent queries immediately.
+func NewDynamicRangeReporter[P any](dx *DynamicIndex[P], inRange func(q, x P) bool) *RangeReporter[P] {
+	return index.NewDynamicRangeReporter(dx, inRange)
 }
 
 // RepetitionsForCPF returns L = ceil(1/f).
@@ -241,13 +263,32 @@ func RepetitionsForCPF(f float64) int { return index.RepetitionsForCPF(f) }
 // points, and a tombstone bitmap records Deletes. The repetition draws are
 // shared across all layers, so collision-probability semantics match a
 // static Index over the live points exactly. All methods are safe for
-// concurrent use; Compact folds everything into one flat segment, after
-// which steady-state queries through a DynamicQuerier allocate nothing.
+// concurrent use. With DynamicOptions.AsyncFreeze, a full memtable keeps
+// serving reads while its tables build off-lock; segments retain their
+// hash-key columns, so every merge (monolithic or tiered, see
+// CompactionPolicy) moves memory instead of re-evaluating hash functions.
+// Compact folds everything into one flat segment, after which steady-state
+// queries through a DynamicQuerier allocate nothing.
 type DynamicIndex[P any] = index.DynamicIndex[P]
 
 // DynamicOptions configures a DynamicIndex (memtable freeze threshold,
-// background compaction).
+// asynchronous freezing, background compaction and its merge policy).
 type DynamicOptions = index.DynamicOptions
+
+// CompactionPolicy selects how automatic (background) compaction merges a
+// DynamicIndex's segments; explicit Compact calls always merge everything.
+type CompactionPolicy = index.CompactionPolicy
+
+// Compaction policies.
+const (
+	// CompactAll folds all frozen state into a single segment on every
+	// automatic compaction.
+	CompactAll = index.CompactAll
+	// CompactTiered merges only contiguous runs of the newest
+	// similar-sized segments, so large old segments are rewritten rarely
+	// (each row moves O(log n) times over the index's life).
+	CompactTiered = index.CompactTiered
+)
 
 // DynamicQuerier is the reusable per-goroutine query scratch of a
 // DynamicIndex; obtain one with DynamicIndex.NewQuerier.

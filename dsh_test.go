@@ -249,3 +249,73 @@ func TestFacadeDynamicIndex(t *testing.T) {
 		t.Fatalf("batch sizes wrong: %d/%d/%d", len(got), len(per), agg.Queries)
 	}
 }
+
+// TestFacadeDynamicVeneers drives the unified serving veneers through the
+// public API: annulus search and range reporting over a mutating
+// DynamicIndex with async freezing and tiered background compaction.
+func TestFacadeDynamicVeneers(t *testing.T) {
+	rng := dsh.NewRand(13)
+	unit := func() []float64 {
+		g := make([]float64, 16)
+		n := 0.0
+		for j := range g {
+			g[j] = rng.NormFloat64()
+			n += g[j] * g[j]
+		}
+		n = math.Sqrt(n)
+		for j := range g {
+			g[j] /= n
+		}
+		return g
+	}
+	pts := make([][]float64, 400)
+	for i := range pts {
+		pts[i] = unit()
+	}
+	dx := dsh.NewDynamicIndex(rng, dsh.Power(dsh.SimHash(16), 4), 16, pts[:200],
+		dsh.DynamicOptions{
+			MemtableThreshold:    64,
+			AsyncFreeze:          true,
+			BackgroundCompaction: true,
+			Policy:               dsh.CompactTiered,
+			MaxSegments:          3,
+		})
+	defer dx.Close()
+
+	anything := func(q, x []float64) bool { return true }
+	ai := dsh.NewDynamicAnnulusIndex(dx, anything)
+	rr := dsh.NewDynamicRangeReporter(dx, anything)
+	if ai.Dynamic() != dx || rr.Dynamic() != dx || ai.Index() != nil {
+		t.Fatal("veneer backend accessors wrong through the facade")
+	}
+
+	for _, p := range pts[200:] {
+		dx.Insert(p)
+	}
+	dx.Delete(7)
+
+	if id, stats := ai.Query(pts[5]); id < 0 || stats.Verified == 0 {
+		t.Fatalf("dynamic annulus found nothing: id=%d stats=%+v", id, stats)
+	}
+	ids, stats := rr.Query(pts[5])
+	if stats.Probes == 0 {
+		t.Fatalf("range stats missing probes: %+v", stats)
+	}
+	self := false
+	for _, id := range ids {
+		if id == 7 {
+			t.Fatal("deleted id reported through the range veneer")
+		}
+		if id == 5 {
+			self = true
+		}
+	}
+	if !self {
+		t.Fatal("point 5 did not report itself")
+	}
+
+	dx.Compact()
+	if got, _ := rr.Query(pts[5]); len(got) != len(ids) {
+		t.Fatalf("report set changed across compaction: %d != %d", len(got), len(ids))
+	}
+}

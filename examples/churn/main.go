@@ -2,9 +2,15 @@
 // article embeddings is not static — new articles are published, old ones
 // are retracted — so the index must absorb inserts and deletes without a
 // full rebuild. dsh.DynamicIndex layers a mutable memtable over frozen
-// flat-table segments with a tombstone bitmap for deletes; Compact folds
-// everything back into one flat segment and restores the zero-allocation
-// steady state.
+// flat-table segments with a tombstone bitmap for deletes; with
+// AsyncFreeze a full memtable keeps serving reads while its tables build
+// off-lock, and the background compactor merges the newest segments with
+// the tiered policy — without re-evaluating a single hash function,
+// because every layer retains its key columns.
+//
+// The annulus-search veneer is the same AnnulusIndex that serves static
+// indexes: dsh.NewDynamicAnnulusIndex wraps the mutating backend in the
+// Theorem 6.1 query algorithm unchanged.
 //
 //	go run ./examples/churn
 package main
@@ -37,22 +43,23 @@ func main() {
 	ann := dsh.Annulus(d, (lo+hi)/2, 2.2)
 	L := dsh.RepetitionsForCPF(ann.CPF().Eval((lo + hi) / 2))
 	dx := dsh.NewDynamicIndex(rng, ann, L, corpus.Points[:initial],
-		dsh.DynamicOptions{MemtableThreshold: 256})
+		dsh.DynamicOptions{
+			MemtableThreshold:    256,
+			AsyncFreeze:          true,              // full memtables detach; tables build off-lock
+			BackgroundCompaction: true,              // merge when segments pile up...
+			Policy:               dsh.CompactTiered, // ...but only the newest similar-sized runs
+			MaxSegments:          4,
+		})
+	defer dx.Close()
 	fmt.Printf("dynamic index: L = %d repetitions, %d segment(s)\n\n", L, dx.Segments())
 
 	inBand := func(q, x []float64) bool {
 		a := vec.Dot(q, x)
 		return a >= lo && a <= hi
 	}
-	// recommend scans the distinct candidates for the first in-band hit.
-	recommend := func(q []float64) int {
-		for _, id := range dx.CollectDistinct(q, 0) {
-			if inBand(q, dx.Point(id)) {
-				return id
-			}
-		}
-		return -1
-	}
+	// The Theorem 6.1 annulus veneer over the mutating backend: Query
+	// returns the first in-band candidate, scanning at most 8L.
+	recommender := dsh.NewDynamicAnnulusIndex(dx, inBand)
 
 	// Publish the rest of the corpus and retract a scattering of old
 	// articles; the memtable absorbs inserts, the tombstone bitmap hides
@@ -66,8 +73,8 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("after churn: %d live articles, %d retracted, %d segments + %d memtable entries\n",
-		dx.Len(), retracted, dx.Segments(), dx.MemtableLen())
+	fmt.Printf("after churn: %d live articles, %d retracted, %d segments + %d memtable entries (%d freezes pending)\n",
+		dx.Len(), retracted, dx.Segments(), dx.MemtableLen(), dx.PendingFreezes())
 
 	hits := 0
 	const queriesRun = 10
@@ -77,7 +84,7 @@ func main() {
 			qid = rng.Intn(n)
 		}
 		q := corpus.Points[qid]
-		if rec := recommend(q); rec >= 0 {
+		if rec, _ := recommender.Query(q); rec >= 0 {
 			hits++
 			fmt.Printf("query %d (topic %2d): recommend article %5d (topic %2d, sim %.3f)\n",
 				qi, corpus.Topic[qid], rec, corpus.Topic[rec], vec.Dot(q, dx.Point(rec)))
@@ -89,7 +96,9 @@ func main() {
 
 	// Compaction folds segments + memtable into one flat segment, dropping
 	// retracted articles from the tables while every surviving article
-	// keeps its id. Steady-state queries are then allocation-free.
+	// keeps its id — and, because key columns are retained, without
+	// hashing any point again. Steady-state queries are then
+	// allocation-free.
 	dx.Compact()
 	fmt.Printf("after compact: %d live articles in %d segment(s), memtable empty=%v\n",
 		dx.Len(), dx.Segments(), dx.MemtableLen() == 0)

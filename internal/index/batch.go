@@ -59,8 +59,9 @@ func (o BatchOptions) workerCount(n int) int {
 type BatchStats struct {
 	// Queries is the number of queries in the batch.
 	Queries int
-	// Candidates, Distinct and Verified sum the per-query QueryStats
-	// counters across the batch.
+	// Probes, Candidates, Distinct and Verified sum the per-query
+	// QueryStats counters across the batch.
+	Probes     int64
 	Candidates int64
 	Distinct   int64
 	Verified   int64
@@ -85,6 +86,7 @@ func AggregateStats(per []QueryStats, wall time.Duration) BatchStats {
 	}
 	lats := make([]float64, len(per))
 	for i, s := range per {
+		agg.Probes += int64(s.Probes)
 		agg.Candidates += int64(s.Candidates)
 		agg.Distinct += int64(s.Distinct)
 		agg.Verified += int64(s.Verified)
@@ -173,19 +175,17 @@ func runBatchScratch[T any](n int, opts BatchOptions, acquire func() T, release 
 	return time.Since(start)
 }
 
-// QueryBatch collects distinct candidates for every query concurrently,
-// fanning the batch across opts.Workers workers. Results are identical to
-// calling CollectDistinct(q, opts.MaxCandidates) sequentially for each
-// query, in query order; only the wall-clock time changes. Per-query
-// stats (including latency) and aggregated batch stats are returned
-// alongside the candidate lists.
-func (ix *Index[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
+// collectBatch is the shared distinct-candidate batch engine: one pooled
+// sourceQuerier per worker, results identical to sequential
+// CollectDistinct calls in query order. Both backends' QueryBatch methods
+// delegate here.
+func collectBatch[P any](src candidateSource[P], queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
 	out := make([][]int, len(queries))
 	per := make([]QueryStats, len(queries))
-	wall := runBatchScratch(len(queries), opts, ix.acquireQuerier, ix.releaseQuerier,
-		func(i int, _ *xrand.Rand, qr *Querier[P]) {
+	wall := runBatchScratch(len(queries), opts, src.acquireSQ, src.releaseSQ,
+		func(i int, _ *xrand.Rand, sq *sourceQuerier[P]) {
 			start := time.Now()
-			res, st := qr.CollectDistinct(queries[i], opts.MaxCandidates)
+			res, st := sq.collectDistinct(queries[i], opts.MaxCandidates)
 			if len(res) > 0 {
 				out[i] = make([]int, len(res))
 				copy(out[i], res)
@@ -196,33 +196,44 @@ func (ix *Index[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []Query
 	return out, per, AggregateStats(per, wall)
 }
 
-// QueryBatch answers every annulus query concurrently. Element i of the
-// returned slice is exactly what Query(queries[i]) returns: the id of
-// some point within the report interval, or -1 after the 8L early
-// termination bound.
+// QueryBatch collects distinct candidates for every query concurrently,
+// fanning the batch across opts.Workers workers. Results are identical to
+// calling CollectDistinct(q, opts.MaxCandidates) sequentially for each
+// query, in query order; only the wall-clock time changes. Per-query
+// stats (including latency) and aggregated batch stats are returned
+// alongside the candidate lists.
+func (ix *Index[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
+	return collectBatch[P](ix, queries, opts)
+}
+
+// QueryBatch answers every annulus query concurrently, over either
+// backend. Element i of the returned slice is exactly what
+// Query(queries[i]) returns: the id of some point within the report
+// interval, or -1 after the 8L early termination bound.
 func (ai *AnnulusIndex[P]) QueryBatch(queries []P, opts BatchOptions) ([]int, []QueryStats, BatchStats) {
 	out := make([]int, len(queries))
 	per := make([]QueryStats, len(queries))
-	ix := ai.Index()
-	wall := runBatchScratch(len(queries), opts, ix.acquireQuerier, ix.releaseQuerier,
-		func(i int, _ *xrand.Rand, qr *Querier[P]) {
+	src := ai.src
+	wall := runBatchScratch(len(queries), opts, src.acquireSQ, src.releaseSQ,
+		func(i int, _ *xrand.Rand, sq *sourceQuerier[P]) {
 			start := time.Now()
-			out[i], per[i] = ai.QueryWith(qr, queries[i])
+			out[i], per[i] = sq.annulusQuery(queries[i], ai.within)
 			per[i].Latency = time.Since(start)
 		})
 	return out, per, AggregateStats(per, wall)
 }
 
-// QueryBatch runs every range-reporting query concurrently. Element i of
-// the returned slice is exactly what Query(queries[i]) returns.
+// QueryBatch runs every range-reporting query concurrently, over either
+// backend. Element i of the returned slice is exactly what
+// Query(queries[i]) returns.
 func (rr *RangeReporter[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
 	out := make([][]int, len(queries))
 	per := make([]QueryStats, len(queries))
-	ix := rr.Index()
-	wall := runBatchScratch(len(queries), opts, ix.acquireQuerier, ix.releaseQuerier,
-		func(i int, _ *xrand.Rand, qr *Querier[P]) {
+	src := rr.src
+	wall := runBatchScratch(len(queries), opts, src.acquireSQ, src.releaseSQ,
+		func(i int, _ *xrand.Rand, sq *sourceQuerier[P]) {
 			start := time.Now()
-			out[i], per[i] = rr.appendQueryWith(qr, nil, queries[i])
+			out[i], per[i] = sq.appendRange(nil, queries[i], rr.inRange)
 			per[i].Latency = time.Since(start)
 		})
 	return out, per, AggregateStats(per, wall)

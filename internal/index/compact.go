@@ -1,81 +1,204 @@
 package index
 
-// Compaction for DynamicIndex. A merge rebuilds every frozen segment into
-// one flat segment over the surviving points, dropping tombstoned ids from
-// the tables while keeping survivors' global ids unchanged. The expensive
-// build runs against an immutable snapshot *outside* the structural lock,
-// so concurrent queriers keep answering from the old segments; the swap
-// retakes the lock and validates that the snapshotted segments are still
-// the prefix of the segment list, retrying if a concurrent merge replaced
-// them (freezes only append, so they never invalidate the build).
+import "dsh/internal/bitvec"
 
-// Compact freezes the memtable and merges all frozen segments into a
-// single segment, dropping deleted points from the tables. After Compact
-// the index answers queries from one flat segment and an empty memtable —
-// the zero-allocation steady state, with candidate order matching a static
-// Index over the live points. Safe to call concurrently with queries and
-// mutations.
+// Compaction for DynamicIndex. Every layer retains its per-repetition key
+// columns (segments since construction, memtables by design), so a merge
+// never re-evaluates a hash function: it concatenates the key and id
+// columns of the merged layers oldest-first, drops tombstoned rows, and
+// rebuilds the open-addressed tables from the retained keys — O(rows * L)
+// memory moves instead of O(rows * L) hash evaluations.
+//
+// The expensive column concatenation and table builds run against an
+// immutable snapshot with no lock held, so concurrent queriers keep
+// answering from the old layers; the swap retakes the structural lock and
+// replaces exactly the snapshotted layers. All rewrites (merges and
+// async-freeze installs) are serialized by mergeMu, and every other
+// mutation only appends to the layer lists, so a snapshot's layers stay at
+// their positions for the whole build and no validation retry is needed.
+
+// CompactionPolicy selects how automatic (background) compaction merges
+// segments; see the constants. Explicit Compact calls always merge
+// everything regardless of policy.
+type CompactionPolicy int
+
+const (
+	// CompactAll is the monolithic policy: every automatic compaction
+	// folds all frozen state into a single segment. Queries then probe
+	// one layer per repetition, but each merge rewrites the whole index.
+	CompactAll CompactionPolicy = iota
+	// CompactTiered merges only a contiguous run of the newest
+	// similar-sized segments (a size-tiered policy with growth factor
+	// tieredGrowth): small fresh segments are folded together quickly
+	// while large old segments are rewritten only when the accumulated
+	// young data reaches a comparable size, so each row is moved O(log n)
+	// times over the life of the index instead of once per freeze.
+	CompactTiered
+)
+
+// tieredGrowth is the size ratio above which an older segment is left out
+// of a tiered merge run.
+const tieredGrowth = 4
+
+// colSource is one mergeable layer: parallel id and per-repetition key
+// columns in insertion order. Both segments and memtables provide it.
+type colSource struct {
+	ids  []int32
+	keys [][]uint64
+}
+
+// mergeSources concatenates the retained columns of the sources (given
+// oldest-first), dropping rows whose id is tombstoned in dead, and
+// freezes the result into one segment. It performs zero family hash
+// evaluations. Returns nil when no row survives.
+func mergeSources(L int, srcs []colSource, dead *bitvec.Bitmap) *segment {
+	keeps := make([][]int32, len(srcs))
+	total := 0
+	for si, s := range srcs {
+		var keep []int32
+		for j, id := range s.ids {
+			if !dead.Get(int(id)) {
+				keep = append(keep, int32(j))
+			}
+		}
+		keeps[si] = keep
+		total += len(keep)
+	}
+	if total == 0 {
+		return nil
+	}
+	ids := make([]int32, 0, total)
+	for si, s := range srcs {
+		for _, j := range keeps[si] {
+			ids = append(ids, s.ids[j])
+		}
+	}
+	seg := &segment{
+		tables:    make([]flatTable, L),
+		keys:      make([][]uint64, L),
+		globalIDs: ids,
+	}
+	for rep := 0; rep < L; rep++ {
+		col := make([]uint64, 0, total)
+		for si, s := range srcs {
+			sk := s.keys[rep]
+			for _, j := range keeps[si] {
+				col = append(col, sk[j])
+			}
+		}
+		seg.keys[rep] = col
+		seg.tables[rep] = buildFlatTable(col)
+	}
+	return seg
+}
+
+// Compact detaches the memtable and merges it, every pending detached
+// memtable, and all frozen segments into a single segment, dropping
+// deleted points from the tables. After Compact the index answers queries
+// from one flat segment and an empty memtable — the zero-allocation
+// steady state, with candidate order matching a static Index over the
+// live points. Safe to call concurrently with queries and mutations.
+// Deletes that land during the merge stay tombstoned (bits are never
+// cleared), so they remain filtered at query time even though the merged
+// tables still contain them until the next merge.
 func (dx *DynamicIndex[P]) Compact() {
-	for {
-		dx.mu.Lock()
-		dx.freezeLocked()
-		segs := dx.segments
-		if len(segs) <= 1 && !dx.segmentsHaveTombstonesLocked() {
-			dx.mu.Unlock()
-			return
-		}
-		points := dx.points
-		dead := dx.dead.Clone()
-		dx.mu.Unlock()
+	dx.mergeMu.Lock()
+	defer dx.mergeMu.Unlock()
 
-		// Build outside the lock: segments and points[0:len] are immutable,
-		// and the tombstone snapshot decides survivors. Deletes that land
-		// during the build stay tombstoned (bits are never cleared), so
-		// they remain filtered at query time even though the merged tables
-		// still contain them until the next Compact.
-		var liveIDs []int32
-		var livePts []P
-		for _, seg := range segs {
-			for _, id := range seg.globalIDs {
-				if dead.Get(int(id)) {
-					continue
-				}
-				liveIDs = append(liveIDs, id)
-				livePts = append(livePts, points[id])
-			}
-		}
-		var merged *segment
-		if len(liveIDs) > 0 {
-			merged = buildSegment(dx.pairs, livePts, liveIDs)
-		}
-
-		dx.mu.Lock()
-		// Validate the snapshot: the merge replaces exactly the segments it
-		// read, so dx.segments must still start with them. Freezes only
-		// append (prefix intact, no retry needed); a concurrent merge
-		// replaced the prefix, so this build is stale and must retry.
-		stale := len(dx.segments) < len(segs)
-		if !stale {
-			for i := range segs {
-				if dx.segments[i] != segs[i] {
-					stale = true
-					break
-				}
-			}
-		}
-		if stale {
-			dx.mu.Unlock()
-			continue
-		}
-		rest := dx.segments[len(segs):]
-		if merged != nil {
-			dx.segments = append([]*segment{merged}, rest...)
-		} else {
-			dx.segments = append([]*segment(nil), rest...)
-		}
+	dx.mu.Lock()
+	if dx.mem.len() > 0 {
+		dx.frozen = append(dx.frozen, dx.mem)
+		dx.mem = newMemtable(len(dx.pairs))
+	}
+	segs := dx.segments
+	fmems := dx.frozen
+	if len(fmems) == 0 && len(segs) <= 1 && !dx.segmentsHaveTombstonesLocked() {
 		dx.mu.Unlock()
 		return
 	}
+	dead := dx.dead.Clone()
+	dx.mu.Unlock()
+
+	srcs := make([]colSource, 0, len(segs)+len(fmems))
+	for _, s := range segs {
+		srcs = append(srcs, colSource{ids: s.globalIDs, keys: s.keys})
+	}
+	for _, fm := range fmems {
+		srcs = append(srcs, colSource{ids: fm.ids, keys: fm.keys})
+	}
+	merged := mergeSources(len(dx.pairs), srcs, &dead)
+
+	dx.mu.Lock()
+	// The snapshotted layers are still the prefixes of their lists:
+	// rewrites are serialized by mergeMu (held), and Insert/Flush only
+	// append. Keep everything appended since the snapshot.
+	dx.frozen = append([]*memtable(nil), dx.frozen[len(fmems):]...)
+	rest := dx.segments[len(segs):]
+	if merged != nil {
+		dx.segments = append([]*segment{merged}, rest...)
+	} else {
+		dx.segments = append([]*segment(nil), rest...)
+	}
+	dx.mu.Unlock()
+}
+
+// compactTieredStep merges the newest run of similar-sized segments into
+// one, dropping their tombstoned rows, and reports whether a merge
+// happened (false when fewer than two segments are tier-eligible). The
+// memtable and pending detached memtables are left alone — freezes, not
+// merges, are responsible for them.
+func (dx *DynamicIndex[P]) compactTieredStep() bool {
+	dx.mergeMu.Lock()
+	defer dx.mergeMu.Unlock()
+
+	dx.mu.RLock()
+	segs := dx.segments
+	dead := dx.dead.Clone()
+	dx.mu.RUnlock()
+
+	lo := tieredRunStart(segs)
+	if len(segs)-lo < 2 {
+		return false
+	}
+	srcs := make([]colSource, 0, len(segs)-lo)
+	for _, s := range segs[lo:] {
+		srcs = append(srcs, colSource{ids: s.globalIDs, keys: s.keys})
+	}
+	merged := mergeSources(len(dx.pairs), srcs, &dead)
+
+	dx.mu.Lock()
+	// segs[lo:] still occupies positions lo..len(segs) of dx.segments:
+	// concurrent freezes only appended past len(segs), and other merges
+	// are excluded by mergeMu.
+	rest := dx.segments[len(segs):]
+	swapped := make([]*segment, 0, lo+1+len(rest))
+	swapped = append(swapped, dx.segments[:lo]...)
+	if merged != nil {
+		swapped = append(swapped, merged)
+	}
+	swapped = append(swapped, rest...)
+	dx.segments = swapped
+	dx.mu.Unlock()
+	return true
+}
+
+// tieredRunStart returns the start index of the maximal suffix run of
+// segments eligible for a tiered merge: walking newest to oldest, an
+// older segment joins the run while it is at most tieredGrowth times the
+// combined size of the newer segments already in it. Large old segments
+// therefore stay out of the run until enough young data has accumulated
+// next to them.
+func tieredRunStart(segs []*segment) int {
+	if len(segs) == 0 {
+		return 0
+	}
+	lo := len(segs) - 1
+	total := segs[lo].len()
+	for lo > 0 && segs[lo-1].len() <= tieredGrowth*total {
+		lo--
+		total += segs[lo].len()
+	}
+	return lo
 }
 
 // segmentsHaveTombstonesLocked reports whether any frozen segment still
@@ -93,36 +216,4 @@ func (dx *DynamicIndex[P]) segmentsHaveTombstonesLocked() bool {
 		}
 	}
 	return false
-}
-
-// backgroundCompactor merges segments whenever a freeze pushes the count
-// past MaxSegments. It runs until Close.
-func (dx *DynamicIndex[P]) backgroundCompactor() {
-	defer dx.wg.Done()
-	for {
-		select {
-		case <-dx.closed:
-			return
-		case <-dx.compactCh:
-			dx.mu.RLock()
-			over := len(dx.segments) > dx.opts.MaxSegments
-			dx.mu.RUnlock()
-			if over {
-				dx.Compact()
-			}
-		}
-	}
-}
-
-// Close stops the background compactor, if one was started. It does not
-// invalidate the index: queries and mutations keep working, and Compact
-// remains explicitly callable. Close is idempotent.
-func (dx *DynamicIndex[P]) Close() {
-	if dx.compactCh == nil {
-		return
-	}
-	dx.closeOnce.Do(func() {
-		close(dx.closed)
-		dx.wg.Wait()
-	})
 }

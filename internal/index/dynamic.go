@@ -2,7 +2,6 @@ package index
 
 import (
 	"sync"
-	"time"
 
 	"dsh/internal/bitvec"
 	"dsh/internal/core"
@@ -16,15 +15,34 @@ type DynamicOptions struct {
 	// default of 1024).
 	MemtableThreshold int
 	// MaxSegments is the segment count above which the background
-	// compactor (when enabled) merges every frozen segment into one
-	// (<= 0 means the default of 8). Explicit Compact calls always merge.
+	// compactor (when enabled) merges segments according to Policy
+	// (<= 0 means the default of 8). Explicit Compact calls always merge
+	// everything.
 	MaxSegments int
 	// BackgroundCompaction starts a goroutine that merges segments when
-	// their count exceeds MaxSegments after a memtable freeze. Call Close
-	// to stop it. Queries remain race-free during background merges: the
-	// merge builds against an immutable snapshot and swaps it in under
-	// the structural lock after validating the snapshot is still current.
+	// their count exceeds MaxSegments after a freeze. Call Close to stop
+	// it. Queries remain race-free during background merges: a merge
+	// builds against an immutable snapshot and swaps it in under the
+	// structural lock, and all structural rewrites are serialized.
 	BackgroundCompaction bool
+	// Policy selects how automatic (background) compaction merges
+	// segments: CompactAll folds everything into one segment,
+	// CompactTiered merges only a contiguous run of the newest
+	// similar-sized segments so large old segments are rewritten rarely.
+	// Explicit Compact calls ignore the policy and always merge
+	// everything.
+	Policy CompactionPolicy
+	// AsyncFreeze makes the Insert that crosses MemtableThreshold detach
+	// the full memtable and keep serving it read-only while the L flat
+	// tables build off the structural lock (the same snapshot-validated
+	// swap discipline as compaction), flattening the insert tail latency.
+	// When false (the default), the crossing Insert builds the segment
+	// inline while holding the lock — deterministic, but an LSM write
+	// stall bounded by MemtableThreshold.
+	//
+	// Query results are identical either way: a detached memtable serves
+	// the same ids in the same order as the segment it becomes.
+	AsyncFreeze bool
 }
 
 func (o DynamicOptions) withDefaults() DynamicOptions {
@@ -37,45 +55,67 @@ func (o DynamicOptions) withDefaults() DynamicOptions {
 	return o
 }
 
-// DynamicIndex is the mutable, LSM-style variant of Index: a small
-// map-layout memtable absorbs fresh inserts, immutable flat-table segments
-// hold frozen points, and a tombstone bitmap records deletes, consulted
-// during candidate iteration. The L repetition draws (h_i, g_i) are
-// sampled once at construction and shared by every segment and the
-// memtable, so a query hashes once per repetition and probes every layer
-// with the same key — the collision-probability semantics of the family
-// are exactly those of a static Index over the live points.
+// DynamicIndex is the mutable, LSM-style backend of the candidateSource
+// core: a small map-layout memtable absorbs fresh inserts, immutable
+// flat-table segments hold frozen points, detached read-only memtables
+// bridge the two while asynchronous freezes build their tables off-lock,
+// and a tombstone bitmap records deletes, consulted during candidate
+// iteration. The L repetition draws (h_i, g_i) are sampled once at
+// construction and shared by every layer, so a query hashes once per
+// repetition and probes every layer with the same key — the
+// collision-probability semantics of the family are exactly those of a
+// static Index over the live points.
 //
 // Every point keeps a stable global id, assigned by Insert in increasing
 // order (the initial points get ids 0..len-1) and preserved across freezes
-// and merges. Compact folds all frozen state back into a single flat
-// segment, dropping tombstoned points from the tables; ids are never
-// reused.
+// and merges. Layers are kept in ascending global-id order (segments
+// oldest first, then detached memtables oldest first, then the live
+// memtable), so the per-repetition candidate stream walks live points in
+// exactly the order a static Index over them would. Compact folds all
+// frozen state back into a single flat segment, dropping tombstoned
+// points from the tables; ids are never reused.
 //
-// All methods are safe for concurrent use. Steady-state queries through a
-// DynamicQuerier perform no heap allocations once the memtable has been
-// compacted away (map probes of an empty memtable and tombstone checks
-// allocate nothing).
+// All methods are safe for concurrent use. Locking discipline: mu (the
+// structural RWMutex) guards the layer lists, the points array, and the
+// tombstone bitmap — queries hold it shared for their whole read window,
+// mutators hold it exclusively and briefly. mergeMu serializes structural
+// rewrites (async-freeze installs and compaction merges); it is always
+// acquired before mu and never held while blocking on queries, so the
+// expensive table builds run with neither queries nor inserts stalled.
+// Steady-state queries through a DynamicQuerier perform no heap
+// allocations once the memtable has been compacted away.
 type DynamicIndex[P any] struct {
 	pairs []core.Pair[P]
 	negG  []negQueryHasher
 	opts  DynamicOptions
 
 	// mu guards every field below it. Queries hold it shared; Insert,
-	// Delete and the structural swaps of Compact hold it exclusively.
+	// Delete and the structural swaps of freezes and merges hold it
+	// exclusively.
 	mu sync.RWMutex
 	// points holds every point ever inserted, indexed by global id. It is
-	// append-only: elements below len are immutable, so compaction can
-	// read a snapshot of the slice header outside the lock.
+	// append-only: elements below len are immutable, so merges and
+	// veneers can read snapshots of the slice header.
 	points   []P
 	segments []*segment
-	mem      *memtable
+	// frozen holds detached, read-only memtables awaiting their
+	// asynchronous flat-table build, oldest first. Only Insert, Flush and
+	// Compact append; only the freezer and Compact (both serialized by
+	// mergeMu) pop from the front.
+	frozen []*memtable
+	// freezerBusy records that a freezer goroutine is draining frozen;
+	// Insert spawns one only when it is clear.
+	freezerBusy bool
+	mem         *memtable
 	// dead is the tombstone bitmap over global ids. Bits are set by
 	// Delete and never cleared: after a merge drops a point from the
 	// tables its bit is simply never consulted again, and keeping it set
 	// makes double-Delete detection trivial.
 	dead bitvec.Bitmap
 	live int
+
+	// mergeMu serializes structural rewrites; see the type comment.
+	mergeMu sync.Mutex
 
 	queriers sync.Pool
 
@@ -116,7 +156,7 @@ func NewDynamic[P any](rng *xrand.Rand, family core.Family[P], L int, points []P
 		}
 		dx.segments = []*segment{buildSegment(dx.pairs, dx.points, ids)}
 	}
-	dx.queriers.New = func() any { return dx.NewQuerier() }
+	dx.queriers.New = func() any { return newSourceQuerier[P](dx, 0) }
 	if dx.opts.BackgroundCompaction {
 		dx.compactCh = make(chan struct{}, 1)
 		dx.closed = make(chan struct{})
@@ -159,11 +199,22 @@ func (dx *DynamicIndex[P]) Segments() int {
 	return len(dx.segments)
 }
 
-// MemtableLen returns the number of points buffered in the memtable.
+// MemtableLen returns the number of points buffered in the live memtable.
 func (dx *DynamicIndex[P]) MemtableLen() int {
 	dx.mu.RLock()
 	defer dx.mu.RUnlock()
 	return dx.mem.len()
+}
+
+// PendingFreezes returns the number of detached read-only memtables whose
+// flat-table builds have not been installed yet. Without AsyncFreeze it is
+// zero except transiently while a Compact folds the memtable; Flush
+// returns only after draining every freeze that was pending when it was
+// called (concurrent Inserts may detach new ones at any time).
+func (dx *DynamicIndex[P]) PendingFreezes() int {
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	return len(dx.frozen)
 }
 
 // Insert adds a point and returns its stable global id. The point lands in
@@ -172,11 +223,12 @@ func (dx *DynamicIndex[P]) MemtableLen() int {
 // is nudged once the segment count exceeds MaxSegments).
 //
 // The L hash evaluations run before the structural lock is taken, so
-// concurrent queries are blocked only for the map inserts themselves. The
-// Insert that crosses the threshold additionally pays for the freeze
-// (building L flat tables over the buffered keys, no rehashing) while
-// holding the lock — the classic LSM write stall; size MemtableThreshold
-// to bound it, or call Flush at quiet moments to schedule it explicitly.
+// concurrent queries are blocked only for the map inserts themselves. With
+// AsyncFreeze the crossing Insert merely detaches the full memtable (the
+// flat tables build off-lock while the detached buffer keeps serving
+// reads); without it, the crossing Insert builds the segment inline while
+// holding the lock — size MemtableThreshold to bound that stall, or call
+// Flush at quiet moments to schedule it explicitly.
 func (dx *DynamicIndex[P]) Insert(p P) int {
 	keys := make([]uint64, len(dx.pairs))
 	for i, pair := range dx.pairs {
@@ -189,22 +241,23 @@ func (dx *DynamicIndex[P]) Insert(p P) int {
 	dx.live++
 	needMerge := false
 	if dx.mem.len() >= dx.opts.MemtableThreshold {
-		dx.freezeLocked()
-		needMerge = dx.compactCh != nil && len(dx.segments) > dx.opts.MaxSegments
+		if dx.opts.AsyncFreeze {
+			dx.detachMemLocked()
+		} else {
+			dx.freezeLocked()
+			needMerge = dx.compactCh != nil && len(dx.segments) > dx.opts.MaxSegments
+		}
 	}
 	dx.mu.Unlock()
 	if needMerge {
-		select {
-		case dx.compactCh <- struct{}{}:
-		default:
-		}
+		dx.nudgeCompactor()
 	}
 	return int(id)
 }
 
 // Delete tombstones the point with the given global id, reporting whether
 // it was live. The point disappears from query results immediately and
-// from the underlying tables at the next Compact.
+// from the underlying tables at the next merge covering its segment.
 func (dx *DynamicIndex[P]) Delete(id int) bool {
 	dx.mu.Lock()
 	defer dx.mu.Unlock()
@@ -216,8 +269,8 @@ func (dx *DynamicIndex[P]) Delete(id int) bool {
 	return true
 }
 
-// freezeLocked turns a non-empty memtable into a new frozen segment.
-// Callers hold mu exclusively.
+// freezeLocked turns a non-empty memtable into a new frozen segment
+// inline. Callers hold mu exclusively.
 func (dx *DynamicIndex[P]) freezeLocked() {
 	if dx.mem.len() == 0 {
 		return
@@ -226,167 +279,275 @@ func (dx *DynamicIndex[P]) freezeLocked() {
 	dx.mem = newMemtable(len(dx.pairs))
 }
 
+// detachMemLocked moves a non-empty memtable onto the frozen FIFO and
+// spawns a freezer to build its flat tables off-lock if none is running.
+// Callers hold mu exclusively.
+func (dx *DynamicIndex[P]) detachMemLocked() {
+	if dx.mem.len() == 0 {
+		return
+	}
+	dx.frozen = append(dx.frozen, dx.mem)
+	dx.mem = newMemtable(len(dx.pairs))
+	if !dx.freezerBusy {
+		dx.freezerBusy = true
+		go dx.freezer()
+	}
+}
+
+// freezer drains the frozen FIFO: build the oldest detached memtable's
+// flat tables with neither lock held for the build, then install the
+// segment under mu. Holding mergeMu from the head-read through the
+// install keeps rewrites serialized, so installs happen in detach order
+// and the ascending-global-id layer invariant is preserved. The goroutine
+// exits when the FIFO drains; Insert spawns a fresh one on the next
+// detach.
+func (dx *DynamicIndex[P]) freezer() {
+	for {
+		dx.mergeMu.Lock()
+		dx.mu.Lock()
+		if len(dx.frozen) == 0 {
+			dx.freezerBusy = false
+			dx.mu.Unlock()
+			dx.mergeMu.Unlock()
+			return
+		}
+		fm := dx.frozen[0]
+		dx.mu.Unlock()
+
+		seg := fm.freeze() // the L flat-table builds: off-lock, no rehashing
+
+		dx.mu.Lock()
+		dx.frozen = dx.frozen[1:]
+		dx.segments = append(dx.segments, seg)
+		needMerge := dx.compactCh != nil && len(dx.segments) > dx.opts.MaxSegments
+		dx.mu.Unlock()
+		dx.mergeMu.Unlock()
+		if needMerge {
+			dx.nudgeCompactor()
+		}
+	}
+}
+
+// drainFrozen synchronously converts every detached memtable into an
+// installed segment, cooperating with any running freezer through the
+// same mergeMu-serialized pop-and-install discipline.
+func (dx *DynamicIndex[P]) drainFrozen() {
+	needMerge := false
+	for {
+		dx.mergeMu.Lock()
+		dx.mu.RLock()
+		var fm *memtable
+		if len(dx.frozen) > 0 {
+			fm = dx.frozen[0]
+		}
+		dx.mu.RUnlock()
+		if fm == nil {
+			dx.mergeMu.Unlock()
+			break
+		}
+		seg := fm.freeze()
+		dx.mu.Lock()
+		dx.frozen = dx.frozen[1:]
+		dx.segments = append(dx.segments, seg)
+		needMerge = dx.compactCh != nil && len(dx.segments) > dx.opts.MaxSegments
+		dx.mu.Unlock()
+		dx.mergeMu.Unlock()
+	}
+	if needMerge {
+		dx.nudgeCompactor()
+	}
+}
+
 // Flush freezes the memtable into a segment immediately, regardless of
-// the threshold. Useful before read-heavy phases: frozen probes are
-// cheaper than map probes.
+// the threshold, and waits for every pending asynchronous freeze to be
+// installed. Useful before read-heavy phases: frozen probes are cheaper
+// than map probes.
 func (dx *DynamicIndex[P]) Flush() {
 	dx.mu.Lock()
+	if dx.opts.AsyncFreeze {
+		if dx.mem.len() > 0 {
+			dx.frozen = append(dx.frozen, dx.mem)
+			dx.mem = newMemtable(len(dx.pairs))
+		}
+		dx.mu.Unlock()
+		dx.drainFrozen()
+		return
+	}
 	dx.freezeLocked()
 	dx.mu.Unlock()
 }
 
-// acquireQuerier draws a DynamicQuerier from the pool.
-func (dx *DynamicIndex[P]) acquireQuerier() *DynamicQuerier[P] {
-	return dx.queriers.Get().(*DynamicQuerier[P])
+// nudgeCompactor pokes the background compactor without blocking.
+func (dx *DynamicIndex[P]) nudgeCompactor() {
+	select {
+	case dx.compactCh <- struct{}{}:
+	default:
+	}
 }
 
-// releaseQuerier returns a DynamicQuerier to the pool.
-func (dx *DynamicIndex[P]) releaseQuerier(qr *DynamicQuerier[P]) { dx.queriers.Put(qr) }
+// candidateSource implementation. A query's read window is one shared
+// acquisition of mu: appendCandidates and srcPoint run under it, so every
+// query sees one consistent layer list and tombstone state.
+
+func (dx *DynamicIndex[P]) srcPairs() []core.Pair[P]  { return dx.pairs }
+func (dx *DynamicIndex[P]) srcNegG() []negQueryHasher { return dx.negG }
+
+func (dx *DynamicIndex[P]) beginRead() int {
+	dx.mu.RLock()
+	return len(dx.points)
+}
+
+func (dx *DynamicIndex[P]) endRead() { dx.mu.RUnlock() }
+
+// srcPoint runs inside a beginRead window (mu held shared), so it reads
+// the points array directly; Point is the self-locking public variant.
+func (dx *DynamicIndex[P]) srcPoint(id int) P { return dx.points[id] }
+
+func (dx *DynamicIndex[P]) appendCandidates(rep int, key uint64, dst []int32) ([]int32, int) {
+	probes := 0
+	for _, seg := range dx.segments {
+		probes++
+		for _, local := range seg.lookup(rep, key) {
+			if id := seg.globalIDs[local]; !dx.dead.Get(int(id)) {
+				dst = append(dst, id)
+			}
+		}
+	}
+	for _, fm := range dx.frozen {
+		probes++
+		for _, id := range fm.lookup(rep, key) {
+			if !dx.dead.Get(int(id)) {
+				dst = append(dst, id)
+			}
+		}
+	}
+	if dx.mem.len() > 0 {
+		probes++
+		for _, id := range dx.mem.lookup(rep, key) {
+			if !dx.dead.Get(int(id)) {
+				dst = append(dst, id)
+			}
+		}
+	}
+	return dst, probes
+}
+
+func (dx *DynamicIndex[P]) acquireSQ() *sourceQuerier[P] {
+	return dx.queriers.Get().(*sourceQuerier[P])
+}
+func (dx *DynamicIndex[P]) releaseSQ(sq *sourceQuerier[P]) { dx.queriers.Put(sq) }
 
 // CollectDistinct gathers up to max distinct live candidate ids for q
 // (max <= 0 means no limit). The returned slice is freshly allocated and
 // owned by the caller; use a DynamicQuerier for the zero-allocation
 // variant.
 func (dx *DynamicIndex[P]) CollectDistinct(q P, max int) []int {
-	qr := dx.acquireQuerier()
-	res, _ := qr.CollectDistinct(q, max)
+	sq := dx.acquireSQ()
+	res, _ := sq.collectDistinct(q, max)
 	var out []int
 	if len(res) > 0 {
 		out = make([]int, len(res))
 		copy(out, res)
 	}
-	dx.releaseQuerier(qr)
+	dx.releaseSQ(sq)
 	return out
+}
+
+// Candidates streams the live ids colliding with q, repetition by
+// repetition across every layer (duplicates across repetitions included),
+// invoking visit for each. If visit returns false the scan stops early.
+// visit runs inside the query's read window: it must not call back into
+// this index's mutating or locking methods, or the scan deadlocks.
+func (dx *DynamicIndex[P]) Candidates(q P, visit func(id int) bool) {
+	sq := dx.acquireSQ()
+	sq.candidates(q, visit)
+	dx.releaseSQ(sq)
 }
 
 // DynamicQuerier is the reusable query scratch of a DynamicIndex,
 // mirroring Querier: an epoch-stamped visited array over global ids, a
-// negated-query buffer, and a reusable output buffer. A DynamicQuerier is
-// not safe for concurrent use; use one per goroutine (QueryBatch hands
-// each worker its own). Steady-state queries allocate nothing unless the
-// global id space grew since the previous query on this querier.
+// negated-query buffer, and reusable candidate/output buffers. A
+// DynamicQuerier is not safe for concurrent use; use one per goroutine
+// (QueryBatch hands each worker its own). Steady-state queries allocate
+// nothing unless the global id space grew since the previous query on
+// this querier.
 type DynamicQuerier[P any] struct {
-	dx      *DynamicIndex[P]
-	visited []uint32
-	epoch   uint32
-	out     []int
-	neg     []float64
-	negOK   bool
+	sourceQuerier[P]
 }
 
 // NewQuerier returns a fresh DynamicQuerier bound to dx.
 func (dx *DynamicIndex[P]) NewQuerier() *DynamicQuerier[P] {
-	return &DynamicQuerier[P]{dx: dx}
-}
-
-// begin opens a query over a global id space of size n: grow the visited
-// array if points were inserted since last use, and advance the epoch
-// (clearing only on uint32 wraparound).
-func (qr *DynamicQuerier[P]) begin(n int) {
-	qr.negOK = false
-	if len(qr.visited) < n {
-		grown := make([]uint32, n)
-		copy(grown, qr.visited)
-		qr.visited = grown
-	}
-	qr.epoch++
-	if qr.epoch == 0 {
-		for i := range qr.visited {
-			qr.visited[i] = 0
-		}
-		qr.epoch = 1
-	}
-}
-
-// gKey returns g_i(q), negating q once per query when repetition i's
-// query hasher supports the pre-negated path.
-func (qr *DynamicQuerier[P]) gKey(i int, q P) uint64 {
-	dx := qr.dx
-	if nh := dx.negG[i]; nh != nil {
-		if !qr.negOK {
-			qr.neg, qr.negOK = negateQuery(qr.neg, q)
-		}
-		if qr.negOK {
-			return nh.HashNeg(qr.neg)
-		}
-	}
-	return dx.pairs[i].G.Hash(q)
+	return &DynamicQuerier[P]{sourceQuerier: *newSourceQuerier[P](dx, 0)}
 }
 
 // CollectDistinct gathers up to max distinct live candidate ids for q
 // (max <= 0 means no limit): per repetition, the query key probes every
-// frozen segment oldest-first and then the memtable, skipping tombstoned
-// ids and deduplicating across repetitions and layers. After a full
-// Compact the candidate order equals that of a static Index over the live
-// points (with ids mapped through the survivors' global ids). The returned
-// slice is owned by the querier and valid only until its next use.
+// frozen segment oldest-first, then every detached memtable, then the
+// live memtable, skipping tombstoned ids and deduplicating across
+// repetitions and layers. The candidate order always equals that of a
+// static Index over the live points (with ids mapped through the
+// survivors' global ids). The returned slice is owned by the querier and
+// valid only until its next use.
 func (qr *DynamicQuerier[P]) CollectDistinct(q P, max int) ([]int, QueryStats) {
-	dx := qr.dx
-	dx.mu.RLock()
-	defer dx.mu.RUnlock()
-	qr.begin(len(dx.points))
-	var stats QueryStats
-	out := qr.out[:0]
-	visited := qr.visited
-	epoch := qr.epoch
-	// take dereferences once outside the hot loops.
-	segments := dx.segments
-	mem := dx.mem
-scan:
-	for i := range dx.pairs {
-		key := qr.gKey(i, q)
-		for _, seg := range segments {
-			for _, local := range seg.lookup(i, key) {
-				stats.Candidates++
-				id := int(seg.globalIDs[local])
-				if dx.dead.Get(id) || visited[id] == epoch {
-					continue
-				}
-				visited[id] = epoch
-				out = append(out, id)
-				stats.Distinct++
-				if max > 0 && len(out) >= max {
-					break scan
-				}
-			}
-		}
-		for _, id32 := range mem.lookup(i, key) {
-			stats.Candidates++
-			id := int(id32)
-			if dx.dead.Get(id) || visited[id] == epoch {
-				continue
-			}
-			visited[id] = epoch
-			out = append(out, id)
-			stats.Distinct++
-			if max > 0 && len(out) >= max {
-				break scan
-			}
-		}
-	}
-	qr.out = out
-	return out, stats
+	return qr.collectDistinct(q, max)
 }
 
 // QueryBatch collects distinct live candidates for every query
 // concurrently, fanning the batch across opts.Workers workers with one
-// pooled DynamicQuerier per worker (so the steady-state batch path does
-// not allocate per query). Mutations and compactions may proceed
+// pooled querier per worker (so the steady-state batch path does not
+// allocate per query). Mutations and compactions may proceed
 // concurrently; each individual query sees a consistent snapshot of the
-// index.
+// index, and its QueryStats aggregate the probes and candidates of every
+// layer — all segments, detached memtables, and the live memtable — for
+// each repetition it executed.
 func (dx *DynamicIndex[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
-	out := make([][]int, len(queries))
-	per := make([]QueryStats, len(queries))
-	wall := runBatchScratch(len(queries), opts, dx.acquireQuerier, dx.releaseQuerier,
-		func(i int, _ *xrand.Rand, qr *DynamicQuerier[P]) {
-			start := time.Now()
-			res, st := qr.CollectDistinct(queries[i], opts.MaxCandidates)
-			if len(res) > 0 {
-				out[i] = make([]int, len(res))
-				copy(out[i], res)
+	return collectBatch[P](dx, queries, opts)
+}
+
+// backgroundCompactor merges segments whenever a freeze pushes the count
+// past MaxSegments, following opts.Policy. It runs until Close.
+func (dx *DynamicIndex[P]) backgroundCompactor() {
+	defer dx.wg.Done()
+	for {
+		select {
+		case <-dx.closed:
+			return
+		case <-dx.compactCh:
+			dx.autoCompact()
+		}
+	}
+}
+
+// autoCompact applies the configured policy until the segment count is
+// within MaxSegments or the policy has no productive merge left.
+func (dx *DynamicIndex[P]) autoCompact() {
+	for {
+		dx.mu.RLock()
+		over := len(dx.segments) > dx.opts.MaxSegments
+		dx.mu.RUnlock()
+		if !over {
+			return
+		}
+		if dx.opts.Policy == CompactTiered {
+			if !dx.compactTieredStep() {
+				return
 			}
-			per[i] = st
-			per[i].Latency = time.Since(start)
-		})
-	return out, per, AggregateStats(per, wall)
+		} else {
+			dx.Compact()
+		}
+	}
+}
+
+// Close stops the background compactor, if one was started. It does not
+// invalidate the index: queries and mutations keep working, pending
+// asynchronous freezes still install, and Compact remains explicitly
+// callable. Close is idempotent.
+func (dx *DynamicIndex[P]) Close() {
+	if dx.compactCh == nil {
+		return
+	}
+	dx.closeOnce.Do(func() {
+		close(dx.closed)
+		dx.wg.Wait()
+	})
 }

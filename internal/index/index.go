@@ -1,29 +1,37 @@
 // Package index implements the paper's Section 6 applications as hash-table
-// data structures built on DSH families:
+// data structures built on DSH families.
 //
-//   - Index: a generic multi-repetition asymmetric LSH index (data points
-//     inserted under h, queries probed under g).
+// Serving is organized around a single candidateSource core (source.go): a
+// per-repetition key probe plus tombstone-aware candidate iteration under
+// stable point ids. Two backends implement it:
+//
+//   - Index: the frozen flat-table backend (table.go) — each repetition is
+//     an open-addressed key array plus a CSR id array built once at
+//     construction, so a probe is one hash, a short linear scan, and one
+//     contiguous []int32 slice.
+//   - DynamicIndex (dynamic.go, memtable.go, segment.go, compact.go): the
+//     mutable, LSM-style backend for churning workloads — a map-layout
+//     memtable absorbs inserts, immutable flat-table segments hold frozen
+//     points, a tombstone bitmap records deletes, freezes run
+//     asynchronously off the structural lock, and compaction merges
+//     retained key columns without re-evaluating any hash function.
+//
+// The query structures are veneers written once over that core and served
+// by either backend (veneer.go):
+//
 //   - AnnulusIndex (Theorems 6.1, 6.2, 6.4): retrieve a point whose
 //     distance/similarity to the query lies in a target interval, with the
 //     8L early-termination rule from the proof of Theorem 6.1.
 //   - RangeReporter (Theorem 6.5): output-sensitive spherical range
 //     reporting with a step-function CPF.
+//   - CollectDistinct / QueryBatch: deduplicated candidate collection,
+//     sequential and concurrent (batch.go).
 //   - Linear-scan baselines and a [41]-style concatenation baseline are in
 //     baseline.go.
 //
-// Storage is the frozen flat-table layout of table.go: each repetition is
-// an open-addressed key array plus a CSR id array built once at
-// construction, so a probe is one hash, a short linear scan, and one
-// contiguous []int32 slice. Query-time scratch (dedup sets, negated-query
-// buffers, output buffers) lives in reusable Querier objects so the
-// steady-state query path performs no heap allocations.
-//
-// DynamicIndex (dynamic.go, memtable.go, segment.go, compact.go) is the
-// mutable, LSM-style variant for churning workloads: a map-layout
-// memtable absorbs inserts, immutable flat-table segments hold frozen
-// points, a tombstone bitmap records deletes, and Compact merges
-// everything back into a single flat segment while points keep stable
-// global ids.
+// Query-time scratch (dedup sets, negated-query buffers, candidate and
+// output buffers) lives in reusable querier objects so the steady-state
+// query path performs no heap allocations on either backend.
 package index
 
 import (
@@ -38,7 +46,7 @@ import (
 // negQueryHasher is implemented by query-side hashers that evaluate an
 // inner hasher on the negated query point (the paper's central asymmetry
 // device; see sphere.NegateQuery and the anti families). HashNeg hashes an
-// already-negated point, letting the index negate a query once per query
+// already-negated point, letting a querier negate a query once per query
 // instead of once per repetition.
 type negQueryHasher interface {
 	HashNeg(neg []float64) uint64
@@ -46,7 +54,10 @@ type negQueryHasher interface {
 
 // Index is a multi-repetition asymmetric hash index: L independent draws
 // (h_i, g_i) from a DSH family; point x is stored in table i under key
-// h_i(x) and a query y probes table i with key g_i(y).
+// h_i(x) and a query y probes table i with key g_i(y). An Index is
+// immutable after construction and therefore safe for unrestricted
+// concurrent querying; it is the frozen backend of the candidateSource
+// core.
 type Index[P any] struct {
 	family core.Family[P]
 	pairs  []core.Pair[P]
@@ -56,8 +67,8 @@ type Index[P any] struct {
 	negG   []negQueryHasher
 	tables []flatTable
 	points []P
-	// queriers pools *Querier scratch for the single-query entry points;
-	// batch paths hand each worker its own Querier.
+	// queriers pools *sourceQuerier scratch for the single-query and batch
+	// entry points.
 	queriers sync.Pool
 }
 
@@ -76,13 +87,13 @@ func newIndexShell[P any](family core.Family[P], L int, points []P) *Index[P] {
 		tables: make([]flatTable, L),
 		points: points,
 	}
-	ix.queriers.New = func() any { return ix.NewQuerier() }
+	ix.queriers.New = func() any { return newSourceQuerier[P](ix, len(ix.points)) }
 	return ix
 }
 
 // negHashers records, per repetition, whether the query-side hasher
 // supports the pre-negated fast path. Called after all pairs are sampled;
-// the static and dynamic indexes share it.
+// the static and dynamic backends share it.
 func negHashers[P any](pairs []core.Pair[P]) []negQueryHasher {
 	out := make([]negQueryHasher, len(pairs))
 	for i, pair := range pairs {
@@ -123,19 +134,30 @@ func (ix *Index[P]) Len() int { return len(ix.points) }
 // Point returns the stored point with the given id.
 func (ix *Index[P]) Point(id int) P { return ix.points[id] }
 
-// acquireQuerier draws a Querier from the pool.
-func (ix *Index[P]) acquireQuerier() *Querier[P] { return ix.queriers.Get().(*Querier[P]) }
+// candidateSource implementation. The Index is immutable, so the read
+// window is free and candidate iteration is a single flat-table lookup per
+// repetition.
 
-// releaseQuerier returns a Querier to the pool.
-func (ix *Index[P]) releaseQuerier(qr *Querier[P]) { ix.queriers.Put(qr) }
+func (ix *Index[P]) srcPairs() []core.Pair[P]  { return ix.pairs }
+func (ix *Index[P]) srcNegG() []negQueryHasher { return ix.negG }
+func (ix *Index[P]) beginRead() int            { return len(ix.points) }
+func (ix *Index[P]) endRead()                  {}
+func (ix *Index[P]) srcPoint(id int) P         { return ix.points[id] }
+
+func (ix *Index[P]) appendCandidates(rep int, key uint64, dst []int32) ([]int32, int) {
+	return append(dst, ix.tables[rep].lookup(key)...), 1
+}
+
+func (ix *Index[P]) acquireSQ() *sourceQuerier[P]   { return ix.queriers.Get().(*sourceQuerier[P]) }
+func (ix *Index[P]) releaseSQ(sq *sourceQuerier[P]) { ix.queriers.Put(sq) }
 
 // Candidates streams the ids colliding with query q, table by table
 // (duplicates across tables included), invoking visit for each. If visit
 // returns false the scan stops early.
 func (ix *Index[P]) Candidates(q P, visit func(id int) bool) {
-	qr := ix.acquireQuerier()
-	qr.Candidates(q, visit)
-	ix.releaseQuerier(qr)
+	sq := ix.acquireSQ()
+	sq.candidates(q, visit)
+	ix.releaseSQ(sq)
 }
 
 // CollectDistinct gathers up to max distinct candidate ids for q
@@ -146,110 +168,40 @@ func (ix *Index[P]) CollectDistinct(q P, max int) []int {
 	return out
 }
 
-// collectDistinct is CollectDistinct plus the candidate/distinct counters;
-// it is the single implementation behind the sequential and batch paths.
+// collectDistinct is CollectDistinct plus the candidate/distinct counters.
 func (ix *Index[P]) collectDistinct(q P, max int) ([]int, QueryStats) {
-	qr := ix.acquireQuerier()
-	res, stats := qr.CollectDistinct(q, max)
+	sq := ix.acquireSQ()
+	res, stats := sq.collectDistinct(q, max)
 	var out []int
 	if len(res) > 0 {
 		out = make([]int, len(res))
 		copy(out, res)
 	}
-	ix.releaseQuerier(qr)
+	ix.releaseSQ(sq)
 	return out, stats
 }
 
 // Querier is a reusable query-scratch object bound to one Index: an
 // epoch-stamped visited array sized to Len() (so deduplication never
 // allocates), a negated-query buffer for NegateQuery-backed families, and
-// a reusable output buffer. A Querier is not safe for concurrent use; use
-// one per goroutine (the batch engine hands each worker its own, and the
-// single-query entry points draw from an internal pool). Steady-state
-// queries through a Querier perform no heap allocations.
+// reusable candidate/output buffers. A Querier is not safe for concurrent
+// use; use one per goroutine (the batch engine hands each worker its own,
+// and the single-query entry points draw from an internal pool).
+// Steady-state queries through a Querier perform no heap allocations.
 type Querier[P any] struct {
-	ix      *Index[P]
-	visited []uint32
-	epoch   uint32
-	out     []int
-	neg     []float64
-	negOK   bool
+	sourceQuerier[P]
 }
 
 // NewQuerier returns a fresh Querier bound to ix.
 func (ix *Index[P]) NewQuerier() *Querier[P] {
-	return &Querier[P]{ix: ix, visited: make([]uint32, len(ix.points))}
-}
-
-// begin opens a new query: advance the visited epoch (clearing the array
-// only on uint32 wraparound) and invalidate the negated-query buffer.
-func (qr *Querier[P]) begin() {
-	qr.negOK = false
-	qr.epoch++
-	if qr.epoch == 0 {
-		for i := range qr.visited {
-			qr.visited[i] = 0
-		}
-		qr.epoch = 1
-	}
-}
-
-// gKey returns g_i(q), negating q once per query (into the reused scratch
-// buffer) when repetition i's query hasher supports the pre-negated path.
-func (qr *Querier[P]) gKey(i int, q P) uint64 {
-	ix := qr.ix
-	if nh := ix.negG[i]; nh != nil {
-		if qr.prepNeg(q) {
-			return nh.HashNeg(qr.neg)
-		}
-	}
-	return ix.pairs[i].G.Hash(q)
-}
-
-// negateQuery fills buf with -q when q is a []float64, reporting success.
-// The returned slice reuses buf's capacity so steady-state negation does
-// not allocate; the static and dynamic queriers share it.
-func negateQuery[P any](buf []float64, q P) ([]float64, bool) {
-	fq, ok := any(q).([]float64)
-	if !ok {
-		return buf, false
-	}
-	if cap(buf) < len(fq) {
-		buf = make([]float64, len(fq))
-	}
-	buf = buf[:len(fq)]
-	for i, v := range fq {
-		buf[i] = -v
-	}
-	return buf, true
-}
-
-// prepNeg fills qr.neg with -q if q is a []float64 and reports success.
-// The negation is computed at most once per query.
-func (qr *Querier[P]) prepNeg(q P) bool {
-	if qr.negOK {
-		return true
-	}
-	neg, ok := negateQuery(qr.neg, q)
-	qr.neg = neg
-	qr.negOK = ok
-	return ok
+	return &Querier[P]{sourceQuerier: *newSourceQuerier[P](ix, len(ix.points))}
 }
 
 // Candidates streams the ids colliding with q exactly like
 // Index.Candidates, using this Querier's scratch for the per-query
 // negated-hash hoisting.
 func (qr *Querier[P]) Candidates(q P, visit func(id int) bool) {
-	qr.negOK = false
-	ix := qr.ix
-	for i := range ix.pairs {
-		key := qr.gKey(i, q)
-		for _, id := range ix.tables[i].lookup(key) {
-			if !visit(int(id)) {
-				return
-			}
-		}
-	}
+	qr.candidates(q, visit)
 }
 
 // CollectDistinct gathers up to max distinct candidate ids for q (max <= 0
@@ -258,36 +210,21 @@ func (qr *Querier[P]) Candidates(q P, visit func(id int) bool) {
 // valid only until its next use; steady-state calls perform no heap
 // allocations.
 func (qr *Querier[P]) CollectDistinct(q P, max int) ([]int, QueryStats) {
-	qr.begin()
-	var stats QueryStats
-	ix := qr.ix
-	out := qr.out[:0]
-	visited := qr.visited
-	epoch := qr.epoch
-scan:
-	for i := range ix.pairs {
-		key := qr.gKey(i, q)
-		for _, id32 := range ix.tables[i].lookup(key) {
-			stats.Candidates++
-			id := int(id32)
-			if visited[id] != epoch {
-				visited[id] = epoch
-				out = append(out, id)
-				stats.Distinct++
-				if max > 0 && len(out) >= max {
-					break scan
-				}
-			}
-		}
-	}
-	qr.out = out
-	return out, stats
+	return qr.collectDistinct(q, max)
 }
 
 // QueryStats reports the work performed by a query.
 type QueryStats struct {
-	// Candidates is the total number of candidate ids scanned, counting
-	// duplicates across repetitions.
+	// Probes is the number of hash-table bucket lookups performed: one per
+	// repetition per storage layer probed. A static Index probes one table
+	// per repetition; a DynamicIndex probes every segment, every detached
+	// read-only memtable, and the live memtable (empty layers are
+	// skipped), so Probes surfaces the layering cost that compaction
+	// removes.
+	Probes int
+	// Candidates is the total number of live candidate ids scanned,
+	// counting duplicates across repetitions. Tombstoned (deleted) ids are
+	// filtered during iteration and never counted.
 	Candidates int
 	// Distinct is the number of distinct candidates seen.
 	Distinct int
@@ -315,132 +252,3 @@ func RepetitionsForCPF(f float64) int {
 	}
 	return int(L)
 }
-
-// AnnulusIndex solves the approximate annulus search problem of
-// Theorem 6.1: given a family whose CPF peaks inside the target interval,
-// a query retrieves collision candidates and returns the first whose
-// distance lies in the report interval, scanning at most 8L candidates.
-type AnnulusIndex[P any] struct {
-	ix *Index[P]
-	// Within reports whether a candidate point lies in the *report*
-	// interval [beta-, beta+] relative to the query.
-	within func(q, x P) bool
-}
-
-// NewAnnulus builds the Theorem 6.1 structure: family should have a CPF
-// peaking inside the target interval; L = ceil(1/f(peak)) repetitions;
-// within decides membership in the report interval.
-func NewAnnulus[P any](rng *xrand.Rand, family core.Family[P], L int, points []P, within func(q, x P) bool) *AnnulusIndex[P] {
-	return &AnnulusIndex[P]{
-		ix:     New(rng, family, L, points),
-		within: within,
-	}
-}
-
-// Query returns the id of some point within the report interval of q, or
-// -1 if none was found among the first 8L candidates (the Markov-bound
-// early termination from the proof of Theorem 6.1).
-func (ai *AnnulusIndex[P]) Query(q P) (int, QueryStats) {
-	qr := ai.ix.acquireQuerier()
-	id, stats := ai.QueryWith(qr, q)
-	ai.ix.releaseQuerier(qr)
-	return id, stats
-}
-
-// QueryWith is Query with an explicit Querier, for callers that manage
-// their own per-goroutine scratch. The candidate loop is written out
-// directly (rather than through Candidates' visit callback) so the steady
-// state allocates nothing.
-func (ai *AnnulusIndex[P]) QueryWith(qr *Querier[P], q P) (int, QueryStats) {
-	if qr.ix != ai.ix {
-		panic("index: Querier bound to a different index")
-	}
-	var stats QueryStats
-	ix := ai.ix
-	limit := 8 * ix.L()
-	qr.negOK = false
-	for i := range ix.pairs {
-		key := qr.gKey(i, q)
-		for _, id32 := range ix.tables[i].lookup(key) {
-			stats.Candidates++
-			stats.Verified++
-			id := int(id32)
-			if ai.within(q, ix.points[id]) {
-				return id, stats
-			}
-			if stats.Candidates >= limit {
-				return -1, stats
-			}
-		}
-	}
-	return -1, stats
-}
-
-// Index exposes the underlying index (for inspection in experiments).
-func (ai *AnnulusIndex[P]) Index() *Index[P] { return ai.ix }
-
-// RangeReporter solves approximate spherical range reporting
-// (Theorem 6.5): report every point within the target range of the query,
-// each with probability >= 1 - (1-fmin)^L, verifying candidates and
-// deduplicating across repetitions.
-type RangeReporter[P any] struct {
-	ix *Index[P]
-	// inRange reports whether x lies within the report radius r+ of q.
-	inRange func(q, x P) bool
-}
-
-// NewRangeReporter builds the reporting structure with L = ceil(1/fmin)
-// repetitions, where fmin is the minimum CPF value over the target range.
-func NewRangeReporter[P any](rng *xrand.Rand, family core.Family[P], L int, points []P, inRange func(q, x P) bool) *RangeReporter[P] {
-	return &RangeReporter[P]{
-		ix:      New(rng, family, L, points),
-		inRange: inRange,
-	}
-}
-
-// Query returns the distinct ids of reported points within range of q.
-// Every candidate is verified once, so the work is Candidates hash probes
-// plus Distinct distance evaluations. The returned slice is owned by the
-// caller; AppendQuery is the allocation-free variant.
-func (rr *RangeReporter[P]) Query(q P) ([]int, QueryStats) {
-	return rr.AppendQuery(nil, q)
-}
-
-// AppendQuery appends the distinct ids of reported points within range of
-// q to dst and returns the extended slice. Reusing dst across queries
-// makes the steady-state reporting path allocation-free.
-func (rr *RangeReporter[P]) AppendQuery(dst []int, q P) ([]int, QueryStats) {
-	qr := rr.ix.acquireQuerier()
-	dst, stats := rr.appendQueryWith(qr, dst, q)
-	rr.ix.releaseQuerier(qr)
-	return dst, stats
-}
-
-// appendQueryWith is AppendQuery against an explicit Querier; the batch
-// path reuses one Querier per worker through it.
-func (rr *RangeReporter[P]) appendQueryWith(qr *Querier[P], dst []int, q P) ([]int, QueryStats) {
-	qr.begin()
-	var stats QueryStats
-	ix := rr.ix
-	visited := qr.visited
-	epoch := qr.epoch
-	for i := range ix.pairs {
-		key := qr.gKey(i, q)
-		for _, id32 := range ix.tables[i].lookup(key) {
-			stats.Candidates++
-			id := int(id32)
-			if visited[id] != epoch {
-				visited[id] = epoch
-				stats.Distinct++
-				stats.Verified++
-				if rr.inRange(q, ix.points[id]) {
-					dst = append(dst, id)
-				}
-			}
-		}
-	}
-	return dst, stats
-}
-
-// Index exposes the underlying index.
-func (rr *RangeReporter[P]) Index() *Index[P] { return rr.ix }

@@ -7,8 +7,10 @@ package index
 // per-repetition keys in column order, so freezing into a segment is a
 // pure buildFlatTable pass with no rehashing of the points.
 //
-// A memtable is not safe for concurrent use; the DynamicIndex guards it
-// with its structural lock.
+// A memtable is not safe for concurrent mutation; the DynamicIndex guards
+// it with its structural lock. Once detached by an asynchronous freeze it
+// is never mutated again, so it can serve lock-protected reads while its
+// flat tables build off-lock.
 type memtable struct {
 	// tables[i] maps the repetition-i data-side key h_i(x) to the global
 	// ids inserted under it, in insertion order.
@@ -52,11 +54,14 @@ func (mt *memtable) lookup(rep int, key uint64) []int32 {
 }
 
 // freeze converts the buffered points into an immutable segment using the
-// retained key columns (no rehashing). The memtable must not be used
-// afterwards; the caller replaces it with a fresh one.
+// retained key columns (no rehashing); the columns are handed to the
+// segment so later merges stay rehash-free too. The memtable must not be
+// mutated afterwards; the caller replaces it with a fresh one (a detached
+// memtable may keep serving reads until the segment is installed).
 func (mt *memtable) freeze() *segment {
 	seg := &segment{
 		tables:    make([]flatTable, len(mt.tables)),
+		keys:      mt.keys,
 		globalIDs: mt.ids,
 	}
 	for i := range mt.tables {

@@ -7,12 +7,19 @@ import "dsh/internal/core"
 // memtable (or through a merge). A segment stores one flatTable per
 // repetition over *local* positions 0..len-1 plus the mapping from local
 // position to the stable global point id, so points keep their ids across
-// freezes and merges. Segments are never mutated after construction —
-// deletes are recorded in the DynamicIndex tombstone bitmap and applied
-// during candidate iteration, and compaction replaces whole segments.
+// freezes and merges. It also retains the raw per-repetition key columns
+// the tables were built from, which is what lets compaction merge
+// segments by concatenating columns instead of re-hashing points.
+// Segments are never mutated after construction — deletes are recorded in
+// the DynamicIndex tombstone bitmap and applied during candidate
+// iteration, and merges replace whole segments.
 type segment struct {
 	// tables[i] buckets local positions by the repetition-i data-side key.
 	tables []flatTable
+	// keys[i][j] is h_i of the point at local position j — the column
+	// tables[i] was built from, retained so merges never re-evaluate a
+	// hash function.
+	keys [][]uint64
 	// globalIDs maps local position -> global point id, in insertion
 	// order. Global ids are strictly increasing within a segment, and
 	// segments are kept oldest-first, so concatenating segment id lists
@@ -30,22 +37,25 @@ func (s *segment) lookup(rep int, key uint64) []int32 {
 }
 
 // buildSegment freezes points (carrying their global ids) into a segment
-// by hashing every point with each repetition's data-side hasher. The
-// pairs are the index's shared repetition draws: reusing them across
-// segments is what lets a query hash once per repetition and probe every
-// segment with the same key, preserving the family's collision-probability
-// semantics exactly.
+// by hashing every point with each repetition's data-side hasher — the
+// only place in the dynamic subsystem outside Insert that evaluates hash
+// functions. The pairs are the index's shared repetition draws: reusing
+// them across segments is what lets a query hash once per repetition and
+// probe every layer with the same key, preserving the family's
+// collision-probability semantics exactly.
 func buildSegment[P any](pairs []core.Pair[P], points []P, globalIDs []int32) *segment {
 	seg := &segment{
 		tables:    make([]flatTable, len(pairs)),
+		keys:      make([][]uint64, len(pairs)),
 		globalIDs: globalIDs,
 	}
-	keys := make([]uint64, len(points))
 	for i, pair := range pairs {
+		keys := make([]uint64, len(points))
 		h := pair.H
 		for j, p := range points {
 			keys[j] = h.Hash(p)
 		}
+		seg.keys[i] = keys
 		seg.tables[i] = buildFlatTable(keys)
 	}
 	return seg

@@ -1,0 +1,278 @@
+package index
+
+import (
+	"dsh/internal/core"
+)
+
+// candidateSource is the storage abstraction behind every query veneer in
+// this package. It is the paper's serving contract reduced to two
+// operations — hash the query once per repetition, then iterate the
+// colliding ids of that repetition under stable point ids — so that the
+// Section 6 structures (distinct-candidate collection, annulus search,
+// range reporting, concurrent batching) are written once and instantiated
+// over either backend:
+//
+//   - *Index: the frozen flat-table layout (one immutable table per
+//     repetition, ids 0..Len-1).
+//   - *DynamicIndex: the segmented LSM layout (frozen segments + detached
+//     read-only memtables + the live memtable, global ids, tombstones
+//     applied during iteration).
+//
+// Thread-safety contract: srcPairs and srcNegG return immutable state and
+// may be called at any time. appendCandidates and srcPoint may only be
+// called between beginRead and endRead, which bracket exactly one query
+// and pin a consistent snapshot of the backend (the static Index is
+// immutable, so its beginRead is free; the DynamicIndex holds its
+// structural read-lock for the duration). Implementations must allow any
+// number of concurrent beginRead..endRead windows; mutators may block for
+// their duration but must never corrupt an open window.
+type candidateSource[P any] interface {
+	// srcPairs returns the L repetition draws (h_i, g_i), sampled once at
+	// construction and immutable afterwards.
+	srcPairs() []core.Pair[P]
+	// srcNegG returns the per-repetition pre-negated query hashers (nil
+	// entries where the fast path is unavailable), aligned with srcPairs.
+	srcNegG() []negQueryHasher
+	// beginRead opens a read-consistent snapshot for one query and returns
+	// the exclusive upper bound of the id space (ids seen during the query
+	// are < the returned value). Every beginRead must be paired with
+	// endRead.
+	beginRead() int
+	// endRead releases the snapshot taken by beginRead.
+	endRead()
+	// appendCandidates appends the live ids colliding with key in
+	// repetition rep to dst (tombstoned ids already filtered, duplicates
+	// across repetitions included — deduplication is the caller's job) and
+	// returns the extended slice plus the number of per-layer bucket
+	// lookups performed. Candidate order is the backend's canonical
+	// insertion order: for the dynamic backend that is ascending global-id
+	// order, which is exactly the order a static Index over the same live
+	// points produces.
+	appendCandidates(rep int, key uint64, dst []int32) ([]int32, int)
+	// srcPoint returns the point stored under id, valid only inside a
+	// beginRead..endRead window.
+	srcPoint(id int) P
+	// acquireSQ draws a reusable query scratch bound to this source from
+	// the backend's pool; releaseSQ returns it. Used by the single-query
+	// and batch entry points so steady-state serving does not allocate.
+	acquireSQ() *sourceQuerier[P]
+	releaseSQ(sq *sourceQuerier[P])
+}
+
+// sourceQuerier is the reusable query scratch shared by every veneer: an
+// epoch-stamped visited array over the id space (deduplication without
+// clearing), a candidate buffer refilled per repetition probe, a negated
+// query buffer for NegateQuery-backed families, and a reusable output
+// buffer. The public Querier and DynamicQuerier types wrap it.
+//
+// A sourceQuerier is not safe for concurrent use; use one per goroutine.
+// Steady-state queries through a warmed sourceQuerier perform no heap
+// allocations (the dynamic backend may grow the visited array when the id
+// space grew since the querier's last use).
+type sourceQuerier[P any] struct {
+	src   candidateSource[P]
+	pairs []core.Pair[P]
+	negG  []negQueryHasher
+
+	visited []uint32
+	epoch   uint32
+	out     []int
+	buf     []int32
+	neg     []float64
+	negOK   bool
+}
+
+// newSourceQuerier returns a fresh scratch bound to src with a visited
+// array pre-sized for n ids (it grows on demand if the id space grows).
+func newSourceQuerier[P any](src candidateSource[P], n int) *sourceQuerier[P] {
+	return &sourceQuerier[P]{
+		src:     src,
+		pairs:   src.srcPairs(),
+		negG:    src.srcNegG(),
+		visited: make([]uint32, n),
+	}
+}
+
+// begin opens a new query over an id space of size n: grow the visited
+// array if needed and advance the epoch (clearing the array only on uint32
+// wraparound).
+func (sq *sourceQuerier[P]) begin(n int) {
+	sq.negOK = false
+	if len(sq.visited) < n {
+		grown := make([]uint32, n)
+		copy(grown, sq.visited)
+		sq.visited = grown
+	}
+	sq.epoch++
+	if sq.epoch == 0 {
+		for i := range sq.visited {
+			sq.visited[i] = 0
+		}
+		sq.epoch = 1
+	}
+}
+
+// negateQuery fills buf with -q when q is a []float64, reporting success.
+// The returned slice reuses buf's capacity so steady-state negation does
+// not allocate.
+func negateQuery[P any](buf []float64, q P) ([]float64, bool) {
+	fq, ok := any(q).([]float64)
+	if !ok {
+		return buf, false
+	}
+	if cap(buf) < len(fq) {
+		buf = make([]float64, len(fq))
+	}
+	buf = buf[:len(fq)]
+	for i, v := range fq {
+		buf[i] = -v
+	}
+	return buf, true
+}
+
+// prepNeg fills sq.neg with -q if q is a []float64 and reports success.
+// The negation is computed at most once per query.
+func (sq *sourceQuerier[P]) prepNeg(q P) bool {
+	if sq.negOK {
+		return true
+	}
+	sq.neg, sq.negOK = negateQuery(sq.neg, q)
+	return sq.negOK
+}
+
+// gKey returns g_i(q), negating q once per query (into the reused scratch
+// buffer) when repetition i's query hasher supports the pre-negated path.
+func (sq *sourceQuerier[P]) gKey(i int, q P) uint64 {
+	if nh := sq.negG[i]; nh != nil {
+		if sq.prepNeg(q) {
+			return nh.HashNeg(sq.neg)
+		}
+	}
+	return sq.pairs[i].G.Hash(q)
+}
+
+// candidates streams the live ids colliding with q, repetition by
+// repetition (duplicates across repetitions included), invoking visit for
+// each. If visit returns false the scan stops early.
+func (sq *sourceQuerier[P]) candidates(q P, visit func(id int) bool) {
+	src := sq.src
+	src.beginRead()
+	defer src.endRead()
+	sq.negOK = false
+	for i := range sq.pairs {
+		key := sq.gKey(i, q)
+		buf, _ := src.appendCandidates(i, key, sq.buf[:0])
+		sq.buf = buf
+		for _, id := range buf {
+			if !visit(int(id)) {
+				return
+			}
+		}
+	}
+}
+
+// collectDistinct gathers up to max distinct live candidate ids for q
+// (max <= 0 means no limit), deduplicating across repetitions while
+// preserving first-occurrence order. The returned slice is owned by the
+// querier and valid only until its next use.
+//
+// Stats contract: every repetition probe that runs is counted in full —
+// Probes counts its bucket lookups across all layers and Candidates all
+// live ids it scanned — even when the max cutoff stops the distinct
+// collection partway through the probe's buffer, so per-query stats always
+// aggregate the work of whole repetitions across every segment and the
+// memtable.
+func (sq *sourceQuerier[P]) collectDistinct(q P, max int) ([]int, QueryStats) {
+	src := sq.src
+	n := src.beginRead()
+	defer src.endRead()
+	sq.begin(n)
+	var stats QueryStats
+	out := sq.out[:0]
+	visited := sq.visited
+	epoch := sq.epoch
+scan:
+	for i := range sq.pairs {
+		key := sq.gKey(i, q)
+		buf, probes := src.appendCandidates(i, key, sq.buf[:0])
+		sq.buf = buf
+		stats.Probes += probes
+		stats.Candidates += len(buf)
+		for _, id32 := range buf {
+			id := int(id32)
+			if visited[id] != epoch {
+				visited[id] = epoch
+				out = append(out, id)
+				stats.Distinct++
+				if max > 0 && len(out) >= max {
+					break scan
+				}
+			}
+		}
+	}
+	sq.out = out
+	return out, stats
+}
+
+// annulusQuery runs the Theorem 6.1 query algorithm against the source:
+// scan candidates in repetition order, verify each with within, return the
+// first hit, and give up after 8L candidates (the Markov-bound early
+// termination from the proof of Theorem 6.1).
+func (sq *sourceQuerier[P]) annulusQuery(q P, within func(q, x P) bool) (int, QueryStats) {
+	src := sq.src
+	limit := 8 * len(sq.pairs)
+	src.beginRead()
+	defer src.endRead()
+	sq.negOK = false
+	var stats QueryStats
+	for i := range sq.pairs {
+		key := sq.gKey(i, q)
+		buf, probes := src.appendCandidates(i, key, sq.buf[:0])
+		sq.buf = buf
+		stats.Probes += probes
+		for _, id32 := range buf {
+			stats.Candidates++
+			stats.Verified++
+			id := int(id32)
+			if within(q, src.srcPoint(id)) {
+				return id, stats
+			}
+			if stats.Candidates >= limit {
+				return -1, stats
+			}
+		}
+	}
+	return -1, stats
+}
+
+// appendRange runs the Theorem 6.5 reporting algorithm against the source:
+// verify every distinct candidate once with inRange and append the ids
+// that qualify to dst, returning the extended slice.
+func (sq *sourceQuerier[P]) appendRange(dst []int, q P, inRange func(q, x P) bool) ([]int, QueryStats) {
+	src := sq.src
+	n := src.beginRead()
+	defer src.endRead()
+	sq.begin(n)
+	var stats QueryStats
+	visited := sq.visited
+	epoch := sq.epoch
+	for i := range sq.pairs {
+		key := sq.gKey(i, q)
+		buf, probes := src.appendCandidates(i, key, sq.buf[:0])
+		sq.buf = buf
+		stats.Probes += probes
+		stats.Candidates += len(buf)
+		for _, id32 := range buf {
+			id := int(id32)
+			if visited[id] != epoch {
+				visited[id] = epoch
+				stats.Distinct++
+				stats.Verified++
+				if inRange(q, src.srcPoint(id)) {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst, stats
+}

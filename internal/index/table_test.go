@@ -246,10 +246,11 @@ func TestQueryPathZeroAlloc(t *testing.T) {
 	}
 
 	rr := NewRangeReporter(rng, fam, L, pts, within)
-	dst, _ := rr.AppendQuery(nil, q)
+	rqr := rr.Index().NewQuerier()
+	dst, _ := rr.AppendQueryWith(rqr, nil, q)
 	dst = dst[:0]
-	if allocs := testing.AllocsPerRun(100, func() { dst, _ = rr.AppendQuery(dst[:0], q) }); allocs != 0 {
-		t.Errorf("RangeReporter.AppendQuery allocates %.1f/op, want 0", allocs)
+	if allocs := testing.AllocsPerRun(100, func() { dst, _ = rr.AppendQueryWith(rqr, dst[:0], q) }); allocs != 0 {
+		t.Errorf("RangeReporter.AppendQueryWith allocates %.1f/op, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,156 @@
+// Query veneers: the Section 6 search structures written once over the
+// candidateSource core and instantiated over either backend. A veneer
+// holds no storage of its own — it binds a predicate to a source, so the
+// same AnnulusIndex/RangeReporter type serves a frozen Index and a
+// churning DynamicIndex with identical semantics (and, for identical live
+// points and rng streams, identical results).
+package index
+
+import (
+	"dsh/internal/core"
+	"dsh/internal/xrand"
+)
+
+// AnnulusIndex solves the approximate annulus search problem of
+// Theorem 6.1: given a family whose CPF peaks inside the target interval,
+// a query retrieves collision candidates and returns the first whose
+// distance lies in the report interval, scanning at most 8L candidates.
+//
+// An AnnulusIndex is safe for concurrent use whenever its backend is: the
+// static backend is immutable, and the dynamic backend may absorb
+// concurrent Inserts, Deletes and compactions while queries run. The
+// within predicate is called inside the query's read window — over a
+// dynamic backend it must not call back into the index's mutating or
+// locking methods (Insert, Delete, Flush, Compact, Len, Point, ...), or
+// the query deadlocks; compare points using only the two arguments.
+type AnnulusIndex[P any] struct {
+	src candidateSource[P]
+	// within reports whether a candidate point lies in the *report*
+	// interval [beta-, beta+] relative to the query.
+	within func(q, x P) bool
+}
+
+// NewAnnulus builds the Theorem 6.1 structure over a fresh static index:
+// family should have a CPF peaking inside the target interval;
+// L = ceil(1/f(peak)) repetitions; within decides membership in the report
+// interval.
+func NewAnnulus[P any](rng *xrand.Rand, family core.Family[P], L int, points []P, within func(q, x P) bool) *AnnulusIndex[P] {
+	return &AnnulusIndex[P]{src: New(rng, family, L, points), within: within}
+}
+
+// NewDynamicAnnulus wraps an existing DynamicIndex in the Theorem 6.1
+// query algorithm. The veneer shares the backend's storage: Inserts,
+// Deletes and compactions through dx are visible to subsequent queries
+// immediately, and several veneers may wrap one backend.
+func NewDynamicAnnulus[P any](dx *DynamicIndex[P], within func(q, x P) bool) *AnnulusIndex[P] {
+	if dx == nil {
+		panic("index: dynamic index must be non-nil")
+	}
+	return &AnnulusIndex[P]{src: dx, within: within}
+}
+
+// Query returns the id of some point within the report interval of q, or
+// -1 if none was found among the first 8L candidates (the Markov-bound
+// early termination from the proof of Theorem 6.1).
+func (ai *AnnulusIndex[P]) Query(q P) (int, QueryStats) {
+	sq := ai.src.acquireSQ()
+	id, stats := sq.annulusQuery(q, ai.within)
+	ai.src.releaseSQ(sq)
+	return id, stats
+}
+
+// QueryWith is Query with an explicit Querier, for callers over a static
+// backend that manage their own per-goroutine scratch. The steady state
+// allocates nothing.
+func (ai *AnnulusIndex[P]) QueryWith(qr *Querier[P], q P) (int, QueryStats) {
+	if qr.src != ai.src {
+		panic("index: Querier bound to a different index")
+	}
+	return qr.annulusQuery(q, ai.within)
+}
+
+// Index exposes the static backend (for inspection in experiments), or
+// nil when the veneer is backed by a DynamicIndex.
+func (ai *AnnulusIndex[P]) Index() *Index[P] {
+	ix, _ := ai.src.(*Index[P])
+	return ix
+}
+
+// Dynamic exposes the dynamic backend, or nil when the veneer is backed
+// by a static Index.
+func (ai *AnnulusIndex[P]) Dynamic() *DynamicIndex[P] {
+	dx, _ := ai.src.(*DynamicIndex[P])
+	return dx
+}
+
+// RangeReporter solves approximate spherical range reporting
+// (Theorem 6.5): report every point within the target range of the query,
+// each with probability >= 1 - (1-fmin)^L, verifying candidates and
+// deduplicating across repetitions.
+//
+// A RangeReporter is safe for concurrent use whenever its backend is, and
+// its inRange predicate runs inside the query's read window — over a
+// dynamic backend it must not call back into the index; see AnnulusIndex.
+type RangeReporter[P any] struct {
+	src candidateSource[P]
+	// inRange reports whether x lies within the report radius r+ of q.
+	inRange func(q, x P) bool
+}
+
+// NewRangeReporter builds the reporting structure over a fresh static
+// index with L = ceil(1/fmin) repetitions, where fmin is the minimum CPF
+// value over the target range.
+func NewRangeReporter[P any](rng *xrand.Rand, family core.Family[P], L int, points []P, inRange func(q, x P) bool) *RangeReporter[P] {
+	return &RangeReporter[P]{src: New(rng, family, L, points), inRange: inRange}
+}
+
+// NewDynamicRangeReporter wraps an existing DynamicIndex in the
+// Theorem 6.5 reporting algorithm; mutations through dx are visible to
+// subsequent queries immediately.
+func NewDynamicRangeReporter[P any](dx *DynamicIndex[P], inRange func(q, x P) bool) *RangeReporter[P] {
+	if dx == nil {
+		panic("index: dynamic index must be non-nil")
+	}
+	return &RangeReporter[P]{src: dx, inRange: inRange}
+}
+
+// Query returns the distinct ids of reported points within range of q.
+// Every candidate is verified once, so the work is Probes bucket lookups
+// plus Distinct distance evaluations. The returned slice is owned by the
+// caller; AppendQuery is the allocation-free variant.
+func (rr *RangeReporter[P]) Query(q P) ([]int, QueryStats) {
+	return rr.AppendQuery(nil, q)
+}
+
+// AppendQuery appends the distinct ids of reported points within range of
+// q to dst and returns the extended slice. Reusing dst across queries
+// makes the steady-state reporting path allocation-free.
+func (rr *RangeReporter[P]) AppendQuery(dst []int, q P) ([]int, QueryStats) {
+	sq := rr.src.acquireSQ()
+	dst, stats := sq.appendRange(dst, q, rr.inRange)
+	rr.src.releaseSQ(sq)
+	return dst, stats
+}
+
+// AppendQueryWith is AppendQuery with an explicit Querier, for callers
+// over a static backend that manage their own per-goroutine scratch.
+func (rr *RangeReporter[P]) AppendQueryWith(qr *Querier[P], dst []int, q P) ([]int, QueryStats) {
+	if qr.src != rr.src {
+		panic("index: Querier bound to a different index")
+	}
+	return qr.appendRange(dst, q, rr.inRange)
+}
+
+// Index exposes the static backend, or nil when the veneer is backed by a
+// DynamicIndex.
+func (rr *RangeReporter[P]) Index() *Index[P] {
+	ix, _ := rr.src.(*Index[P])
+	return ix
+}
+
+// Dynamic exposes the dynamic backend, or nil when the veneer is backed
+// by a static Index.
+func (rr *RangeReporter[P]) Dynamic() *DynamicIndex[P] {
+	dx, _ := rr.src.(*DynamicIndex[P])
+	return dx
+}
