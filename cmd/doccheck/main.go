@@ -1,0 +1,154 @@
+// Command doccheck fails when any exported identifier in the given
+// packages lacks a godoc comment. It walks the non-test Go files of each
+// package directory and reports every exported type, function, method,
+// const and var declared without a doc comment (grouped const/var blocks
+// count as documented when the block or the individual spec is).
+//
+// Usage:
+//
+//	go run ./cmd/doccheck ./internal/index [more package dirs...]
+//
+// CI runs it over internal/index so the serving core's concurrency
+// contracts stay written down next to the code they govern.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir> [more dirs...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		missing, err := check(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+		bad += len(missing)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) without a doc comment\n", bad)
+		os.Exit(1)
+	}
+}
+
+// check parses the non-test files of one package directory and returns a
+// description of every exported identifier missing a doc comment.
+func check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc.Text() == "" && exportedRecv(d) {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, funcName(d))
+					}
+				case *ast.GenDecl:
+					blockDoc := d.Doc.Text() != ""
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && !blockDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							// A const/var block doc or a per-spec doc or
+							// trailing line comment all count.
+							if blockDoc || s.Doc.Text() != "" || s.Comment.Text() != "" {
+								continue
+							}
+							for _, name := range s.Names {
+								if name.IsExported() {
+									report(name.Pos(), kindOf(d.Tok), name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// exportedRecv reports whether the function is free-standing or its
+// receiver's base type is exported: methods on unexported types are not
+// part of the package API.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcName renders Method names as Recv.Method for readable reports.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.Name + "." + d.Name.Name
+		default:
+			return d.Name.Name
+		}
+	}
+}
+
+// kindOf maps the declaration token to a report label.
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -33,6 +33,13 @@ type churnConfig struct {
 	// Insert builds the segment under the lock) or "async" (detach and
 	// build off-lock).
 	Freeze string
+	// Shards is the number of ShardedIndex shards; values > 1 (or
+	// Writers > 1) switch the mode to the multi-writer benchmark, which
+	// also runs a single-shard baseline for comparison.
+	Shards int
+	// Writers is the number of concurrent insert/delete goroutines in the
+	// multi-writer benchmark.
+	Writers int
 }
 
 // dynamicOptions translates the string flags into index options.
@@ -67,6 +74,9 @@ func runChurn(w io.Writer, cfg churnConfig) error {
 	opts, err := cfg.dynamicOptions()
 	if err != nil {
 		return err
+	}
+	if cfg.Shards > 1 || cfg.Writers > 1 {
+		return runShardedChurn(w, cfg, opts)
 	}
 	rng := xrand.New(cfg.Seed)
 	fam := core.Power[[]float64](sphere.SimHash(cfg.Dim), 6)

@@ -66,6 +66,8 @@ func main() {
 	dim := flag.Int("dim", 24, "throughput/churn: dimension")
 	policy := flag.String("policy", "all", "churn: background compaction policy (all or tiered)")
 	freeze := flag.String("freeze", "inline", "churn: memtable freeze mode (inline or async)")
+	shards := flag.Int("shards", 1, "churn: ShardedIndex shard count (>1 runs the multi-writer benchmark with a single-shard baseline)")
+	writers := flag.Int("writers", 1, "churn: concurrent insert/delete goroutines (multi-writer benchmark)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dshbench [flags] [experiment...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(names(), " "))
@@ -80,6 +82,10 @@ func main() {
 		}
 	}
 	if *churn {
+		if *shards < 1 || *writers < 1 {
+			fmt.Fprintln(os.Stderr, "dshbench: -shards and -writers must be positive")
+			os.Exit(2)
+		}
 		err := runChurn(os.Stdout, churnConfig{
 			Points:    *points,
 			Queries:   *queries,
@@ -89,6 +95,8 @@ func main() {
 			Seed:      *seed,
 			Policy:    *policy,
 			Freeze:    *freeze,
+			Shards:    *shards,
+			Writers:   *writers,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dshbench: %v\n", err)

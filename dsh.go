@@ -302,6 +302,67 @@ func NewDynamicIndex[P any](rng *Rand, fam Family[P], L int, points []P, opts Dy
 	return index.NewDynamic(rng, fam, L, points, opts)
 }
 
+// ShardedIndex is the multi-writer serving core: K independent
+// DynamicIndex shards — each with its own memtable, segment list, freezer,
+// compaction policy and locks — sharing one set of L repetition draws, so
+// inserts and deletes on different shards never contend while queries keep
+// the exact collision-probability semantics (and candidate/distinct
+// counts) of a single DynamicIndex over the same live points. Points are
+// partitioned by global id: id g lives on shard g mod K.
+type ShardedIndex[P any] = index.ShardedIndex[P]
+
+// ShardOptions configures a ShardedIndex: the shard count plus the
+// DynamicOptions applied to every shard.
+type ShardOptions = index.ShardOptions
+
+// NewShardedDynamicIndex builds a sharded dynamic index over the initial
+// points (global ids 0..len-1, point i on shard i mod Shards) with L
+// repetitions of fam shared by every shard. It consumes rng exactly like
+// NewIndex and NewDynamicIndex, so sharded, single-shard and static
+// indexes seeded identically share their repetition draws. It panics with
+// a clear message when fam is nil, L <= 0, or opts.Shards <= 0.
+func NewShardedDynamicIndex[P any](rng *Rand, fam Family[P], L int, points []P, opts ShardOptions) *ShardedIndex[P] {
+	return index.NewSharded(rng, fam, L, points, opts)
+}
+
+// Snapshot is an immutable, point-in-time view of a DynamicIndex: queries
+// and scans over it are lock-free and observe one consistent id set while
+// the live index keeps absorbing inserts, deletes and compactions. Obtain
+// one with DynamicIndex.Snapshot; release it with Release when done.
+type Snapshot[P any] = index.Snapshot[P]
+
+// ShardedSnapshot is the sharded counterpart of Snapshot: one pinned
+// per-shard view per shard, unified under the global-id arithmetic.
+// Obtain one with ShardedIndex.Snapshot.
+type ShardedSnapshot[P any] = index.ShardedSnapshot[P]
+
+// SnapshotQuerier is the reusable per-goroutine query scratch of a
+// Snapshot or ShardedSnapshot; obtain one with their NewQuerier methods.
+type SnapshotQuerier[P any] = index.SnapshotQuerier[P]
+
+// ShardedQuerier is the reusable per-goroutine query scratch of a
+// ShardedIndex; obtain one with ShardedIndex.NewQuerier.
+type ShardedQuerier[P any] = index.ShardedQuerier[P]
+
+// Source is a serving backend handle: every index backend in this package
+// (Index, DynamicIndex, ShardedIndex, Snapshot, ShardedSnapshot)
+// satisfies it, and the Over constructors bind predicate veneers to one.
+type Source[P any] = index.Source[P]
+
+// NewAnnulusIndexOver wraps any serving backend — static, dynamic,
+// sharded, or a snapshot of either — in the Theorem 6.1 annulus-search
+// algorithm.
+func NewAnnulusIndexOver[P any](src Source[P], within func(q, x P) bool) *AnnulusIndex[P] {
+	return index.NewAnnulusOver(src, within)
+}
+
+// NewRangeReporterOver wraps any serving backend — static, dynamic,
+// sharded, or a snapshot of either — in the Theorem 6.5 reporting
+// algorithm.
+func NewRangeReporterOver[P any](src Source[P], inRange func(q, x P) bool) *RangeReporter[P] {
+	return index.NewRangeReporterOver(src, inRange)
+}
+
 // Querier is a reusable query-scratch object bound to one Index: an
 // epoch-stamped visited array for deduplication, a negated-query buffer,
 // and a reusable output buffer. Obtain one with Index.NewQuerier; a

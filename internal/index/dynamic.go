@@ -94,8 +94,9 @@ type DynamicIndex[P any] struct {
 	// exclusively.
 	mu sync.RWMutex
 	// points holds every point ever inserted, indexed by global id. It is
-	// append-only: elements below len are immutable, so merges and
-	// veneers can read snapshots of the slice header.
+	// append-only: elements below len are immutable, so merges, veneers
+	// and snapshots can read pinned copies of the slice header without
+	// holding mu.
 	points   []P
 	segments []*segment
 	// frozen holds detached, read-only memtables awaiting their
@@ -113,6 +114,11 @@ type DynamicIndex[P any] struct {
 	// makes double-Delete detection trivial.
 	dead bitvec.Bitmap
 	live int
+	// epoch counts visible mutations (Insert and successful Delete).
+	// Snapshots capture it, so Epoch comparison detects staleness;
+	// structural rewrites (freezes, merges) preserve the live set and do
+	// not advance it.
+	epoch uint64
 
 	// mergeMu serializes structural rewrites; see the type comment.
 	mergeMu sync.Mutex
@@ -138,17 +144,27 @@ func NewDynamic[P any](rng *xrand.Rand, family core.Family[P], L int, points []P
 	if L <= 0 {
 		panic("index: repetitions must be positive")
 	}
+	pairs := make([]core.Pair[P], L)
+	for i := range pairs {
+		pairs[i] = family.Sample(rng)
+	}
+	return newDynamicFromPairs(pairs, negHashers(pairs), points, opts)
+}
+
+// newDynamicFromPairs builds a dynamic index around already-sampled
+// repetition draws. It is the shared constructor tail of NewDynamic and
+// NewSharded: a ShardedIndex hands the same pairs slice to every shard, so
+// a query hashes once per repetition and probes every shard with the same
+// key.
+func newDynamicFromPairs[P any](pairs []core.Pair[P], negG []negQueryHasher, points []P, opts DynamicOptions) *DynamicIndex[P] {
 	dx := &DynamicIndex[P]{
-		pairs:  make([]core.Pair[P], L),
+		pairs:  pairs,
+		negG:   negG,
 		opts:   opts.withDefaults(),
 		points: append([]P(nil), points...),
-		mem:    newMemtable(L),
+		mem:    newMemtable(len(pairs)),
 		live:   len(points),
 	}
-	for i := range dx.pairs {
-		dx.pairs[i] = family.Sample(rng)
-	}
-	dx.negG = negHashers(dx.pairs)
 	if len(dx.points) > 0 {
 		ids := make([]int32, len(dx.points))
 		for i := range ids {
@@ -166,10 +182,13 @@ func NewDynamic[P any](rng *xrand.Rand, family core.Family[P], L int, points []P
 	return dx
 }
 
-// L returns the number of repetitions.
+// L returns the number of repetitions. The repetition draws are immutable
+// after construction, so L takes no lock and may be called at any time.
 func (dx *DynamicIndex[P]) L() int { return len(dx.pairs) }
 
-// Len returns the number of live (inserted and not deleted) points.
+// Len returns the number of live (inserted and not deleted) points. It
+// takes the structural read-lock briefly and is safe for concurrent use,
+// including during compactions and freezes.
 func (dx *DynamicIndex[P]) Len() int {
 	dx.mu.RLock()
 	defer dx.mu.RUnlock()
@@ -178,21 +197,25 @@ func (dx *DynamicIndex[P]) Len() int {
 
 // Point returns the point stored under the given global id. It remains
 // valid for deleted ids (points are retained until their segment is
-// compacted; the stored value is retained forever).
+// compacted; the stored value is retained forever). It takes the
+// structural read-lock briefly and is safe for concurrent use.
 func (dx *DynamicIndex[P]) Point(id int) P {
 	dx.mu.RLock()
 	defer dx.mu.RUnlock()
 	return dx.points[id]
 }
 
-// Deleted reports whether id has been deleted.
+// Deleted reports whether id has been deleted. It takes the structural
+// read-lock briefly and is safe for concurrent use.
 func (dx *DynamicIndex[P]) Deleted(id int) bool {
 	dx.mu.RLock()
 	defer dx.mu.RUnlock()
 	return dx.dead.Get(id)
 }
 
-// Segments returns the current number of frozen segments.
+// Segments returns the current number of frozen segments. It takes the
+// structural read-lock briefly; concurrent freezes and merges may move
+// the count at any moment.
 func (dx *DynamicIndex[P]) Segments() int {
 	dx.mu.RLock()
 	defer dx.mu.RUnlock()
@@ -200,6 +223,8 @@ func (dx *DynamicIndex[P]) Segments() int {
 }
 
 // MemtableLen returns the number of points buffered in the live memtable.
+// It takes the structural read-lock briefly and is safe for concurrent
+// use.
 func (dx *DynamicIndex[P]) MemtableLen() int {
 	dx.mu.RLock()
 	defer dx.mu.RUnlock()
@@ -207,10 +232,11 @@ func (dx *DynamicIndex[P]) MemtableLen() int {
 }
 
 // PendingFreezes returns the number of detached read-only memtables whose
-// flat-table builds have not been installed yet. Without AsyncFreeze it is
-// zero except transiently while a Compact folds the memtable; Flush
-// returns only after draining every freeze that was pending when it was
-// called (concurrent Inserts may detach new ones at any time).
+// flat-table builds have not been installed yet. Detaches come from
+// AsyncFreeze inserts, from Snapshot (which freezes the live memtable
+// read-only so the snapshot can share it), and transiently from Compact;
+// Flush returns only after draining every freeze that was pending when it
+// was called (concurrent Inserts may detach new ones at any time).
 func (dx *DynamicIndex[P]) PendingFreezes() int {
 	dx.mu.RLock()
 	defer dx.mu.RUnlock()
@@ -239,9 +265,14 @@ func (dx *DynamicIndex[P]) Insert(p P) int {
 	dx.points = append(dx.points, p)
 	dx.mem.insert(id, keys)
 	dx.live++
+	dx.epoch++
 	needMerge := false
 	if dx.mem.len() >= dx.opts.MemtableThreshold {
-		if dx.opts.AsyncFreeze {
+		// With detached memtables pending (AsyncFreeze, or a Snapshot
+		// detach on an inline-freeze index) the memtable must go through
+		// the same FIFO, not straight into segments: installs happen in
+		// detach order, preserving the ascending-global-id layer invariant.
+		if dx.opts.AsyncFreeze || len(dx.frozen) > 0 {
 			dx.detachMemLocked()
 		} else {
 			dx.freezeLocked()
@@ -266,7 +297,19 @@ func (dx *DynamicIndex[P]) Delete(id int) bool {
 	}
 	dx.dead.Set(id)
 	dx.live--
+	dx.epoch++
 	return true
+}
+
+// Epoch returns the index's mutation epoch: a counter advanced by every
+// Insert and every successful Delete (structural rewrites — freezes,
+// merges — preserve the live set and do not advance it). Comparing it with
+// Snapshot.Epoch tells whether a snapshot is stale. Epoch takes the
+// structural read-lock briefly and is safe for concurrent use.
+func (dx *DynamicIndex[P]) Epoch() uint64 {
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	return dx.epoch
 }
 
 // freezeLocked turns a non-empty memtable into a new frozen segment
@@ -364,7 +407,10 @@ func (dx *DynamicIndex[P]) drainFrozen() {
 // than map probes.
 func (dx *DynamicIndex[P]) Flush() {
 	dx.mu.Lock()
-	if dx.opts.AsyncFreeze {
+	// Any pending detached memtables (async freezes, or Snapshot detaches
+	// on an inline-freeze index) must install before the live memtable, so
+	// route through the FIFO whenever one exists.
+	if dx.opts.AsyncFreeze || len(dx.frozen) > 0 {
 		if dx.mem.len() > 0 {
 			dx.frozen = append(dx.frozen, dx.mem)
 			dx.mem = newMemtable(len(dx.pairs))
@@ -440,17 +486,11 @@ func (dx *DynamicIndex[P]) releaseSQ(sq *sourceQuerier[P]) { dx.queriers.Put(sq)
 // CollectDistinct gathers up to max distinct live candidate ids for q
 // (max <= 0 means no limit). The returned slice is freshly allocated and
 // owned by the caller; use a DynamicQuerier for the zero-allocation
-// variant.
+// variant. Safe for concurrent use — the query holds the structural lock
+// shared for its whole read window, so it sees one consistent layer list
+// and tombstone state even during compactions and freezes.
 func (dx *DynamicIndex[P]) CollectDistinct(q P, max int) []int {
-	sq := dx.acquireSQ()
-	res, _ := sq.collectDistinct(q, max)
-	var out []int
-	if len(res) > 0 {
-		out = make([]int, len(res))
-		copy(out, res)
-	}
-	dx.releaseSQ(sq)
-	return out
+	return collectDistinctOwned[P](dx, q, max)
 }
 
 // Candidates streams the live ids colliding with q, repetition by
@@ -459,9 +499,7 @@ func (dx *DynamicIndex[P]) CollectDistinct(q P, max int) []int {
 // visit runs inside the query's read window: it must not call back into
 // this index's mutating or locking methods, or the scan deadlocks.
 func (dx *DynamicIndex[P]) Candidates(q P, visit func(id int) bool) {
-	sq := dx.acquireSQ()
-	sq.candidates(q, visit)
-	dx.releaseSQ(sq)
+	streamCandidates[P](dx, q, visit)
 }
 
 // DynamicQuerier is the reusable query scratch of a DynamicIndex,

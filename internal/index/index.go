@@ -3,7 +3,7 @@
 //
 // Serving is organized around a single candidateSource core (source.go): a
 // per-repetition key probe plus tombstone-aware candidate iteration under
-// stable point ids. Two backends implement it:
+// stable point ids. Four backends implement it:
 //
 //   - Index: the frozen flat-table backend (table.go) — each repetition is
 //     an open-addressed key array plus a CSR id array built once at
@@ -15,6 +15,12 @@
 //     points, a tombstone bitmap records deletes, freezes run
 //     asynchronously off the structural lock, and compaction merges
 //     retained key columns without re-evaluating any hash function.
+//   - ShardedIndex (shard.go): K independent DynamicIndex shards sharing
+//     one set of repetition draws, partitioned by global id, so
+//     multi-writer ingest never contends on a single lock.
+//   - Snapshot / ShardedSnapshot (snapshot.go, shard.go): immutable
+//     point-in-time views of the dynamic backends for lock-free,
+//     snapshot-isolated scans and queries while the live index mutates.
 //
 // The query structures are veneers written once over that core and served
 // by either backend (veneer.go):

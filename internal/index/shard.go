@@ -1,0 +1,526 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dsh/internal/core"
+	"dsh/internal/xrand"
+)
+
+// ShardOptions configures a ShardedIndex.
+type ShardOptions struct {
+	// Shards is the number of independent DynamicIndex shards. It must be
+	// positive; NewSharded panics otherwise. More shards means more
+	// mutation concurrency (inserts and deletes on different shards never
+	// contend on a lock) at the cost of one extra probe per repetition
+	// per shard on the query path.
+	Shards int
+	// Dynamic is applied to every shard: each gets its own memtable
+	// threshold, freeze mode, segment budget, compaction policy and — when
+	// BackgroundCompaction is set — its own background compactor
+	// goroutine, so compactions of different shards run concurrently.
+	Dynamic DynamicOptions
+}
+
+// ShardedIndex is the multi-writer serving core: K independent
+// DynamicIndex shards, each with its own memtable, segment list, freezer
+// and compaction policy — and, crucially, its own locks — so mutations on
+// different shards never contend. Points are partitioned by global id:
+// id g lives on shard g mod K at shard-local position g div K. Inserts
+// are routed round-robin, which keeps that mapping purely arithmetic (no
+// routing table) and keeps shard sizes balanced within one point.
+//
+// All shards share the same L repetition draws (h_i, g_i), sampled once
+// by NewSharded, so a query hashes once per repetition and probes every
+// shard with that key: the collision-probability semantics are exactly
+// those of a single DynamicIndex over the same live points, and every
+// order-independent query result coincides — full-scan candidate sets,
+// the Candidates/Distinct counters of CollectDistinct, and range
+// reporting's ids and counters. Candidate order is shard-major instead
+// of global-id-major, so order-sensitive outcomes (the first max ids of
+// a truncated collection, the annulus scan's hit and its early-
+// termination counters) may pick different representatives, and Probes
+// grows with the layer count across all shards.
+//
+// ShardedIndex implements the candidateSource contract, so the
+// AnnulusIndex and RangeReporter veneers (NewAnnulusOver,
+// NewRangeReporterOver), CollectDistinct, Candidates and the QueryBatch
+// engine run over it unchanged.
+//
+// Concurrency contract: all methods are safe for concurrent use. A query
+// holds every shard's structural read-lock (acquired in shard order) for
+// its read window, so each query sees one consistent state per shard;
+// mutators touch exactly one shard. Snapshot pins a point-in-time view of
+// every shard for lock-free scans. After Close, Insert and Snapshot panic;
+// queries and deletes on the existing data remain valid.
+type ShardedIndex[P any] struct {
+	pairs  []core.Pair[P]
+	negG   []negQueryHasher
+	shards []*DynamicIndex[P]
+	// cursor routes inserts round-robin; it continues from the initial
+	// point count so global ids stay dense under single-writer ingest.
+	cursor atomic.Uint64
+	closed atomic.Bool
+
+	queriers sync.Pool
+}
+
+// NewSharded builds a sharded dynamic index over the initial points
+// (which receive global ids 0..len-1, point i landing on shard i mod K)
+// with L repetitions of the family shared by every shard. It consumes rng
+// exactly like New and NewDynamic — L Sample calls — so a sharded, a
+// single-shard and a static index built from generators with the same
+// seed share their repetition draws and return identical full-scan
+// candidate sets over identical live points (candidate order is
+// shard-major, so order-sensitive results — truncated collections, the
+// annulus early-termination hit — may pick different representatives).
+//
+// NewSharded panics with a clear message when family is nil, L <= 0, or
+// opts.Shards <= 0.
+func NewSharded[P any](rng *xrand.Rand, family core.Family[P], L int, points []P, opts ShardOptions) *ShardedIndex[P] {
+	if family == nil {
+		panic("index: family must be non-nil")
+	}
+	if L <= 0 {
+		panic("index: repetitions must be positive")
+	}
+	if opts.Shards <= 0 {
+		panic("index: shard count must be positive")
+	}
+	pairs := make([]core.Pair[P], L)
+	for i := range pairs {
+		pairs[i] = family.Sample(rng)
+	}
+	negG := negHashers(pairs)
+	K := opts.Shards
+	parts := make([][]P, K)
+	for i, p := range points {
+		parts[i%K] = append(parts[i%K], p)
+	}
+	sx := &ShardedIndex[P]{
+		pairs:  pairs,
+		negG:   negG,
+		shards: make([]*DynamicIndex[P], K),
+	}
+	for s := range sx.shards {
+		sx.shards[s] = newDynamicFromPairs(pairs, negG, parts[s], opts.Dynamic)
+	}
+	sx.cursor.Store(uint64(len(points)))
+	sx.queriers.New = func() any { return newSourceQuerier[P](sx, 0) }
+	return sx
+}
+
+// L returns the number of repetitions.
+func (sx *ShardedIndex[P]) L() int { return len(sx.pairs) }
+
+// Shards returns the number of shards.
+func (sx *ShardedIndex[P]) Shards() int { return len(sx.shards) }
+
+// Shard returns the s-th underlying DynamicIndex, for per-shard
+// inspection or a per-shard Snapshot. Mutating a shard directly (rather
+// than through the ShardedIndex) is safe but bypasses the global-id
+// arithmetic: ids returned by a shard's own Insert are shard-local.
+func (sx *ShardedIndex[P]) Shard(s int) *DynamicIndex[P] { return sx.shards[s] }
+
+// Len returns the number of live points across all shards. Each shard's
+// count is read under its own lock; concurrent mutators may move the
+// total while it is being summed.
+func (sx *ShardedIndex[P]) Len() int {
+	n := 0
+	for _, dx := range sx.shards {
+		n += dx.Len()
+	}
+	return n
+}
+
+// Epoch returns the sum of the shards' mutation epochs: a monotone
+// counter advanced by every Insert and successful Delete anywhere in the
+// index. Compare per-shard epochs (Shard(s).Epoch) against a sharded
+// snapshot's shards for per-shard staleness.
+func (sx *ShardedIndex[P]) Epoch() uint64 {
+	var e uint64
+	for _, dx := range sx.shards {
+		e += dx.Epoch()
+	}
+	return e
+}
+
+// Insert adds a point to the next shard in round-robin order and returns
+// its stable global id (shard-local id times the shard count, plus the
+// shard number). Inserts landing on different shards run fully in
+// parallel: each takes only its own shard's locks. Insert panics after
+// Close.
+func (sx *ShardedIndex[P]) Insert(p P) int {
+	if sx.closed.Load() {
+		panic("index: Insert on closed ShardedIndex")
+	}
+	K := len(sx.shards)
+	s := int((sx.cursor.Add(1) - 1) % uint64(K))
+	local := sx.shards[s].Insert(p)
+	return local*K + s
+}
+
+// Delete tombstones the point with the given global id, reporting whether
+// it was live. Only the owning shard's lock is taken.
+func (sx *ShardedIndex[P]) Delete(id int) bool {
+	if id < 0 {
+		return false
+	}
+	K := len(sx.shards)
+	return sx.shards[id%K].Delete(id / K)
+}
+
+// Deleted reports whether the given global id has been deleted. Like
+// DynamicIndex.Deleted, ids outside the assigned range (including
+// negative ids) report false.
+func (sx *ShardedIndex[P]) Deleted(id int) bool {
+	if id < 0 {
+		return false
+	}
+	K := len(sx.shards)
+	return sx.shards[id%K].Deleted(id / K)
+}
+
+// Point returns the point stored under the given global id; like
+// DynamicIndex.Point it remains valid for deleted ids and panics for ids
+// never assigned.
+func (sx *ShardedIndex[P]) Point(id int) P {
+	if id < 0 {
+		panic("index: negative point id")
+	}
+	K := len(sx.shards)
+	return sx.shards[id%K].Point(id / K)
+}
+
+// Flush freezes every shard's memtable and drains every pending
+// asynchronous freeze, shard by shard.
+func (sx *ShardedIndex[P]) Flush() {
+	for _, dx := range sx.shards {
+		dx.Flush()
+	}
+}
+
+// Compact compacts every shard concurrently (shards are independent, so
+// their merges never contend) and returns when all have finished. After
+// it, every shard answers from one flat segment and an empty memtable.
+func (sx *ShardedIndex[P]) Compact() {
+	var wg sync.WaitGroup
+	for _, dx := range sx.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dx.Compact()
+		}()
+	}
+	wg.Wait()
+}
+
+// Close marks the index closed and stops every shard's background
+// compactor. After Close, Insert and Snapshot panic with a clear message;
+// queries and deletes over the existing data remain valid, pending
+// asynchronous freezes still install, and Compact remains callable. Close
+// is idempotent and safe for concurrent use.
+func (sx *ShardedIndex[P]) Close() {
+	sx.closed.Store(true)
+	for _, dx := range sx.shards {
+		dx.Close()
+	}
+}
+
+// candidateSource implementation. A query's read window holds every
+// shard's structural read-lock, acquired in shard order (a fixed order,
+// so two concurrent queries cannot deadlock); shard-local candidate ids
+// are translated to global ids in place as each shard's layers are
+// probed.
+
+func (sx *ShardedIndex[P]) srcPairs() []core.Pair[P]  { return sx.pairs }
+func (sx *ShardedIndex[P]) srcNegG() []negQueryHasher { return sx.negG }
+
+func (sx *ShardedIndex[P]) beginRead() int {
+	maxLen := 0
+	for _, dx := range sx.shards {
+		dx.mu.RLock()
+		if n := len(dx.points); n > maxLen {
+			maxLen = n
+		}
+	}
+	// Shard s's largest global id is (len-1)*K + s < maxLen*K, so this
+	// bound sizes the veneers' visited arrays for every translated id.
+	return maxLen * len(sx.shards)
+}
+
+func (sx *ShardedIndex[P]) endRead() {
+	for _, dx := range sx.shards {
+		dx.mu.RUnlock()
+	}
+}
+
+// srcPoint runs inside a beginRead window (every shard's lock held
+// shared), so it reads the owning shard's points array directly.
+func (sx *ShardedIndex[P]) srcPoint(id int) P {
+	K := len(sx.shards)
+	return sx.shards[id%K].points[id/K]
+}
+
+func (sx *ShardedIndex[P]) appendCandidates(rep int, key uint64, dst []int32) ([]int32, int) {
+	K := int32(len(sx.shards))
+	probes := 0
+	for s, dx := range sx.shards {
+		start := len(dst)
+		var p int
+		dst, p = dx.appendCandidates(rep, key, dst)
+		probes += p
+		for i := start; i < len(dst); i++ {
+			dst[i] = dst[i]*K + int32(s)
+		}
+	}
+	return dst, probes
+}
+
+func (sx *ShardedIndex[P]) acquireSQ() *sourceQuerier[P] {
+	return sx.queriers.Get().(*sourceQuerier[P])
+}
+func (sx *ShardedIndex[P]) releaseSQ(sq *sourceQuerier[P]) { sx.queriers.Put(sq) }
+
+// CollectDistinct gathers up to max distinct live candidate ids for q
+// (max <= 0 means no limit) across every shard, deduplicated across
+// repetitions and shards. For a full scan (max <= 0) the id set — and in
+// every case the Candidates/Distinct counters — equal a single
+// DynamicIndex over the same live points and rng stream; the order is
+// shard-major within each repetition, so when max truncates the
+// collection the *first max* distinct ids kept may differ from a
+// single-index build even though their count does not. The returned
+// slice is freshly allocated and owned by the caller; use a
+// ShardedQuerier for the zero-allocation variant.
+func (sx *ShardedIndex[P]) CollectDistinct(q P, max int) []int {
+	return collectDistinctOwned[P](sx, q, max)
+}
+
+// Candidates streams the live global ids colliding with q, repetition by
+// repetition, shard by shard within each repetition (duplicates across
+// repetitions included), invoking visit for each; if visit returns false
+// the scan stops early. visit runs inside the query's read window with
+// every shard's lock held shared: it must not call back into this index's
+// mutating or locking methods, or the scan deadlocks.
+func (sx *ShardedIndex[P]) Candidates(q P, visit func(id int) bool) {
+	streamCandidates[P](sx, q, visit)
+}
+
+// QueryBatch collects distinct live candidates for every query
+// concurrently, fanning the batch across opts.Workers workers with one
+// pooled querier per worker. Each query probes every shard under one
+// consistent read window, and its QueryStats merge the work of all
+// shards — Probes counts bucket lookups across every shard's every layer.
+// Mutations and compactions on any shard may proceed concurrently.
+func (sx *ShardedIndex[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
+	return collectBatch[P](sx, queries, opts)
+}
+
+// ShardedQuerier is the reusable query scratch of a ShardedIndex,
+// mirroring DynamicQuerier: not safe for concurrent use, one per
+// goroutine (QueryBatch hands each worker its own), no steady-state heap
+// allocations once warmed.
+type ShardedQuerier[P any] struct {
+	sourceQuerier[P]
+}
+
+// NewQuerier returns a fresh ShardedQuerier bound to sx.
+func (sx *ShardedIndex[P]) NewQuerier() *ShardedQuerier[P] {
+	return &ShardedQuerier[P]{sourceQuerier: *newSourceQuerier[P](sx, 0)}
+}
+
+// CollectDistinct is ShardedIndex.CollectDistinct through this querier's
+// scratch; the returned slice is owned by the querier and valid only
+// until its next use.
+func (qr *ShardedQuerier[P]) CollectDistinct(q P, max int) ([]int, QueryStats) {
+	return qr.collectDistinct(q, max)
+}
+
+// Snapshot returns an immutable view of every shard: per-shard snapshots
+// (each pinning its shard's layers and tombstones at the moment that
+// shard was visited, taken in shard order) unified under the global-id
+// arithmetic. The result implements the same candidateSource contract as
+// the live index, so every veneer and the batch engine run over it
+// unchanged, lock-free, while all shards keep absorbing writes. Snapshot
+// panics after Close.
+func (sx *ShardedIndex[P]) Snapshot() *ShardedSnapshot[P] {
+	if sx.closed.Load() {
+		panic("index: Snapshot of closed ShardedIndex")
+	}
+	ss := &ShardedSnapshot[P]{snaps: make([]*Snapshot[P], len(sx.shards))}
+	for s, dx := range sx.shards {
+		ss.snaps[s] = dx.Snapshot()
+	}
+	ss.queriers.New = func() any { return newSourceQuerier[P](ss, ss.beginRead()) }
+	return ss
+}
+
+// ShardedSnapshot is an immutable view of a ShardedIndex: one Snapshot
+// per shard, unified under the global-id arithmetic. Each shard's state
+// is a consistent point in time (shards are pinned in shard order, so the
+// union is not a single global instant); queries, scans and the batch
+// engine run over it lock-free while the live shards keep mutating.
+// Safe for unrestricted concurrent use until Release.
+type ShardedSnapshot[P any] struct {
+	snaps    []*Snapshot[P]
+	released atomic.Bool
+	queriers sync.Pool
+}
+
+// Shards returns the number of shards.
+func (ss *ShardedSnapshot[P]) Shards() int { return len(ss.snaps) }
+
+// Shard returns the s-th per-shard snapshot.
+func (ss *ShardedSnapshot[P]) Shard(s int) *Snapshot[P] { return ss.snaps[s] }
+
+// Len returns the number of live points visible to the snapshot.
+func (ss *ShardedSnapshot[P]) Len() int {
+	n := 0
+	for _, s := range ss.snaps {
+		n += s.Len()
+	}
+	return n
+}
+
+// L returns the number of repetitions.
+func (ss *ShardedSnapshot[P]) L() int { return len(ss.snaps[0].pairs) }
+
+// Release releases every per-shard snapshot so segments rewritten by
+// later compactions can be garbage-collected; queries afterwards panic.
+// Idempotent; must not run concurrently with queries on this snapshot.
+func (ss *ShardedSnapshot[P]) Release() {
+	if ss.released.Swap(true) {
+		return
+	}
+	for _, s := range ss.snaps {
+		s.Release()
+	}
+}
+
+// Epoch returns the sum of the per-shard snapshot epochs; it equals the
+// live ShardedIndex.Epoch while no Insert or Delete has landed on any
+// shard since the snapshot was taken.
+func (ss *ShardedSnapshot[P]) Epoch() uint64 {
+	var e uint64
+	for _, s := range ss.snaps {
+		e += s.Epoch()
+	}
+	return e
+}
+
+// Deleted reports whether the given global id was tombstoned at snapshot
+// time; ids outside the assigned range (including negative ids) report
+// false. Panics after Release.
+func (ss *ShardedSnapshot[P]) Deleted(id int) bool {
+	if id < 0 {
+		ss.check()
+		return false
+	}
+	K := len(ss.snaps)
+	return ss.snaps[id%K].Deleted(id / K)
+}
+
+// Point returns the point stored under the given global id at snapshot
+// time; panics for ids never assigned and after Release.
+func (ss *ShardedSnapshot[P]) Point(id int) P {
+	if id < 0 {
+		panic("index: negative point id")
+	}
+	K := len(ss.snaps)
+	return ss.snaps[id%K].Point(id / K)
+}
+
+// AppendLiveIDs appends every live global id visible to the snapshot to
+// dst in ascending order and returns the extended slice; see
+// Snapshot.AppendLiveIDs.
+func (ss *ShardedSnapshot[P]) AppendLiveIDs(dst []int) []int {
+	ss.check()
+	K := len(ss.snaps)
+	for local := 0; ; local++ {
+		any := false
+		for s, sn := range ss.snaps {
+			if local < sn.idBound {
+				any = true
+				if !sn.dead.Get(local) {
+					dst = append(dst, local*K+s)
+				}
+			}
+		}
+		if !any {
+			return dst
+		}
+	}
+}
+
+// check panics when the snapshot has been released.
+func (ss *ShardedSnapshot[P]) check() {
+	if ss.released.Load() {
+		panic("index: use of released Snapshot")
+	}
+}
+
+// candidateSource implementation: like ShardedIndex but over the pinned
+// per-shard snapshots, with a free read window.
+
+func (ss *ShardedSnapshot[P]) srcPairs() []core.Pair[P]  { return ss.snaps[0].pairs }
+func (ss *ShardedSnapshot[P]) srcNegG() []negQueryHasher { return ss.snaps[0].negG }
+
+func (ss *ShardedSnapshot[P]) beginRead() int {
+	ss.check()
+	maxBound := 0
+	for _, s := range ss.snaps {
+		if s.idBound > maxBound {
+			maxBound = s.idBound
+		}
+	}
+	return maxBound * len(ss.snaps)
+}
+
+func (ss *ShardedSnapshot[P]) endRead() {}
+
+func (ss *ShardedSnapshot[P]) srcPoint(id int) P {
+	K := len(ss.snaps)
+	return ss.snaps[id%K].points[id/K]
+}
+
+func (ss *ShardedSnapshot[P]) appendCandidates(rep int, key uint64, dst []int32) ([]int32, int) {
+	K := int32(len(ss.snaps))
+	probes := 0
+	for s, sn := range ss.snaps {
+		start := len(dst)
+		var p int
+		dst, p = sn.appendCandidates(rep, key, dst)
+		probes += p
+		for i := start; i < len(dst); i++ {
+			dst[i] = dst[i]*K + int32(s)
+		}
+	}
+	return dst, probes
+}
+
+func (ss *ShardedSnapshot[P]) acquireSQ() *sourceQuerier[P] {
+	return ss.queriers.Get().(*sourceQuerier[P])
+}
+func (ss *ShardedSnapshot[P]) releaseSQ(sq *sourceQuerier[P]) { ss.queriers.Put(sq) }
+
+// CollectDistinct gathers up to max distinct live candidate ids for q
+// (max <= 0 means no limit) from the pinned state; see
+// ShardedIndex.CollectDistinct for the order and counter contract.
+func (ss *ShardedSnapshot[P]) CollectDistinct(q P, max int) []int {
+	return collectDistinctOwned[P](ss, q, max)
+}
+
+// QueryBatch collects distinct candidates for every query concurrently
+// from the pinned state; see Index.QueryBatch for the determinism
+// contract.
+func (ss *ShardedSnapshot[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
+	ss.check()
+	return collectBatch[P](ss, queries, opts)
+}
+
+// NewQuerier returns a fresh SnapshotQuerier bound to ss for
+// zero-allocation steady-state queries over the pinned state.
+func (ss *ShardedSnapshot[P]) NewQuerier() *SnapshotQuerier[P] {
+	return &SnapshotQuerier[P]{sourceQuerier: *newSourceQuerier[P](ss, ss.beginRead())}
+}

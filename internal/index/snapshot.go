@@ -1,0 +1,247 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/core"
+)
+
+// Snapshot is an immutable, point-in-time view of a DynamicIndex: the
+// segment list, every detached read-only memtable, the points array
+// prefix, the live count, and a private clone of the tombstone bitmap as
+// they stood at the moment DynamicIndex.Snapshot returned. A snapshot
+// implements the candidateSource contract, so every veneer — annulus
+// search, range reporting, CollectDistinct, QueryBatch — runs over it
+// unchanged and answers from the pinned state even while Insert, Delete,
+// Flush and compaction rewrite the live index underneath. That makes
+// long-running scans consistent: a query stream over one snapshot
+// observes one id set, start to finish.
+//
+// Taking a snapshot is cheap: the live memtable (if non-empty) is
+// detached read-only onto the index's freeze FIFO — its flat tables build
+// in the background exactly as under AsyncFreeze — and the snapshot then
+// just pins slice headers plus a bitmap clone; no point is copied or
+// rehashed. The detach does mean every snapshot that finds buffered
+// inserts cuts a new (possibly tiny) segment, so a high snapshot cadence
+// over a trickle of writes fragments the index — each query pays one
+// extra probe per repetition per extra segment until a merge folds them;
+// enable BackgroundCompaction (or Compact at quiet moments) under such
+// workloads. Reclamation is by reference: segments swapped out by later
+// compactions stay reachable from the snapshots whose epoch pinned them
+// and are garbage-collected when the last such snapshot is released.
+//
+// Concurrency contract: a Snapshot is immutable and safe for unrestricted
+// concurrent querying with no locking at all — beginRead is free, like
+// the static Index. Release is the only mutating method; after it,
+// queries panic. A Snapshot never blocks and is never blocked by the
+// live index's locks.
+type Snapshot[P any] struct {
+	pairs []core.Pair[P]
+	negG  []negQueryHasher
+	// points is a pinned header of the index's append-only points array;
+	// elements below idBound are immutable.
+	points  []P
+	idBound int
+	// segments and frozen are the pinned storage layers, oldest first;
+	// all are immutable after detach.
+	segments []*segment
+	frozen   []*memtable
+	// dead is a private clone of the tombstone bitmap: later Deletes on
+	// the live index do not affect this snapshot.
+	dead bitvec.Bitmap
+	live int
+	// epoch is the mutation epoch captured from the index; compare with
+	// DynamicIndex.Epoch to detect staleness.
+	epoch uint64
+
+	released atomic.Bool
+	queriers sync.Pool
+}
+
+// Snapshot returns an immutable view of the index's current live points.
+// The call takes the structural lock exclusively but briefly: it detaches
+// the live memtable (if non-empty) onto the freeze FIFO — where it keeps
+// serving both the live index and the snapshot read-only while its flat
+// tables build in the background — clones the tombstone bitmap, and pins
+// the current layer lists. No points are copied or rehashed.
+//
+// The returned snapshot answers queries from exactly the live set at the
+// moment of the call, concurrently with any later mutation or compaction
+// of the index. Safe for concurrent use with every other method. Each
+// call that finds buffered inserts cuts a new segment (see the Snapshot
+// type comment for the fragmentation trade-off under high snapshot
+// cadence).
+func (dx *DynamicIndex[P]) Snapshot() *Snapshot[P] {
+	dx.mu.Lock()
+	if dx.mem.len() > 0 {
+		dx.detachMemLocked()
+	}
+	snap := &Snapshot[P]{
+		pairs:    dx.pairs,
+		negG:     dx.negG,
+		points:   dx.points[:len(dx.points):len(dx.points)],
+		idBound:  len(dx.points),
+		segments: dx.segments[:len(dx.segments):len(dx.segments)],
+		frozen:   append([]*memtable(nil), dx.frozen...),
+		dead:     dx.dead.Clone(),
+		live:     dx.live,
+		epoch:    dx.epoch,
+	}
+	dx.mu.Unlock()
+	snap.queriers.New = func() any { return newSourceQuerier[P](snap, snap.idBound) }
+	return snap
+}
+
+// Len returns the number of live points visible to the snapshot.
+func (s *Snapshot[P]) Len() int { return s.live }
+
+// L returns the number of repetitions.
+func (s *Snapshot[P]) L() int { return len(s.pairs) }
+
+// Epoch returns the mutation epoch the snapshot was taken at; it equals
+// DynamicIndex.Epoch while no Insert or Delete has landed since.
+func (s *Snapshot[P]) Epoch() uint64 { return s.epoch }
+
+// Deleted reports whether id was tombstoned at snapshot time. Deletes on
+// the live index after the snapshot are not visible; ids outside the
+// pinned range (including negative ids) report false. Panics after
+// Release.
+func (s *Snapshot[P]) Deleted(id int) bool {
+	s.check()
+	return s.dead.Get(id)
+}
+
+// Point returns the point stored under the given global id at snapshot
+// time. Like DynamicIndex.Point it remains valid for deleted ids.
+func (s *Snapshot[P]) Point(id int) P {
+	s.check()
+	return s.points[id]
+}
+
+// Release drops the snapshot's references to the pinned layers so
+// segments rewritten by later compactions can be garbage-collected.
+// Queries on a released snapshot panic. Releasing is optional — an
+// unreferenced snapshot is reclaimed by the garbage collector anyway —
+// but explicit release bounds the lifetime of large pinned segments in
+// long-lived processes. Release is idempotent and safe for concurrent
+// use, but must not run concurrently with queries on the same snapshot.
+func (s *Snapshot[P]) Release() {
+	if s.released.Swap(true) {
+		return
+	}
+	s.points = nil
+	s.segments = nil
+	s.frozen = nil
+	s.dead = bitvec.Bitmap{}
+}
+
+// check panics when the snapshot has been released.
+func (s *Snapshot[P]) check() {
+	if s.released.Load() {
+		panic("index: use of released Snapshot")
+	}
+}
+
+// candidateSource implementation. Every pinned layer is immutable, so the
+// read window is free (beginRead takes no lock) and any number of
+// goroutines may query concurrently.
+
+func (s *Snapshot[P]) srcPairs() []core.Pair[P]  { return s.pairs }
+func (s *Snapshot[P]) srcNegG() []negQueryHasher { return s.negG }
+
+func (s *Snapshot[P]) beginRead() int {
+	s.check()
+	return s.idBound
+}
+
+func (s *Snapshot[P]) endRead() {}
+
+func (s *Snapshot[P]) srcPoint(id int) P { return s.points[id] }
+
+func (s *Snapshot[P]) appendCandidates(rep int, key uint64, dst []int32) ([]int32, int) {
+	probes := 0
+	for _, seg := range s.segments {
+		probes++
+		for _, local := range seg.lookup(rep, key) {
+			if id := seg.globalIDs[local]; !s.dead.Get(int(id)) {
+				dst = append(dst, id)
+			}
+		}
+	}
+	for _, fm := range s.frozen {
+		probes++
+		for _, id := range fm.lookup(rep, key) {
+			if !s.dead.Get(int(id)) {
+				dst = append(dst, id)
+			}
+		}
+	}
+	return dst, probes
+}
+
+func (s *Snapshot[P]) acquireSQ() *sourceQuerier[P] {
+	return s.queriers.Get().(*sourceQuerier[P])
+}
+func (s *Snapshot[P]) releaseSQ(sq *sourceQuerier[P]) { s.queriers.Put(sq) }
+
+// AppendLiveIDs appends every live global id visible to the snapshot to
+// dst in ascending order and returns the extended slice — the scan
+// primitive: iterate the pinned id space once, with no locking, while the
+// live index keeps mutating.
+func (s *Snapshot[P]) AppendLiveIDs(dst []int) []int {
+	s.check()
+	for id := 0; id < s.idBound; id++ {
+		if !s.dead.Get(id) {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// CollectDistinct gathers up to max distinct live candidate ids for q
+// (max <= 0 means no limit) from the pinned state, exactly like
+// DynamicIndex.CollectDistinct would have at snapshot time. The returned
+// slice is freshly allocated and owned by the caller; use a
+// SnapshotQuerier for the zero-allocation variant.
+func (s *Snapshot[P]) CollectDistinct(q P, max int) []int {
+	return collectDistinctOwned[P](s, q, max)
+}
+
+// Candidates streams the pinned live ids colliding with q, repetition by
+// repetition (duplicates across repetitions included), invoking visit for
+// each; if visit returns false the scan stops early. Unlike the dynamic
+// backend there is no read window to deadlock: visit may call any
+// snapshot or live-index method.
+func (s *Snapshot[P]) Candidates(q P, visit func(id int) bool) {
+	streamCandidates[P](s, q, visit)
+}
+
+// QueryBatch collects distinct candidates for every query concurrently
+// from the pinned state, with one pooled querier per worker; see
+// Index.QueryBatch for the determinism contract.
+func (s *Snapshot[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
+	s.check()
+	return collectBatch[P](s, queries, opts)
+}
+
+// SnapshotQuerier is the reusable query scratch of a Snapshot, mirroring
+// Querier and DynamicQuerier: not safe for concurrent use, one per
+// goroutine, and steady-state queries through a warmed one perform no
+// heap allocations.
+type SnapshotQuerier[P any] struct {
+	sourceQuerier[P]
+}
+
+// NewQuerier returns a fresh SnapshotQuerier bound to s.
+func (s *Snapshot[P]) NewQuerier() *SnapshotQuerier[P] {
+	return &SnapshotQuerier[P]{sourceQuerier: *newSourceQuerier[P](s, s.idBound)}
+}
+
+// CollectDistinct is Snapshot.CollectDistinct through this querier's
+// scratch; the returned slice is owned by the querier and valid only
+// until its next use.
+func (qr *SnapshotQuerier[P]) CollectDistinct(q P, max int) ([]int, QueryStats) {
+	return qr.collectDistinct(q, max)
+}

@@ -10,13 +10,17 @@ import (
 // colliding ids of that repetition under stable point ids — so that the
 // Section 6 structures (distinct-candidate collection, annulus search,
 // range reporting, concurrent batching) are written once and instantiated
-// over either backend:
+// over any backend:
 //
 //   - *Index: the frozen flat-table layout (one immutable table per
 //     repetition, ids 0..Len-1).
 //   - *DynamicIndex: the segmented LSM layout (frozen segments + detached
 //     read-only memtables + the live memtable, global ids, tombstones
 //     applied during iteration).
+//   - *ShardedIndex: K DynamicIndex shards probed in shard order,
+//     shard-local ids translated to global ids during iteration.
+//   - *Snapshot / *ShardedSnapshot: pinned, immutable views of the
+//     dynamic backends with a free read window.
 //
 // Thread-safety contract: srcPairs and srcNegG return immutable state and
 // may be called at any time. appendCandidates and srcPoint may only be
@@ -45,9 +49,13 @@ type candidateSource[P any] interface {
 	// across repetitions included — deduplication is the caller's job) and
 	// returns the extended slice plus the number of per-layer bucket
 	// lookups performed. Candidate order is the backend's canonical
-	// insertion order: for the dynamic backend that is ascending global-id
-	// order, which is exactly the order a static Index over the same live
-	// points produces.
+	// insertion order: for the dynamic backend and its snapshots that is
+	// ascending global-id order — exactly the order a static Index over
+	// the same live points produces — while the sharded backends iterate
+	// shard-major within a repetition (ascending global id within each
+	// shard), so per-probe candidate *sets* still coincide with a
+	// single-index build but the order, and anything derived from order
+	// under truncation or early termination, may differ.
 	appendCandidates(rep int, key uint64, dst []int32) ([]int32, int)
 	// srcPoint returns the point stored under id, valid only inside a
 	// beginRead..endRead window.
@@ -57,6 +65,30 @@ type candidateSource[P any] interface {
 	// and batch entry points so steady-state serving does not allocate.
 	acquireSQ() *sourceQuerier[P]
 	releaseSQ(sq *sourceQuerier[P])
+}
+
+// collectDistinctOwned runs one distinct-candidate collection through a
+// pooled querier and copies the result out so the caller owns it. The
+// public CollectDistinct methods of every backend delegate here; the
+// querier-based variants skip the copy.
+func collectDistinctOwned[P any](src candidateSource[P], q P, max int) []int {
+	sq := src.acquireSQ()
+	res, _ := sq.collectDistinct(q, max)
+	var out []int
+	if len(res) > 0 {
+		out = make([]int, len(res))
+		copy(out, res)
+	}
+	src.releaseSQ(sq)
+	return out
+}
+
+// streamCandidates streams one candidate scan through a pooled querier;
+// the public Candidates methods of every backend delegate here.
+func streamCandidates[P any](src candidateSource[P], q P, visit func(id int) bool) {
+	sq := src.acquireSQ()
+	sq.candidates(q, visit)
+	src.releaseSQ(sq)
 }
 
 // sourceQuerier is the reusable query scratch shared by every veneer: an

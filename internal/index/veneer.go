@@ -11,6 +11,41 @@ import (
 	"dsh/internal/xrand"
 )
 
+// Source is the exported handle to a serving backend: anything
+// implementing the candidateSource core — *Index, *DynamicIndex,
+// *ShardedIndex, *Snapshot, *ShardedSnapshot — satisfies it. Callers
+// cannot implement Source themselves (its methods are unexported); they
+// obtain one from this package and hand it to NewAnnulusOver or
+// NewRangeReporterOver to bind a predicate veneer to any backend,
+// including point-in-time snapshots.
+type Source[P any] interface {
+	candidateSource[P]
+}
+
+// NewAnnulusOver wraps any serving backend — static, dynamic, sharded, or
+// a snapshot of either — in the Theorem 6.1 annulus-search algorithm. The
+// veneer shares the backend's storage (mutations on a live backend are
+// visible to subsequent queries immediately; a snapshot backend stays
+// pinned) and inherits its concurrency contract. NewAnnulusOver panics
+// when src is nil.
+func NewAnnulusOver[P any](src Source[P], within func(q, x P) bool) *AnnulusIndex[P] {
+	if src == nil {
+		panic("index: source must be non-nil")
+	}
+	return &AnnulusIndex[P]{src: src, within: within}
+}
+
+// NewRangeReporterOver wraps any serving backend — static, dynamic,
+// sharded, or a snapshot of either — in the Theorem 6.5 reporting
+// algorithm; see NewAnnulusOver for the sharing and concurrency contract.
+// NewRangeReporterOver panics when src is nil.
+func NewRangeReporterOver[P any](src Source[P], inRange func(q, x P) bool) *RangeReporter[P] {
+	if src == nil {
+		panic("index: source must be non-nil")
+	}
+	return &RangeReporter[P]{src: src, inRange: inRange}
+}
+
 // AnnulusIndex solves the approximate annulus search problem of
 // Theorem 6.1: given a family whose CPF peaks inside the target interval,
 // a query retrieves collision candidates and returns the first whose
@@ -51,7 +86,10 @@ func NewDynamicAnnulus[P any](dx *DynamicIndex[P], within func(q, x P) bool) *An
 
 // Query returns the id of some point within the report interval of q, or
 // -1 if none was found among the first 8L candidates (the Markov-bound
-// early termination from the proof of Theorem 6.1).
+// early termination from the proof of Theorem 6.1). Safe for concurrent
+// use whenever the backend is (it draws per-query scratch from the
+// backend's pool and runs inside one consistent read window, so it may
+// overlap mutations, freezes and compactions on a dynamic backend).
 func (ai *AnnulusIndex[P]) Query(q P) (int, QueryStats) {
 	sq := ai.src.acquireSQ()
 	id, stats := sq.annulusQuery(q, ai.within)
@@ -61,7 +99,8 @@ func (ai *AnnulusIndex[P]) Query(q P) (int, QueryStats) {
 
 // QueryWith is Query with an explicit Querier, for callers over a static
 // backend that manage their own per-goroutine scratch. The steady state
-// allocates nothing.
+// allocates nothing. The Querier is not safe for concurrent use: callers
+// serialize access to it (one per goroutine).
 func (ai *AnnulusIndex[P]) QueryWith(qr *Querier[P], q P) (int, QueryStats) {
 	if qr.src != ai.src {
 		panic("index: Querier bound to a different index")
@@ -70,18 +109,22 @@ func (ai *AnnulusIndex[P]) QueryWith(qr *Querier[P], q P) (int, QueryStats) {
 }
 
 // Index exposes the static backend (for inspection in experiments), or
-// nil when the veneer is backed by a DynamicIndex.
+// nil when the veneer is backed by any other source.
 func (ai *AnnulusIndex[P]) Index() *Index[P] {
 	ix, _ := ai.src.(*Index[P])
 	return ix
 }
 
 // Dynamic exposes the dynamic backend, or nil when the veneer is backed
-// by a static Index.
+// by any other source.
 func (ai *AnnulusIndex[P]) Dynamic() *DynamicIndex[P] {
 	dx, _ := ai.src.(*DynamicIndex[P])
 	return dx
 }
+
+// Source exposes the veneer's backend as a Source handle, whichever
+// concrete backend it is.
+func (ai *AnnulusIndex[P]) Source() Source[P] { return ai.src }
 
 // RangeReporter solves approximate spherical range reporting
 // (Theorem 6.5): report every point within the target range of the query,
@@ -124,7 +167,9 @@ func (rr *RangeReporter[P]) Query(q P) ([]int, QueryStats) {
 
 // AppendQuery appends the distinct ids of reported points within range of
 // q to dst and returns the extended slice. Reusing dst across queries
-// makes the steady-state reporting path allocation-free.
+// makes the steady-state reporting path allocation-free. Safe for
+// concurrent use whenever the backend is, provided each goroutine passes
+// its own dst; see AnnulusIndex.Query for the read-window contract.
 func (rr *RangeReporter[P]) AppendQuery(dst []int, q P) ([]int, QueryStats) {
 	sq := rr.src.acquireSQ()
 	dst, stats := sq.appendRange(dst, q, rr.inRange)
@@ -133,7 +178,8 @@ func (rr *RangeReporter[P]) AppendQuery(dst []int, q P) ([]int, QueryStats) {
 }
 
 // AppendQueryWith is AppendQuery with an explicit Querier, for callers
-// over a static backend that manage their own per-goroutine scratch.
+// over a static backend that manage their own per-goroutine scratch; the
+// Querier is not safe for concurrent use.
 func (rr *RangeReporter[P]) AppendQueryWith(qr *Querier[P], dst []int, q P) ([]int, QueryStats) {
 	if qr.src != rr.src {
 		panic("index: Querier bound to a different index")
@@ -141,16 +187,20 @@ func (rr *RangeReporter[P]) AppendQueryWith(qr *Querier[P], dst []int, q P) ([]i
 	return qr.appendRange(dst, q, rr.inRange)
 }
 
-// Index exposes the static backend, or nil when the veneer is backed by a
-// DynamicIndex.
+// Index exposes the static backend, or nil when the veneer is backed by
+// any other source.
 func (rr *RangeReporter[P]) Index() *Index[P] {
 	ix, _ := rr.src.(*Index[P])
 	return ix
 }
 
 // Dynamic exposes the dynamic backend, or nil when the veneer is backed
-// by a static Index.
+// by any other source.
 func (rr *RangeReporter[P]) Dynamic() *DynamicIndex[P] {
 	dx, _ := rr.src.(*DynamicIndex[P])
 	return dx
 }
+
+// Source exposes the veneer's backend as a Source handle, whichever
+// concrete backend it is.
+func (rr *RangeReporter[P]) Source() Source[P] { return rr.src }
