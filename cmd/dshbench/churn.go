@@ -40,6 +40,13 @@ type churnConfig struct {
 	// Writers is the number of concurrent insert/delete goroutines in the
 	// multi-writer benchmark.
 	Writers int
+	// Deletes is the per-insert probability that a delete of a random
+	// earlier point follows the insert.
+	Deletes float64
+	// Routing selects the write path: "rr" (round-robin Insert with dense
+	// ids) or "hash" (keyed upserts through InsertKeyed, which on a
+	// ShardedIndex hash-routes keys to shards).
+	Routing string
 }
 
 // dynamicOptions translates the string flags into index options.
@@ -57,8 +64,10 @@ func (cfg churnConfig) dynamicOptions() (index.DynamicOptions, error) {
 		opts.Policy = index.CompactAll
 	case "tiered":
 		opts.Policy = index.CompactTiered
+	case "leveled":
+		opts.Policy = index.CompactLeveled
 	default:
-		return opts, fmt.Errorf("unknown -policy %q (want all or tiered)", cfg.Policy)
+		return opts, fmt.Errorf("unknown -policy %q (want all, tiered or leveled)", cfg.Policy)
 	}
 	switch cfg.Freeze {
 	case "", "inline":
@@ -75,9 +84,15 @@ func runChurn(w io.Writer, cfg churnConfig) error {
 	if err != nil {
 		return err
 	}
+	switch cfg.Routing {
+	case "", "rr", "hash":
+	default:
+		return fmt.Errorf("unknown -routing %q (want rr or hash)", cfg.Routing)
+	}
 	if cfg.Shards > 1 || cfg.Writers > 1 {
 		return runShardedChurn(w, cfg, opts)
 	}
+	keyed := cfg.Routing == "hash"
 	rng := xrand.New(cfg.Seed)
 	fam := core.Power[[]float64](sphere.SimHash(cfg.Dim), 6)
 	const L = 32
@@ -86,13 +101,24 @@ func runChurn(w io.Writer, cfg churnConfig) error {
 	pts := workload.SpherePoints(rng, cfg.Points, cfg.Dim)
 	queries := workload.SpherePoints(rng, cfg.Queries, cfg.Dim)
 
+	// In keyed mode every point enters through InsertKeyed under its stream
+	// position as key, so the delete side can churn through DeleteKeyed and
+	// leveled GC gets a key table to remap.
 	buildStart := time.Now()
-	dx := index.NewDynamic(rng, fam, L, pts[:initial], opts)
+	var dx *index.DynamicIndex[[]float64]
+	if keyed {
+		dx = index.NewDynamic(rng, fam, L, nil, opts)
+		for i, p := range pts[:initial] {
+			dx.InsertKeyed(uint64(i), p)
+		}
+	} else {
+		dx = index.NewDynamic(rng, fam, L, pts[:initial], opts)
+	}
 	defer dx.Close()
 	buildTime := time.Since(buildStart)
-	fmt.Fprintf(w, "churn: n0=%d inserts=%d queries=%d batch=%d workers=%d dim=%d L=%d policy=%s freeze=%s\n",
+	fmt.Fprintf(w, "churn: n0=%d inserts=%d queries=%d batch=%d workers=%d dim=%d L=%d policy=%s freeze=%s deletes=%.2f routing=%s\n",
 		initial, cfg.Points-initial, cfg.Queries, cfg.BatchSize, cfg.Workers, cfg.Dim, L,
-		orDefault(cfg.Policy, "all"), orDefault(cfg.Freeze, "inline"))
+		orDefault(cfg.Policy, "all"), orDefault(cfg.Freeze, "inline"), cfg.Deletes, orDefault(cfg.Routing, "rr"))
 	fmt.Fprintf(w, "build: %v\n", buildTime)
 
 	// Query batches run through the RunBatch worker pool with one pooled
@@ -145,17 +171,29 @@ func runChurn(w io.Writer, cfg churnConfig) error {
 		target := initial + (cfg.Points-initial)*(batch+1)/batches
 		for ; nextInsert < target; nextInsert++ {
 			start := time.Now()
-			dx.Insert(pts[nextInsert])
+			if keyed {
+				dx.InsertKeyed(uint64(nextInsert), pts[nextInsert])
+			} else {
+				dx.Insert(pts[nextInsert])
+			}
 			lat := time.Since(start)
 			insertWall += lat
 			insertLat = append(insertLat, float64(lat))
-			if mrng.Bernoulli(0.25) {
-				dx.Delete(mrng.Intn(nextInsert + 1))
+			if mrng.Bernoulli(cfg.Deletes) {
+				victim := mrng.Intn(nextInsert + 1)
+				if keyed {
+					dx.DeleteKeyed(uint64(victim))
+				} else {
+					// A renumbering GC may have shrunk the id space below
+					// the stream position; out-of-range ids are no-ops.
+					dx.Delete(victim)
+				}
 			}
 		}
 	})
-	fmt.Fprintf(w, "state: live=%d segments=%d memtable=%d pending-freezes=%d tombstones=%d\n",
-		dx.Len(), dx.Segments(), dx.MemtableLen(), dx.PendingFreezes(), nextInsert-dx.Len())
+	fmt.Fprintf(w, "state: live=%d segments=%d memtable=%d pending-freezes=%d\n",
+		dx.Len(), dx.Segments(), dx.MemtableLen(), dx.PendingFreezes())
+	printGCRow(w, "pre-compact gc", dx.GCStats())
 	printInsertRow(w, insertLat, insertWall)
 	printChurnRow(w, "pre-compact", churnAgg, churnAllocs)
 
@@ -163,6 +201,7 @@ func runChurn(w io.Writer, cfg churnConfig) error {
 	dx.Compact()
 	fmt.Fprintf(w, "compact: %v (live=%d segments=%d memtable=%d)\n",
 		time.Since(compactStart), dx.Len(), dx.Segments(), dx.MemtableLen())
+	printGCRow(w, "post-compact gc", dx.GCStats())
 
 	steadyAgg, steadyAllocs := runPhase(queries[half:], nil)
 	printChurnRow(w, "post-compact", steadyAgg, steadyAllocs)
@@ -206,6 +245,15 @@ func printChurnRow(w io.Writer, label string, agg index.BatchStats, allocs uint6
 		float64(agg.Candidates)/float64(agg.Queries),
 		float64(agg.Probes)/float64(agg.Queries),
 		float64(allocs)/float64(agg.Queries))
+}
+
+// printGCRow reports the garbage profile of the index: live versus dead
+// (tombstoned, not yet collected) rows, the tombstone-bitmap footprint,
+// and the cumulative rows dropped / bitmap bytes reclaimed by renumbering
+// GC merges.
+func printGCRow(w io.Writer, label string, st index.GCStats) {
+	fmt.Fprintf(w, "%-15s live=%d dead=%d bitmap=%dB collected=%d reclaimed=%dB\n",
+		label, st.LiveRows, st.DeadRows, st.BitmapBytes, st.CollectedRows, st.ReclaimedBitmapBytes)
 }
 
 func orDefault(s, def string) string {

@@ -64,10 +64,12 @@ func main() {
 	batch := flag.Int("batch", 256, "throughput/churn: queries per batch")
 	workers := flag.Int("workers", 0, "throughput/churn: batch workers (0 = GOMAXPROCS)")
 	dim := flag.Int("dim", 24, "throughput/churn: dimension")
-	policy := flag.String("policy", "all", "churn: background compaction policy (all or tiered)")
+	policy := flag.String("policy", "all", "churn: background compaction policy (all, tiered or leveled)")
 	freeze := flag.String("freeze", "inline", "churn: memtable freeze mode (inline or async)")
 	shards := flag.Int("shards", 1, "churn: ShardedIndex shard count (>1 runs the multi-writer benchmark with a single-shard baseline)")
 	writers := flag.Int("writers", 1, "churn: concurrent insert/delete goroutines (multi-writer benchmark)")
+	deletes := flag.Float64("deletes", 0.25, "churn: per-insert probability of a trailing delete")
+	routing := flag.String("routing", "rr", "churn: insert routing (rr = dense round-robin ids via Insert, hash = keyed upserts via InsertKeyed)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dshbench [flags] [experiment...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(names(), " "))
@@ -86,6 +88,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dshbench: -shards and -writers must be positive")
 			os.Exit(2)
 		}
+		if *deletes < 0 || *deletes > 1 {
+			fmt.Fprintln(os.Stderr, "dshbench: -deletes must be in [0, 1]")
+			os.Exit(2)
+		}
 		err := runChurn(os.Stdout, churnConfig{
 			Points:    *points,
 			Queries:   *queries,
@@ -97,6 +103,8 @@ func main() {
 			Freeze:    *freeze,
 			Shards:    *shards,
 			Writers:   *writers,
+			Deletes:   *deletes,
+			Routing:   *routing,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dshbench: %v\n", err)

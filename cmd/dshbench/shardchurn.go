@@ -31,6 +31,8 @@ type shardPassResult struct {
 	compact   time.Duration
 	postAgg   index.BatchStats
 	live      int
+	preGC     index.GCStats
+	postGC    index.GCStats
 }
 
 func runShardedChurn(w io.Writer, cfg churnConfig, opts index.DynamicOptions) error {
@@ -43,9 +45,9 @@ func runShardedChurn(w io.Writer, cfg churnConfig, opts index.DynamicOptions) er
 	// main.go rejects non-positive values before this mode is reached.
 	shards, writers := cfg.Shards, cfg.Writers
 
-	fmt.Fprintf(w, "churn: n0=%d inserts=%d queries=%d batch=%d workers=%d writers=%d shards=%d dim=%d L=%d policy=%s freeze=%s\n",
+	fmt.Fprintf(w, "churn: n0=%d inserts=%d queries=%d batch=%d workers=%d writers=%d shards=%d dim=%d L=%d policy=%s freeze=%s deletes=%.2f routing=%s\n",
 		initial, cfg.Points-initial, cfg.Queries, cfg.BatchSize, cfg.Workers, writers, shards, cfg.Dim, L,
-		orDefault(cfg.Policy, "all"), orDefault(cfg.Freeze, "inline"))
+		orDefault(cfg.Policy, "all"), orDefault(cfg.Freeze, "inline"), cfg.Deletes, orDefault(cfg.Routing, "rr"))
 
 	// Sharded pass first, then the single-shard (single structural lock)
 	// baseline over the same point and query streams.
@@ -62,6 +64,8 @@ func runShardedChurn(w io.Writer, cfg churnConfig, opts index.DynamicOptions) er
 			label = "baseline(1)"
 		}
 		fmt.Fprintf(w, "%s: build=%v live=%d compact=%v\n", label, res.build, res.live, res.compact)
+		printGCRow(w, label+" gc pre", res.preGC)
+		printGCRow(w, label+" gc post", res.postGC)
 		printInsertRowLabel(w, label+" ins", res.insertLat, res.writeWall)
 		printShardChurnRow(w, label+" churn", res.churnAgg)
 		printShardChurnRow(w, label+" post", res.postAgg)
@@ -85,9 +89,22 @@ func runShardedChurn(w io.Writer, cfg churnConfig, opts index.DynamicOptions) er
 func shardedChurnPass(cfg churnConfig, opts index.DynamicOptions, fam core.Family[[]float64], L int,
 	pts, queries [][]float64, initial, k, writers int) shardPassResult {
 
+	keyed := cfg.Routing == "hash"
 	buildStart := time.Now()
-	sx := index.NewSharded(xrand.New(cfg.Seed), fam, L, pts[:initial],
-		index.ShardOptions{Shards: k, Dynamic: opts})
+	var sx *index.ShardedIndex[[]float64]
+	if keyed {
+		// Hash routing: every point enters through InsertKeyed under its
+		// stream position as key, including the initial build, so deletes
+		// can target keys and leveled GC has a key table to remap.
+		sx = index.NewSharded(xrand.New(cfg.Seed), fam, L, nil,
+			index.ShardOptions{Shards: k, Routing: index.RouteHash, Dynamic: opts})
+		for i, p := range pts[:initial] {
+			sx.InsertKeyed(uint64(i), p)
+		}
+	} else {
+		sx = index.NewSharded(xrand.New(cfg.Seed), fam, L, pts[:initial],
+			index.ShardOptions{Shards: k, Dynamic: opts})
+	}
 	defer sx.Close()
 	res := shardPassResult{shards: k, build: time.Since(buildStart)}
 
@@ -108,12 +125,23 @@ func shardedChurnPass(cfg churnConfig, opts index.DynamicOptions, fam core.Famil
 			lats := make([]float64, 0, hi-lo)
 			for i := lo; i < hi; i++ {
 				t0 := time.Now()
-				id := sx.Insert(toInsert[i])
+				var bound int
+				if keyed {
+					sx.InsertKeyed(uint64(initial+i), toInsert[i])
+					bound = initial + i
+				} else {
+					bound = sx.Insert(toInsert[i])
+				}
 				lats = append(lats, float64(time.Since(t0)))
-				if mrng.Bernoulli(0.25) {
-					// Deleting a not-yet-assigned id is a harmless no-op,
-					// so an upper bound on the id space suffices.
-					sx.Delete(mrng.Intn(id + 1))
+				if mrng.Bernoulli(cfg.Deletes) {
+					// Deleting a not-yet-assigned id (or key) is a harmless
+					// no-op, so an upper bound on the space suffices.
+					victim := mrng.Intn(bound + 1)
+					if keyed {
+						sx.DeleteKeyed(uint64(victim))
+					} else {
+						sx.Delete(victim)
+					}
 				}
 			}
 			latCh <- lats
@@ -152,9 +180,11 @@ func shardedChurnPass(cfg churnConfig, opts index.DynamicOptions, fam core.Famil
 		res.insertLat = append(res.insertLat, <-latCh...)
 	}
 
+	res.preGC = sx.GCStats()
 	compactStart := time.Now()
 	sx.Compact()
 	res.compact = time.Since(compactStart)
+	res.postGC = sx.GCStats()
 	res.live = sx.Len()
 
 	post := queries[len(queries)/2:]

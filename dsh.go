@@ -288,7 +288,20 @@ const (
 	// similar-sized segments, so large old segments are rewritten rarely
 	// (each row moves O(log n) times over the index's life).
 	CompactTiered = index.CompactTiered
+	// CompactLeveled keeps one big bottom segment plus a small upper tier
+	// and garbage-collects tombstones in its bottom-level merges: dead
+	// rows are dropped permanently, survivors are renumbered through a
+	// dense shrinking id space, and the tombstone bitmap is compacted.
+	// Ids are stable only between GC merges — use InsertKeyed for durable
+	// identity, and GCStats for the reclamation counters.
+	CompactLeveled = index.CompactLeveled
 )
+
+// GCStats reports tombstone occupancy and garbage-collection progress for
+// a DynamicIndex or (summed across shards) a ShardedIndex; obtain it with
+// their GCStats methods. Only CompactLeveled reclaims bitmap storage and
+// collects rows permanently.
+type GCStats = index.GCStats
 
 // DynamicQuerier is the reusable per-goroutine query scratch of a
 // DynamicIndex; obtain one with DynamicIndex.NewQuerier.
@@ -308,12 +321,29 @@ func NewDynamicIndex[P any](rng *Rand, fam Family[P], L int, points []P, opts Dy
 // inserts and deletes on different shards never contend while queries keep
 // the exact collision-probability semantics (and candidate/distinct
 // counts) of a single DynamicIndex over the same live points. Points are
-// partitioned by global id: id g lives on shard g mod K.
+// partitioned by global id: id g lives on shard g mod K. Under RouteHash
+// routing, InsertKeyed sends every version of an external key to one
+// hash-chosen shard, making re-insertion an atomic upsert, and Snapshot
+// pins all shards at a single instant via the epoch barrier.
 type ShardedIndex[P any] = index.ShardedIndex[P]
 
-// ShardOptions configures a ShardedIndex: the shard count plus the
-// DynamicOptions applied to every shard.
+// ShardOptions configures a ShardedIndex: the shard count, the insert
+// Routing discipline, and the DynamicOptions applied to every shard.
 type ShardOptions = index.ShardOptions
+
+// Routing selects how a ShardedIndex assigns inserts to shards; see
+// RouteRoundRobin and RouteHash.
+type Routing = index.Routing
+
+// Insert-routing disciplines.
+const (
+	// RouteRoundRobin rotates plain Inserts across shards (dense ids,
+	// balanced shards); InsertKeyed panics under it.
+	RouteRoundRobin = index.RouteRoundRobin
+	// RouteHash routes InsertKeyed by a hash of the external key so every
+	// version of a key lives on one shard; plain Insert panics under it.
+	RouteHash = index.RouteHash
+)
 
 // NewShardedDynamicIndex builds a sharded dynamic index over the initial
 // points (global ids 0..len-1, point i on shard i mod Shards) with L
@@ -332,8 +362,9 @@ func NewShardedDynamicIndex[P any](rng *Rand, fam Family[P], L int, points []P, 
 type Snapshot[P any] = index.Snapshot[P]
 
 // ShardedSnapshot is the sharded counterpart of Snapshot: one pinned
-// per-shard view per shard, unified under the global-id arithmetic.
-// Obtain one with ShardedIndex.Snapshot.
+// per-shard view per shard, unified under the global-id arithmetic and
+// together representing the whole index at a single instant (established
+// by the epoch barrier). Obtain one with ShardedIndex.Snapshot.
 type ShardedSnapshot[P any] = index.ShardedSnapshot[P]
 
 // SnapshotQuerier is the reusable per-goroutine query scratch of a

@@ -338,6 +338,12 @@ func (b *Bitmap) Get(id int) bool {
 // Count returns the number of set bits.
 func (b *Bitmap) Count() int { return b.n }
 
+// Bytes returns the heap footprint of the bitmap's word storage in bytes.
+// It grows with the highest id ever Set (bits are stored up to that id even
+// after Clear), so shrinking requires rebuilding the bitmap — which is what
+// the dynamic index's leveled GC does when it compacts the id space.
+func (b *Bitmap) Bytes() int { return len(b.words) * 8 }
+
 // Clone returns an independent deep copy of b.
 func (b *Bitmap) Clone() Bitmap {
 	out := Bitmap{n: b.n}

@@ -29,16 +29,53 @@ const (
 	CompactAll CompactionPolicy = iota
 	// CompactTiered merges only a contiguous run of the newest
 	// similar-sized segments (a size-tiered policy with growth factor
-	// tieredGrowth): small fresh segments are folded together quickly
-	// while large old segments are rewritten only when the accumulated
-	// young data reaches a comparable size, so each row is moved O(log n)
-	// times over the life of the index instead of once per freeze.
+	// DynamicOptions.GrowthFactor): small fresh segments are folded
+	// together quickly while large old segments are rewritten only when
+	// the accumulated young data reaches a comparable size, so each row is
+	// moved O(log n) times over the life of the index instead of once per
+	// freeze.
 	CompactTiered
+	// CompactLeveled keeps one big bottom-level segment plus a small upper
+	// tier. Automatic compactions fold fresh upper segments together
+	// until the upper tier reaches 1/GrowthFactor of the bottom segment
+	// (or dead rows reach 1/GrowthFactor of the live count), then run a
+	// bottom-level merge that garbage-collects tombstones for good: dead
+	// ids are dropped permanently, surviving rows are renumbered through a
+	// dense shrinking id space (matching a static rebuild over the
+	// survivors), and the tombstone bitmap is rebuilt at the smaller size.
+	// Explicit Compact calls under this policy always run the bottom-level
+	// GC merge. Because the GC renumbers ids, ids are stable only between
+	// GC merges under this policy — use external keys (InsertKeyed) as the
+	// durable identity, and see GCStats for the reclamation counters.
+	CompactLeveled
 )
 
-// tieredGrowth is the size ratio above which an older segment is left out
-// of a tiered merge run.
-const tieredGrowth = 4
+// defaultGrowthFactor is the DynamicOptions.GrowthFactor default, shared
+// by the tiered and leveled policies.
+const defaultGrowthFactor = 4
+
+// GCStats reports tombstone occupancy and garbage-collection progress for
+// a DynamicIndex (or, summed across shards, a ShardedIndex). DeadRows
+// counts tombstoned rows still occupying table space across every layer;
+// CollectedRows and ReclaimedBitmapBytes accumulate what leveled GC merges
+// have permanently dropped. Under CompactAll and CompactTiered, merges
+// drop dead rows from the tables (DeadRows shrinks) but never renumber
+// ids, so BitmapBytes only grows; only CompactLeveled reclaims it.
+type GCStats struct {
+	// LiveRows is the number of live (inserted and not deleted) rows.
+	LiveRows int
+	// DeadRows is the number of tombstoned rows still present in some
+	// layer's tables, awaiting a merge to drop them.
+	DeadRows int
+	// BitmapBytes is the current tombstone-bitmap footprint in bytes.
+	BitmapBytes int
+	// CollectedRows is the total number of dead rows permanently dropped
+	// by bottom-level GC merges so far.
+	CollectedRows int
+	// ReclaimedBitmapBytes is the total tombstone-bitmap storage released
+	// by bottom-level GC merges so far.
+	ReclaimedBitmapBytes int
+}
 
 // colSource is one mergeable layer: parallel id and per-repetition key
 // columns in insertion order. Both segments and memtables provide it.
@@ -101,7 +138,16 @@ func mergeSources(L int, srcs []colSource, dead *bitvec.Bitmap) *segment {
 // Deletes that land during the merge stay tombstoned (bits are never
 // cleared), so they remain filtered at query time even though the merged
 // tables still contain them until the next merge.
+//
+// Under Policy == CompactLeveled, Compact is the bottom-level GC merge
+// instead: it additionally renumbers the surviving rows through a dense id
+// space and rebuilds the tombstone bitmap at the smaller size, so global
+// ids may change (see CompactLeveled and GCStats).
 func (dx *DynamicIndex[P]) Compact() {
+	if dx.opts.Policy == CompactLeveled {
+		dx.compactGC()
+		return
+	}
 	dx.mergeMu.Lock()
 	defer dx.mergeMu.Unlock()
 
@@ -142,6 +188,242 @@ func (dx *DynamicIndex[P]) Compact() {
 	dx.mu.Unlock()
 }
 
+// compactGC is the bottom-level merge of the leveled policy: fold every
+// layer into one segment exactly like Compact, then renumber the
+// survivors through a dense id space 0..S-1 (their relative — insertion —
+// order is preserved, so the result matches a static rebuild over the
+// survivors id for id), rebuild the tombstone bitmap at the new size, and
+// remap the external-key table. Layers that accumulated while the merge
+// built (ids assigned after the pin) shift down by the number of dropped
+// rows; they are renumbered via copies, so snapshots pinned under the old
+// id space stay consistent. When any row is dropped the mutation epoch
+// advances — ids changed, so epoch-based staleness checks (and caches
+// keyed on ids) correctly observe the GC.
+func (dx *DynamicIndex[P]) compactGC() {
+	dx.mergeMu.Lock()
+	defer dx.mergeMu.Unlock()
+
+	dx.mu.Lock()
+	if dx.mem.len() > 0 {
+		dx.frozen = append(dx.frozen, dx.mem)
+		dx.mem = newMemtable(len(dx.pairs))
+	}
+	segs := dx.segments
+	fmems := dx.frozen
+	snapBound := len(dx.points)
+	// Fast path: one dense segment covering every id, nothing pending, no
+	// tombstones — the GC would be an identity rewrite.
+	if len(fmems) == 0 && dx.dead.Count() == 0 &&
+		(len(segs) == 0 || (len(segs) == 1 && segs[0].len() == snapBound)) {
+		dx.mu.Unlock()
+		return
+	}
+	dead := dx.dead.Clone()
+	points := dx.points
+	dx.mu.Unlock()
+
+	// Off-lock: concatenate the retained columns, dropping rows dead at
+	// pin time (zero hash evaluations), then rebase the survivors onto the
+	// dense id space.
+	srcs := make([]colSource, 0, len(segs)+len(fmems))
+	mergedRows := 0
+	for _, s := range segs {
+		srcs = append(srcs, colSource{ids: s.globalIDs, keys: s.keys})
+		mergedRows += s.len()
+	}
+	for _, fm := range fmems {
+		srcs = append(srcs, colSource{ids: fm.ids, keys: fm.keys})
+		mergedRows += fm.len()
+	}
+	merged := mergeSources(len(dx.pairs), srcs, &dead)
+
+	var surv []int32 // survivors' old ids, strictly ascending
+	var newSeg *segment
+	var newPoints []P
+	if merged != nil {
+		surv = merged.globalIDs
+		newPoints = make([]P, len(surv))
+		denseIDs := make([]int32, len(surv))
+		for j, old := range surv {
+			newPoints[j] = points[old]
+			denseIDs[j] = int32(j)
+		}
+		newSeg = &segment{tables: merged.tables, keys: merged.keys, globalIDs: denseIDs}
+	}
+	dropped := mergedRows - len(surv)
+	delta := int32(len(surv) - snapBound) // shift for every id assigned after the pin
+
+	// The swap renumbers visible ids, so it counts as a write for the
+	// sharded epoch barrier: holding the barrier shared keeps a concurrent
+	// epoch-barrier Snapshot from pinning shards on both sides of a GC.
+	if dx.barrier != nil {
+		dx.barrier.RLock()
+		defer dx.barrier.RUnlock()
+	}
+	dx.mu.Lock()
+	defer dx.mu.Unlock()
+
+	// Rebase the post-pin tail of the points array onto the dense prefix.
+	tailLen := len(dx.points) - snapBound
+	dx.points = append(newPoints, dx.points[snapBound:]...)
+
+	// Renumber the layers appended since the pin (all their ids are >=
+	// snapBound: freezer installs were excluded by mergeMu, and inline
+	// freezes or snapshot detaches only carry post-pin inserts). Copies,
+	// not in-place edits: pinned snapshots keep the originals.
+	rest := dx.segments[len(segs):]
+	swapped := make([]*segment, 0, 1+len(rest))
+	if newSeg != nil {
+		swapped = append(swapped, newSeg)
+	}
+	for _, s := range rest {
+		swapped = append(swapped, s.withShiftedIDs(delta))
+	}
+	dx.segments = swapped
+	restMems := dx.frozen[len(fmems):]
+	dx.frozen = make([]*memtable, 0, len(restMems))
+	for _, fm := range restMems {
+		dx.frozen = append(dx.frozen, fm.remapped(delta))
+	}
+	if dx.mem.len() > 0 {
+		dx.mem = dx.mem.remapped(delta)
+	}
+
+	// Rebuild the tombstone bitmap in the new id space: survivors deleted
+	// during the merge keep their (translated) bits, dropped rows lose
+	// theirs, and the words beyond the new id bound are released.
+	oldBytes := dx.dead.Bytes()
+	var newDead bitvec.Bitmap
+	if dx.dead.Count() != dead.Count() { // deletes landed during the merge
+		for j, old := range surv {
+			if dx.dead.Get(int(old)) {
+				newDead.Set(j)
+			}
+		}
+		for old := snapBound; old < snapBound+tailLen; old++ {
+			if dx.dead.Get(old) {
+				newDead.Set(old + int(delta))
+			}
+		}
+	}
+	if reclaim := oldBytes - newDead.Bytes(); reclaim > 0 {
+		dx.gcReclaimedBytes += reclaim
+	}
+	dx.dead = newDead
+	dx.gcCollected += dropped
+
+	// Remap the external-key table: keyed rows inserted after the pin
+	// shift, keyed survivors take their dense rank, and entries orphaned
+	// on dropped rows (deleted by id rather than by key) are purged.
+	if dropped > 0 {
+		for k, v := range dx.keyed {
+			switch {
+			case int(v) >= snapBound:
+				dx.keyed[k] = v + delta
+			default:
+				if j := rankOf(surv, v); j >= 0 {
+					dx.keyed[k] = int32(j)
+				} else {
+					delete(dx.keyed, k)
+				}
+			}
+		}
+		// Ids changed: advance the epoch so snapshots and caches keyed on
+		// ids observe the renumbering as a mutation.
+		dx.epoch++
+	}
+}
+
+// rankOf returns the index of id in the strictly ascending slice ids, or
+// -1 when absent.
+func rankOf(ids []int32, id int32) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ids) && ids[lo] == id {
+		return lo
+	}
+	return -1
+}
+
+// compactLeveledStep runs one automatic step of the leveled policy and
+// reports whether it did productive work. It triggers the bottom-level GC
+// merge when the upper tier has grown to 1/GrowthFactor of the bottom
+// segment or dead rows have reached 1/GrowthFactor of the live count;
+// otherwise it folds the upper segments (everything above the bottom one)
+// into a single level-1 segment.
+func (dx *DynamicIndex[P]) compactLeveledStep() bool {
+	dx.mu.RLock()
+	segs := dx.segments
+	live := dx.live
+	rows := dx.mem.len()
+	for _, fm := range dx.frozen {
+		rows += fm.len()
+	}
+	for _, s := range segs {
+		rows += s.len()
+	}
+	dx.mu.RUnlock()
+	if len(segs) == 0 {
+		return false
+	}
+	growth := dx.opts.GrowthFactor
+	bottom := segs[0].len()
+	upper := 0
+	for _, s := range segs[1:] {
+		upper += s.len()
+	}
+	if upper*growth >= bottom || (rows-live)*growth >= live+1 {
+		dx.compactGC()
+		return true
+	}
+	return dx.compactUpperStep()
+}
+
+// compactUpperStep folds every segment above the bottom one into a single
+// level-1 segment (dropping their tombstoned rows, ids unchanged) and
+// reports whether a merge happened (false with fewer than two upper
+// segments). The memtable and pending detached memtables are left alone —
+// freezes, not merges, are responsible for them.
+func (dx *DynamicIndex[P]) compactUpperStep() bool {
+	dx.mergeMu.Lock()
+	defer dx.mergeMu.Unlock()
+
+	dx.mu.RLock()
+	segs := dx.segments
+	dead := dx.dead.Clone()
+	dx.mu.RUnlock()
+
+	if len(segs) < 3 {
+		return false
+	}
+	srcs := make([]colSource, 0, len(segs)-1)
+	for _, s := range segs[1:] {
+		srcs = append(srcs, colSource{ids: s.globalIDs, keys: s.keys})
+	}
+	merged := mergeSources(len(dx.pairs), srcs, &dead)
+
+	dx.mu.Lock()
+	// segs still occupies the prefix of dx.segments: rewrites are
+	// serialized by mergeMu (held) and concurrent freezes only append.
+	rest := dx.segments[len(segs):]
+	swapped := make([]*segment, 0, 2+len(rest))
+	swapped = append(swapped, segs[0])
+	if merged != nil {
+		swapped = append(swapped, merged)
+	}
+	swapped = append(swapped, rest...)
+	dx.segments = swapped
+	dx.mu.Unlock()
+	return true
+}
+
 // compactTieredStep merges the newest run of similar-sized segments into
 // one, dropping their tombstoned rows, and reports whether a merge
 // happened (false when fewer than two segments are tier-eligible). The
@@ -156,7 +438,7 @@ func (dx *DynamicIndex[P]) compactTieredStep() bool {
 	dead := dx.dead.Clone()
 	dx.mu.RUnlock()
 
-	lo := tieredRunStart(segs)
+	lo := tieredRunStart(segs, dx.opts.GrowthFactor)
 	if len(segs)-lo < 2 {
 		return false
 	}
@@ -184,17 +466,17 @@ func (dx *DynamicIndex[P]) compactTieredStep() bool {
 
 // tieredRunStart returns the start index of the maximal suffix run of
 // segments eligible for a tiered merge: walking newest to oldest, an
-// older segment joins the run while it is at most tieredGrowth times the
+// older segment joins the run while it is at most growth times the
 // combined size of the newer segments already in it. Large old segments
 // therefore stay out of the run until enough young data has accumulated
 // next to them.
-func tieredRunStart(segs []*segment) int {
+func tieredRunStart(segs []*segment, growth int) int {
 	if len(segs) == 0 {
 		return 0
 	}
 	lo := len(segs) - 1
 	total := segs[lo].len()
-	for lo > 0 && segs[lo-1].len() <= tieredGrowth*total {
+	for lo > 0 && segs[lo-1].len() <= growth*total {
 		lo--
 		total += segs[lo].len()
 	}

@@ -157,7 +157,7 @@ func TestTieredRunStart(t *testing.T) {
 		for i, n := range c.sizes {
 			segs[i] = seg(n)
 		}
-		if got := tieredRunStart(segs); got != c.want {
+		if got := tieredRunStart(segs, defaultGrowthFactor); got != c.want {
 			t.Errorf("tieredRunStart(%v) = %d, want %d", c.sizes, got, c.want)
 		}
 	}

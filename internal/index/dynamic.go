@@ -28,10 +28,22 @@ type DynamicOptions struct {
 	// Policy selects how automatic (background) compaction merges
 	// segments: CompactAll folds everything into one segment,
 	// CompactTiered merges only a contiguous run of the newest
-	// similar-sized segments so large old segments are rewritten rarely.
-	// Explicit Compact calls ignore the policy and always merge
-	// everything.
+	// similar-sized segments so large old segments are rewritten rarely,
+	// and CompactLeveled additionally garbage-collects tombstones in its
+	// bottom-level merges — dead ids are dropped permanently, survivors
+	// are renumbered through a dense shrinking id space, and the tombstone
+	// bitmap is compacted (see CompactLeveled for the id-stability
+	// caveat). Explicit Compact calls merge everything regardless of
+	// policy (performing the GC under CompactLeveled).
 	Policy CompactionPolicy
+	// GrowthFactor is the size ratio steering the tiered and leveled
+	// policies: a tiered run excludes older segments more than
+	// GrowthFactor times the accumulated newer data, and the leveled
+	// policy triggers its bottom-level GC merge when the upper tier (or
+	// the dead-row count) reaches 1/GrowthFactor of the bottom segment
+	// (respectively the live count). <= -1 panics at construction; 0 means
+	// the default of 4.
+	GrowthFactor int
 	// AsyncFreeze makes the Insert that crosses MemtableThreshold detach
 	// the full memtable and keep serving it read-only while the L flat
 	// tables build off the structural lock (the same snapshot-validated
@@ -51,6 +63,12 @@ func (o DynamicOptions) withDefaults() DynamicOptions {
 	}
 	if o.MaxSegments <= 0 {
 		o.MaxSegments = 8
+	}
+	if o.GrowthFactor < 0 {
+		panic("index: compaction growth factor must be positive")
+	}
+	if o.GrowthFactor == 0 {
+		o.GrowthFactor = defaultGrowthFactor
 	}
 	return o
 }
@@ -109,16 +127,35 @@ type DynamicIndex[P any] struct {
 	freezerBusy bool
 	mem         *memtable
 	// dead is the tombstone bitmap over global ids. Bits are set by
-	// Delete and never cleared: after a merge drops a point from the
-	// tables its bit is simply never consulted again, and keeping it set
-	// makes double-Delete detection trivial.
+	// Delete and never cleared in place: after a merge drops a point from
+	// the tables its bit is simply never consulted again, and keeping it
+	// set makes double-Delete detection trivial. Only the leveled GC
+	// replaces the bitmap wholesale, rebuilt over the compacted id space.
 	dead bitvec.Bitmap
 	live int
+	// keyed maps an external key to the global id of its newest version;
+	// nil until the first InsertKeyed. Entries always point at the latest
+	// insert under the key — upserts tombstone the previous id in the same
+	// critical section — and the leveled GC renumbers them alongside the
+	// rows.
+	keyed map[uint64]int32
 	// epoch counts visible mutations (Insert and successful Delete).
 	// Snapshots capture it, so Epoch comparison detects staleness;
 	// structural rewrites (freezes, merges) preserve the live set and do
-	// not advance it.
+	// not advance it — except a leveled GC merge that drops rows, which
+	// renumbers ids and therefore advances the epoch once.
 	epoch uint64
+	// gcCollected and gcReclaimedBytes accumulate what leveled GC merges
+	// have permanently dropped; surfaced via GCStats.
+	gcCollected      int
+	gcReclaimedBytes int
+
+	// barrier, when non-nil, is the owning ShardedIndex's epoch barrier:
+	// every visible mutation (Insert, InsertKeyed, Delete, DeleteKeyed)
+	// and every id-renumbering GC swap holds it shared, so the sharded
+	// Snapshot can quiesce all shards at one instant by holding it
+	// exclusively. Standalone indexes leave it nil.
+	barrier *sync.RWMutex
 
 	// mergeMu serializes structural rewrites; see the type comment.
 	mergeMu sync.Mutex
@@ -260,7 +297,27 @@ func (dx *DynamicIndex[P]) Insert(p P) int {
 	for i, pair := range dx.pairs {
 		keys[i] = pair.H.Hash(p)
 	}
+	if dx.barrier != nil {
+		dx.barrier.RLock()
+	}
 	dx.mu.Lock()
+	id, needMerge := dx.insertLocked(p, keys)
+	dx.mu.Unlock()
+	if dx.barrier != nil {
+		dx.barrier.RUnlock()
+	}
+	if needMerge {
+		dx.nudgeCompactor()
+	}
+	return int(id)
+}
+
+// insertLocked appends p under a fresh global id and buffers it in the
+// memtable, handling the threshold crossing. Callers hold mu exclusively
+// (and the shard barrier shared, when one exists); keys are the L
+// pre-computed data-side hashes of p. It reports the new id and whether
+// the caller should nudge the background compactor after unlocking.
+func (dx *DynamicIndex[P]) insertLocked(p P, keys []uint64) (int32, bool) {
 	id := int32(len(dx.points))
 	dx.points = append(dx.points, p)
 	dx.mem.insert(id, keys)
@@ -279,17 +336,91 @@ func (dx *DynamicIndex[P]) Insert(p P) int {
 			needMerge = dx.compactCh != nil && len(dx.segments) > dx.opts.MaxSegments
 		}
 	}
+	return id, needMerge
+}
+
+// InsertKeyed upserts a point under an external key and returns the global
+// id of the new version. When the key already maps to a live point, that
+// previous version is tombstoned and the new one inserted in the same
+// critical section, so queries never see both (or neither) version of a
+// key. The returned id is the point's current identity for Delete/Point,
+// but under CompactLeveled ids are renumbered by GC merges — the key is
+// the durable handle; use LookupKey to recover the current id.
+func (dx *DynamicIndex[P]) InsertKeyed(key uint64, p P) int {
+	keys := make([]uint64, len(dx.pairs))
+	for i, pair := range dx.pairs {
+		keys[i] = pair.H.Hash(p)
+	}
+	if dx.barrier != nil {
+		dx.barrier.RLock()
+	}
+	dx.mu.Lock()
+	if old, ok := dx.keyed[key]; ok && !dx.dead.Get(int(old)) {
+		dx.dead.Set(int(old))
+		dx.live--
+		dx.epoch++
+	}
+	id, needMerge := dx.insertLocked(p, keys)
+	if dx.keyed == nil {
+		dx.keyed = make(map[uint64]int32)
+	}
+	dx.keyed[key] = id
 	dx.mu.Unlock()
+	if dx.barrier != nil {
+		dx.barrier.RUnlock()
+	}
 	if needMerge {
 		dx.nudgeCompactor()
 	}
 	return int(id)
 }
 
+// DeleteKeyed tombstones the newest version of the point inserted under
+// key, reporting whether a live version existed. The key's mapping is
+// removed either way, so a later InsertKeyed under the same key starts
+// fresh.
+func (dx *DynamicIndex[P]) DeleteKeyed(key uint64) bool {
+	if dx.barrier != nil {
+		dx.barrier.RLock()
+		defer dx.barrier.RUnlock()
+	}
+	dx.mu.Lock()
+	defer dx.mu.Unlock()
+	id, ok := dx.keyed[key]
+	if !ok {
+		return false
+	}
+	delete(dx.keyed, key)
+	if dx.dead.Get(int(id)) {
+		return false
+	}
+	dx.dead.Set(int(id))
+	dx.live--
+	dx.epoch++
+	return true
+}
+
+// LookupKey returns the current global id of the live point inserted under
+// key, if any. Under CompactLeveled the id is only guaranteed current
+// until the next GC merge; re-resolve after observing an Epoch change.
+func (dx *DynamicIndex[P]) LookupKey(key uint64) (int, bool) {
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	id, ok := dx.keyed[key]
+	if !ok || dx.dead.Get(int(id)) {
+		return 0, false
+	}
+	return int(id), true
+}
+
 // Delete tombstones the point with the given global id, reporting whether
 // it was live. The point disappears from query results immediately and
 // from the underlying tables at the next merge covering its segment.
 func (dx *DynamicIndex[P]) Delete(id int) bool {
+	if dx.barrier != nil {
+		dx.barrier.RLock()
+		defer dx.barrier.RUnlock()
+	}
 	dx.mu.Lock()
 	defer dx.mu.Unlock()
 	if id < 0 || id >= len(dx.points) || dx.dead.Get(id) {
@@ -301,11 +432,36 @@ func (dx *DynamicIndex[P]) Delete(id int) bool {
 	return true
 }
 
+// GCStats reports the index's tombstone occupancy and leveled-GC progress.
+// It takes the structural read-lock briefly and is safe for concurrent
+// use; DeadRows is exact at that instant (rows still in some layer's
+// tables minus the live count).
+func (dx *DynamicIndex[P]) GCStats() GCStats {
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	rows := dx.mem.len()
+	for _, fm := range dx.frozen {
+		rows += fm.len()
+	}
+	for _, s := range dx.segments {
+		rows += s.len()
+	}
+	return GCStats{
+		LiveRows:             dx.live,
+		DeadRows:             rows - dx.live,
+		BitmapBytes:          dx.dead.Bytes(),
+		CollectedRows:        dx.gcCollected,
+		ReclaimedBitmapBytes: dx.gcReclaimedBytes,
+	}
+}
+
 // Epoch returns the index's mutation epoch: a counter advanced by every
 // Insert and every successful Delete (structural rewrites — freezes,
-// merges — preserve the live set and do not advance it). Comparing it with
-// Snapshot.Epoch tells whether a snapshot is stale. Epoch takes the
-// structural read-lock briefly and is safe for concurrent use.
+// merges — preserve the live set and do not advance it, except a leveled
+// GC merge that drops rows, which renumbers ids and advances it once).
+// Comparing it with Snapshot.Epoch tells whether a snapshot is stale.
+// Epoch takes the structural read-lock briefly and is safe for concurrent
+// use.
 func (dx *DynamicIndex[P]) Epoch() uint64 {
 	dx.mu.RLock()
 	defer dx.mu.RUnlock()
@@ -566,11 +722,16 @@ func (dx *DynamicIndex[P]) autoCompact() {
 		if !over {
 			return
 		}
-		if dx.opts.Policy == CompactTiered {
+		switch dx.opts.Policy {
+		case CompactTiered:
 			if !dx.compactTieredStep() {
 				return
 			}
-		} else {
+		case CompactLeveled:
+			if !dx.compactLeveledStep() {
+				return
+			}
+		default:
 			dx.Compact()
 		}
 	}

@@ -53,6 +53,37 @@ func (mt *memtable) lookup(rep int, key uint64) []int32 {
 	return mt.tables[rep][key]
 }
 
+// remapped returns a copy of the memtable with every buffered id shifted by
+// delta, sharing the (content-identical) key columns with the original. The
+// leveled GC uses it to renumber the layers that accumulated while the
+// bottom-level merge built: copies keep pinned snapshots — which still
+// reference the original memtable under the old id space — consistent. The
+// original must not be mutated afterwards; the copy may (the shared key
+// columns are append-only, and the original never reads past its own
+// length).
+func (mt *memtable) remapped(delta int32) *memtable {
+	out := &memtable{
+		tables: make([]map[uint64][]int32, len(mt.tables)),
+		ids:    make([]int32, len(mt.ids)),
+		keys:   mt.keys,
+	}
+	for j, id := range mt.ids {
+		out.ids[j] = id + delta
+	}
+	for i, tbl := range mt.tables {
+		nt := make(map[uint64][]int32, len(tbl))
+		for k, ids := range tbl {
+			nids := make([]int32, len(ids))
+			for j, id := range ids {
+				nids[j] = id + delta
+			}
+			nt[k] = nids
+		}
+		out.tables[i] = nt
+	}
+	return out
+}
+
 // freeze converts the buffered points into an immutable segment using the
 // retained key columns (no rehashing); the columns are handed to the
 // segment so later merges stay rehash-free too. The memtable must not be

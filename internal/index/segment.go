@@ -36,6 +36,19 @@ func (s *segment) lookup(rep int, key uint64) []int32 {
 	return s.tables[rep].lookup(key)
 }
 
+// withShiftedIDs returns a copy of the segment sharing its flat tables and
+// key columns (both immutable) but with every global id shifted by delta.
+// The leveled GC uses it to renumber segments installed while the
+// bottom-level merge built, without rebuilding their tables; the original
+// stays valid for snapshots pinned under the old id space.
+func (s *segment) withShiftedIDs(delta int32) *segment {
+	ids := make([]int32, len(s.globalIDs))
+	for j, id := range s.globalIDs {
+		ids[j] = id + delta
+	}
+	return &segment{tables: s.tables, keys: s.keys, globalIDs: ids}
+}
+
 // buildSegment freezes points (carrying their global ids) into a segment
 // by hashing every point with each repetition's data-side hasher — the
 // only place in the dynamic subsystem outside Insert that evaluates hash

@@ -8,6 +8,27 @@ import (
 	"dsh/internal/xrand"
 )
 
+// Routing selects how a ShardedIndex assigns inserts to shards; see the
+// constants.
+type Routing int
+
+const (
+	// RouteRoundRobin routes plain Inserts to shards in rotation via an
+	// atomic cursor: the id mapping stays purely arithmetic, shard sizes
+	// stay balanced within one point, and global ids stay dense under
+	// single-writer ingest. InsertKeyed panics under this routing — a key
+	// must always resolve to the same shard, which rotation cannot
+	// guarantee.
+	RouteRoundRobin Routing = iota
+	// RouteHash routes by external key: InsertKeyed (and DeleteKeyed,
+	// LookupKey) sends key k to shard mix(k) mod K, where mix is a
+	// splitmix64-style finalizer, so every version of a key lives on one
+	// shard and re-inserting a key is an atomic upsert under that single
+	// shard's lock. Plain Insert panics under this routing — unkeyed
+	// points have no stable home shard.
+	RouteHash
+)
+
 // ShardOptions configures a ShardedIndex.
 type ShardOptions struct {
 	// Shards is the number of independent DynamicIndex shards. It must be
@@ -16,6 +37,10 @@ type ShardOptions struct {
 	// contend on a lock) at the cost of one extra probe per repetition
 	// per shard on the query path.
 	Shards int
+	// Routing selects the insert-routing discipline: RouteRoundRobin (the
+	// zero value) serves plain Insert, RouteHash serves InsertKeyed. The
+	// two are mutually exclusive per index — see the Routing constants.
+	Routing Routing
 	// Dynamic is applied to every shard: each gets its own memtable
 	// threshold, freeze mode, segment budget, compaction policy and — when
 	// BackgroundCompaction is set — its own background compactor
@@ -27,9 +52,12 @@ type ShardOptions struct {
 // DynamicIndex shards, each with its own memtable, segment list, freezer
 // and compaction policy — and, crucially, its own locks — so mutations on
 // different shards never contend. Points are partitioned by global id:
-// id g lives on shard g mod K at shard-local position g div K. Inserts
-// are routed round-robin, which keeps that mapping purely arithmetic (no
-// routing table) and keeps shard sizes balanced within one point.
+// id g lives on shard g mod K at shard-local position g div K. Under
+// RouteRoundRobin (the default) plain Inserts rotate across shards, which
+// keeps that mapping purely arithmetic (no routing table) and keeps shard
+// sizes balanced within one point; under RouteHash, InsertKeyed routes by
+// a hash of the external key, so every version of a key lives on one
+// shard and upserts are atomic under that shard's lock.
 //
 // All shards share the same L repetition draws (h_i, g_i), sampled once
 // by NewSharded, so a query hashes once per repetition and probes every
@@ -55,13 +83,22 @@ type ShardOptions struct {
 // every shard for lock-free scans. After Close, Insert and Snapshot panic;
 // queries and deletes on the existing data remain valid.
 type ShardedIndex[P any] struct {
-	pairs  []core.Pair[P]
-	negG   []negQueryHasher
-	shards []*DynamicIndex[P]
+	pairs   []core.Pair[P]
+	negG    []negQueryHasher
+	shards  []*DynamicIndex[P]
+	routing Routing
 	// cursor routes inserts round-robin; it continues from the initial
 	// point count so global ids stay dense under single-writer ingest.
 	cursor atomic.Uint64
 	closed atomic.Bool
+
+	// barrier is the epoch barrier behind the single-instant Snapshot:
+	// every shard mutation (and every id-renumbering GC swap) holds it
+	// shared via DynamicIndex.barrier, and Snapshot's fallback path holds
+	// it exclusively to quiesce all shards at once. The optimistic
+	// snapshot path never takes it, so mutators pay only an uncontended
+	// RLock in the common case.
+	barrier sync.RWMutex
 
 	queriers sync.Pool
 }
@@ -99,12 +136,14 @@ func NewSharded[P any](rng *xrand.Rand, family core.Family[P], L int, points []P
 		parts[i%K] = append(parts[i%K], p)
 	}
 	sx := &ShardedIndex[P]{
-		pairs:  pairs,
-		negG:   negG,
-		shards: make([]*DynamicIndex[P], K),
+		pairs:   pairs,
+		negG:    negG,
+		shards:  make([]*DynamicIndex[P], K),
+		routing: opts.Routing,
 	}
 	for s := range sx.shards {
 		sx.shards[s] = newDynamicFromPairs(pairs, negG, parts[s], opts.Dynamic)
+		sx.shards[s].barrier = &sx.barrier
 	}
 	sx.cursor.Store(uint64(len(points)))
 	sx.queriers.New = func() any { return newSourceQuerier[P](sx, 0) }
@@ -150,15 +189,97 @@ func (sx *ShardedIndex[P]) Epoch() uint64 {
 // its stable global id (shard-local id times the shard count, plus the
 // shard number). Inserts landing on different shards run fully in
 // parallel: each takes only its own shard's locks. Insert panics after
-// Close.
+// Close, and panics under RouteHash — a hash-routed index has no rotation
+// cursor; use InsertKeyed.
 func (sx *ShardedIndex[P]) Insert(p P) int {
 	if sx.closed.Load() {
 		panic("index: Insert on closed ShardedIndex")
+	}
+	if sx.routing == RouteHash {
+		panic("index: Insert on hash-routed ShardedIndex (use InsertKeyed)")
 	}
 	K := len(sx.shards)
 	s := int((sx.cursor.Add(1) - 1) % uint64(K))
 	local := sx.shards[s].Insert(p)
 	return local*K + s
+}
+
+// mixKey is a splitmix64-style finalizer spreading external keys across
+// shards: sequential keys land on effectively independent shards, so hash
+// routing stays balanced even under adversarially regular key streams.
+func mixKey(k uint64) uint64 {
+	k += 0x9e3779b97f4a7c15
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// keyShard returns the home shard of an external key under hash routing.
+func (sx *ShardedIndex[P]) keyShard(key uint64) int {
+	return int(mixKey(key) % uint64(len(sx.shards)))
+}
+
+// InsertKeyed upserts a point under an external key and returns the
+// global id of the new version. The key's hash picks the home shard, so
+// every version of a key lives on one shard and the upsert — tombstoning
+// the previous version and inserting the new one — is atomic under that
+// single shard's lock: queries never see both (or neither) version.
+// Returned ids are stable until a leveled GC merge on the owning shard
+// renumbers them (see CompactLeveled); the key is the durable identity and
+// LookupKey recovers the current id. InsertKeyed panics after Close and
+// panics under RouteRoundRobin — rotation cannot send a key back to its
+// home shard.
+func (sx *ShardedIndex[P]) InsertKeyed(key uint64, p P) int {
+	if sx.closed.Load() {
+		panic("index: InsertKeyed on closed ShardedIndex")
+	}
+	if sx.routing != RouteHash {
+		panic("index: InsertKeyed on round-robin ShardedIndex (set ShardOptions.Routing to RouteHash)")
+	}
+	K := len(sx.shards)
+	s := sx.keyShard(key)
+	local := sx.shards[s].InsertKeyed(key, p)
+	return local*K + s
+}
+
+// DeleteKeyed tombstones the newest version of the point inserted under
+// key, reporting whether a live version existed. Only the key's home
+// shard's lock is taken.
+func (sx *ShardedIndex[P]) DeleteKeyed(key uint64) bool {
+	return sx.shards[sx.keyShard(key)].DeleteKeyed(key)
+}
+
+// LookupKey returns the current global id of the live point inserted
+// under key, if any. Under CompactLeveled the id is only guaranteed
+// current until the next GC merge on the owning shard; re-resolve after
+// observing an Epoch change.
+func (sx *ShardedIndex[P]) LookupKey(key uint64) (int, bool) {
+	K := len(sx.shards)
+	s := sx.keyShard(key)
+	local, ok := sx.shards[s].LookupKey(key)
+	if !ok {
+		return 0, false
+	}
+	return local*K + s, true
+}
+
+// GCStats sums the shards' tombstone occupancy and leveled-GC progress.
+// Each shard's stats are read under its own lock; concurrent mutators may
+// move the totals while they are being summed.
+func (sx *ShardedIndex[P]) GCStats() GCStats {
+	var total GCStats
+	for _, dx := range sx.shards {
+		st := dx.GCStats()
+		total.LiveRows += st.LiveRows
+		total.DeadRows += st.DeadRows
+		total.BitmapBytes += st.BitmapBytes
+		total.CollectedRows += st.CollectedRows
+		total.ReclaimedBitmapBytes += st.ReclaimedBitmapBytes
+	}
+	return total
 }
 
 // Delete tombstones the point with the given global id, reporting whether
@@ -337,30 +458,72 @@ func (qr *ShardedQuerier[P]) CollectDistinct(q P, max int) ([]int, QueryStats) {
 	return qr.collectDistinct(q, max)
 }
 
-// Snapshot returns an immutable view of every shard: per-shard snapshots
-// (each pinning its shard's layers and tombstones at the moment that
-// shard was visited, taken in shard order) unified under the global-id
-// arithmetic. The result implements the same candidateSource contract as
-// the live index, so every veneer and the batch engine run over it
-// unchanged, lock-free, while all shards keep absorbing writes. Snapshot
-// panics after Close.
+// Snapshot returns an immutable view of every shard — per-shard snapshots
+// unified under the global-id arithmetic — representing the whole index
+// at one single instant: there is a moment T such that every shard's
+// pinned state is exactly its state at T (an op sequence applied through
+// the index is never seen half-applied across shards). The result
+// implements the same candidateSource contract as the live index, so
+// every veneer and the batch engine run over it unchanged, lock-free,
+// while all shards keep absorbing writes. Snapshot panics after Close.
+//
+// The single instant is established by an epoch barrier with an
+// optimistic fast path. Mark: read every shard's mutation epoch. Pin:
+// take every shard's snapshot. Verify: every pinned epoch still equals
+// its mark. All marks complete before any pin starts, so on success every
+// shard was mutation-free over [its mark, its pin] — an interval
+// containing [last mark, first pin] — and any T in that common window
+// works. On a verify failure the pins are released and the attempt
+// retried; after three failures Snapshot stops the world instead, holding
+// the index's barrier exclusively (every mutator and GC swap holds it
+// shared) while it pins, so a snapshot completes in bounded time under
+// any write load.
 func (sx *ShardedIndex[P]) Snapshot() *ShardedSnapshot[P] {
 	if sx.closed.Load() {
 		panic("index: Snapshot of closed ShardedIndex")
 	}
-	ss := &ShardedSnapshot[P]{snaps: make([]*Snapshot[P], len(sx.shards))}
+	K := len(sx.shards)
+	marks := make([]uint64, K)
+	ss := &ShardedSnapshot[P]{snaps: make([]*Snapshot[P], K)}
+	for attempt := 0; attempt < 3; attempt++ {
+		for s, dx := range sx.shards {
+			marks[s] = dx.Epoch()
+		}
+		for s, dx := range sx.shards {
+			ss.snaps[s] = dx.Snapshot()
+		}
+		ok := true
+		for s, snap := range ss.snaps {
+			if snap.Epoch() != marks[s] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ss.queriers.New = func() any { return newSourceQuerier[P](ss, ss.beginRead()) }
+			return ss
+		}
+		for s, snap := range ss.snaps {
+			snap.Release()
+			ss.snaps[s] = nil
+		}
+	}
+	// Fallback: quiesce every mutator (they hold barrier shared) and pin
+	// under exclusion. Trivially a single instant.
+	sx.barrier.Lock()
 	for s, dx := range sx.shards {
 		ss.snaps[s] = dx.Snapshot()
 	}
+	sx.barrier.Unlock()
 	ss.queriers.New = func() any { return newSourceQuerier[P](ss, ss.beginRead()) }
 	return ss
 }
 
 // ShardedSnapshot is an immutable view of a ShardedIndex: one Snapshot
-// per shard, unified under the global-id arithmetic. Each shard's state
-// is a consistent point in time (shards are pinned in shard order, so the
-// union is not a single global instant); queries, scans and the batch
-// engine run over it lock-free while the live shards keep mutating.
+// per shard, unified under the global-id arithmetic, together pinning the
+// whole index at one single instant (see ShardedIndex.Snapshot for the
+// epoch-barrier protocol that guarantees it). Queries, scans and the
+// batch engine run over it lock-free while the live shards keep mutating.
 // Safe for unrestricted concurrent use until Release.
 type ShardedSnapshot[P any] struct {
 	snaps    []*Snapshot[P]

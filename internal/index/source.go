@@ -10,7 +10,10 @@ import (
 // colliding ids of that repetition under stable point ids — so that the
 // Section 6 structures (distinct-candidate collection, annulus search,
 // range reporting, concurrent batching) are written once and instantiated
-// over any backend:
+// over any backend. (Ids are stable within any read window and, for every
+// policy but CompactLeveled, across the backend's lifetime; a leveled GC
+// merge renumbers ids between windows and advances the epoch.) The
+// backends:
 //
 //   - *Index: the frozen flat-table layout (one immutable table per
 //     repetition, ids 0..Len-1).
