@@ -1,0 +1,46 @@
+package index
+
+import (
+	"testing"
+
+	"dsh/internal/workload"
+	"dsh/internal/xrand"
+)
+
+func TestReproGCHoleRenumbering(t *testing.T) {
+	rng := xrand.New(99)
+	pts := workload.SpherePoints(rng, 12, testDim)
+	dx := NewDynamic(xrand.New(7), dynamicFamily(), 8, nil, DynamicOptions{
+		MemtableThreshold: 4,
+		Policy:            CompactLeveled,
+	})
+	for i, p := range pts {
+		dx.InsertKeyed(uint64(i), p)
+	}
+	if got := dx.Segments(); got != 3 {
+		t.Fatalf("segments = %d, want 3", got)
+	}
+	// Tombstone a row in an upper segment, then fold the upper level:
+	// the dead row is dropped from the tables, id space keeps a hole.
+	dx.DeleteKeyed(5)
+	if !dx.compactUpperStep() {
+		t.Fatal("upper step did not merge")
+	}
+	epochBefore := dx.Epoch()
+	dx.Compact() // leveled GC: dropped==0 but delta==-1
+	t.Logf("epoch before=%d after=%d", epochBefore, dx.Epoch())
+	id, ok := dx.LookupKey(11)
+	if !ok {
+		t.Fatal("key 11 lost")
+	}
+	t.Logf("LookupKey(11) = %d, Len = %d", id, dx.Len())
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Point(%d) panicked: %v", id, r)
+		}
+	}()
+	p := dx.Point(id)
+	if p[0] != pts[11][0] {
+		t.Fatalf("key 11 resolves to wrong point: id %d", id)
+	}
+}
