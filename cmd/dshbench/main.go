@@ -59,6 +59,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	throughput := flag.Bool("throughput", false, "run the serving-throughput mode instead of experiments")
 	churn := flag.Bool("churn", false, "run the dynamic-index churn mode (interleaved inserts/deletes/queries, QPS before/after compaction)")
+	recoverMode := flag.Bool("recover", false, "run the durable-recovery mode (cold start from an on-disk store vs a full in-memory rebuild)")
+	dir := flag.String("dir", "", "recover: store directory (default: a temp dir removed on exit)")
 	points := flag.Int("points", 20000, "throughput/churn: indexed points")
 	queries := flag.Int("queries", 2000, "throughput/churn: total queries")
 	batch := flag.Int("batch", 256, "throughput/churn: queries per batch")
@@ -66,7 +68,7 @@ func main() {
 	dim := flag.Int("dim", 24, "throughput/churn: dimension")
 	policy := flag.String("policy", "all", "churn: background compaction policy (all, tiered or leveled)")
 	freeze := flag.String("freeze", "inline", "churn: memtable freeze mode (inline or async)")
-	shards := flag.Int("shards", 1, "churn: ShardedIndex shard count (>1 runs the multi-writer benchmark with a single-shard baseline)")
+	shards := flag.Int("shards", 1, "churn, recover: ShardedIndex shard count (>1 runs the multi-writer or sharded-recovery variant)")
 	writers := flag.Int("writers", 1, "churn: concurrent insert/delete goroutines (multi-writer benchmark)")
 	deletes := flag.Float64("deletes", 0.25, "churn: per-insert probability of a trailing delete")
 	routing := flag.String("routing", "rr", "churn: insert routing (rr = dense round-robin ids via Insert, hash = keyed upserts via InsertKeyed)")
@@ -77,11 +79,30 @@ func main() {
 	}
 	flag.Parse()
 
-	if *throughput || *churn {
+	if *throughput || *churn || *recoverMode {
 		if *points <= 0 || *queries <= 0 || *batch <= 0 || *dim <= 0 {
 			fmt.Fprintln(os.Stderr, "dshbench: -points, -queries, -batch and -dim must be positive")
 			os.Exit(2)
 		}
+	}
+	if *recoverMode {
+		if *shards < 1 {
+			fmt.Fprintln(os.Stderr, "dshbench: -shards must be positive")
+			os.Exit(2)
+		}
+		err := runRecover(os.Stdout, recoverConfig{
+			Points:  *points,
+			Queries: *queries,
+			Dim:     *dim,
+			Seed:    *seed,
+			Shards:  *shards,
+			Dir:     *dir,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dshbench: %v\n", err)
+			os.Exit(2)
+		}
+		return
 	}
 	if *churn {
 		if *shards < 1 || *writers < 1 {

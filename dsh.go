@@ -45,6 +45,7 @@ import (
 	"dsh/internal/bitvec"
 	"dsh/internal/core"
 	"dsh/internal/cpfit"
+	"dsh/internal/durable"
 	"dsh/internal/euclid"
 	"dsh/internal/hamming"
 	"dsh/internal/index"
@@ -354,6 +355,84 @@ const (
 func NewShardedDynamicIndex[P any](rng *Rand, fam Family[P], L int, points []P, opts ShardOptions) *ShardedIndex[P] {
 	return index.NewSharded(rng, fam, L, points, opts)
 }
+
+// Durability: a DynamicIndex or ShardedIndex can be backed by an on-disk
+// store — a checksummed write-ahead log journaling every mutation
+// (including the hash keys, so recovery never re-evaluates a hash
+// function), immutable segment files written on checkpoint, and an
+// atomically-renamed manifest tying them together. Open* rebuilds the
+// exact serving state after a clean shutdown, a crash, or a torn WAL
+// tail.
+
+// PointCodec serializes index points for the WAL and segment files.
+type PointCodec[P any] = durable.PointCodec[P]
+
+// Point codecs for the built-in point types.
+type (
+	// Float64Codec encodes []float64 points as raw IEEE-754 words.
+	Float64Codec = durable.Float64Codec
+	// BitvecCodec encodes BitVector points.
+	BitvecCodec = durable.BitvecCodec
+)
+
+// DurableOptions configures the on-disk store of a durable index (fsync
+// policy and cadence).
+type DurableOptions = durable.Options
+
+// FsyncPolicy selects when the write-ahead log is synced to stable
+// storage; see FsyncAlways, FsyncInterval and FsyncNever.
+type FsyncPolicy = durable.FsyncPolicy
+
+// WAL fsync policies.
+const (
+	// FsyncAlways syncs after every record: no acknowledged mutation is
+	// ever lost, at a per-mutation fsync cost.
+	FsyncAlways = durable.FsyncAlways
+	// FsyncInterval syncs at most once per DurableOptions.Interval: a
+	// crash loses at most the last interval of mutations.
+	FsyncInterval = durable.FsyncInterval
+	// FsyncNever leaves syncing to the OS page cache (plus the forced
+	// syncs at checkpoints): fastest, weakest.
+	FsyncNever = durable.FsyncNever
+)
+
+// NewDurableDynamicIndex builds an empty dynamic index journaled under
+// dir (created if absent; it must not already hold a store). The index
+// behaves exactly like NewDynamicIndex(NewRand(seed), fam, L, nil, opts)
+// — same repetition draws, same candidate streams — with every mutation
+// additionally logged for recovery. Close it to checkpoint and seal the
+// store; DurableErr surfaces disk failures (the index keeps serving from
+// memory either way).
+func NewDurableDynamicIndex[P any](dir string, seed uint64, fam Family[P], L int, codec PointCodec[P], opts DynamicOptions, dopts DurableOptions) (*DynamicIndex[P], error) {
+	return index.NewDurableDynamic(dir, seed, fam, L, codec, opts, dopts)
+}
+
+// OpenDynamicIndex recovers a dynamic index from a directory written by
+// NewDurableDynamicIndex: segments load directly and the WAL tail
+// replays, with zero hash evaluations. fam must be the family the store
+// was created with (its per-repetition draws are re-sampled from the
+// recorded seed).
+func OpenDynamicIndex[P any](dir string, fam Family[P], codec PointCodec[P], opts DynamicOptions, dopts DurableOptions) (*DynamicIndex[P], error) {
+	return index.OpenDynamic(dir, fam, codec, opts, dopts)
+}
+
+// NewDurableShardedIndex builds an empty sharded index whose shards
+// journal into per-shard subdirectories of dir; shards checkpoint and
+// recover in parallel.
+func NewDurableShardedIndex[P any](dir string, seed uint64, fam Family[P], L int, codec PointCodec[P], opts ShardOptions, dopts DurableOptions) (*ShardedIndex[P], error) {
+	return index.NewDurableSharded(dir, seed, fam, L, codec, opts, dopts)
+}
+
+// OpenShardedIndex recovers a sharded index written by
+// NewDurableShardedIndex, opening all shards in parallel.
+func OpenShardedIndex[P any](dir string, fam Family[P], codec PointCodec[P], dyn DynamicOptions, dopts DurableOptions) (*ShardedIndex[P], error) {
+	return index.OpenSharded(dir, fam, codec, dyn, dopts)
+}
+
+// ErrNotJournaled is reported by DurableErr when a mutation arrived
+// after Close sealed the store: it was applied in memory but exists
+// nowhere on disk.
+var ErrNotJournaled = index.ErrNotJournaled
 
 // Snapshot is an immutable, point-in-time view of a DynamicIndex: queries
 // and scans over it are lock-free and observe one consistent id set while

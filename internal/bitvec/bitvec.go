@@ -281,6 +281,25 @@ func PadOnes(v Vector, dNew int) Vector {
 	return out
 }
 
+// Words returns the vector's packed word storage (bit i of the vector in
+// bit i%64 of word i/64, tail bits zero). The slice aliases the vector and
+// must not be modified; it is the serialization surface for the durable
+// index tier.
+func (v Vector) Words() []uint64 { return v.words }
+
+// FromWords rebuilds a d-dimensional vector from packed words as produced
+// by Words. The words are copied; it panics when d <= 0 or the word count
+// does not match the dimension.
+func FromWords(d int, words []uint64) Vector {
+	v := New(d)
+	if len(words) != len(v.words) {
+		panic("bitvec: word count does not match dimension")
+	}
+	copy(v.words, words)
+	v.maskTail()
+	return v
+}
+
 // Bitmap is a growable bit set over non-negative integer ids, stored 64
 // bits per word. Unlike Vector it has no fixed dimension: Set grows the
 // word array on demand and Get treats ids beyond the grown range as unset.
@@ -360,6 +379,25 @@ func (b *Bitmap) Reset() {
 		b.words[i] = 0
 	}
 	b.n = 0
+}
+
+// Words returns the bitmap's packed word storage (64 ids per word, id i in
+// bit i%64 of word i/64). The slice aliases the bitmap and must not be
+// modified; it is the serialization surface for the durable index tier.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// BitmapFromWords rebuilds a bitmap from packed words as produced by
+// Words, recounting the set bits. The words are copied.
+func BitmapFromWords(words []uint64) Bitmap {
+	b := Bitmap{}
+	if len(words) > 0 {
+		b.words = make([]uint64, len(words))
+		copy(b.words, words)
+		for _, w := range words {
+			b.n += bits.OnesCount64(w)
+		}
+	}
+	return b
 }
 
 // SignVector returns the +/-1 encoding of v scaled by 1/sqrt(d), i.e. the

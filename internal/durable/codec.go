@@ -1,0 +1,76 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dsh/internal/bitvec"
+)
+
+// PointCodec serializes index points for the WAL and segment files. The
+// durable layer treats payloads as opaque bytes; the codec is the one
+// place the point representation is pinned, so changing it is a format
+// version bump.
+type PointCodec[P any] interface {
+	// AppendPoint appends p's encoding to dst and returns the extended
+	// slice.
+	AppendPoint(dst []byte, p P) []byte
+	// DecodePoint parses one payload produced by AppendPoint.
+	DecodePoint(b []byte) (P, error)
+}
+
+// Float64Codec encodes []float64 points as raw little-endian IEEE-754
+// words (no length prefix: the payload framing already bounds it).
+type Float64Codec struct{}
+
+// AppendPoint implements PointCodec.
+func (Float64Codec) AppendPoint(dst []byte, p []float64) []byte {
+	for _, x := range p {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	}
+	return dst
+}
+
+// DecodePoint implements PointCodec.
+func (Float64Codec) DecodePoint(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("%w: float64 payload length %d not a multiple of 8", ErrCorrupt, len(b))
+	}
+	p := make([]float64, len(b)/8)
+	for i := range p {
+		p[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return p, nil
+}
+
+// BitvecCodec encodes bitvec.Vector points as a u32 dimension followed
+// by the packed words.
+type BitvecCodec struct{}
+
+// AppendPoint implements PointCodec.
+func (BitvecCodec) AppendPoint(dst []byte, v bitvec.Vector) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(v.Dim()))
+	for _, w := range v.Words() {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// DecodePoint implements PointCodec.
+func (BitvecCodec) DecodePoint(b []byte) (bitvec.Vector, error) {
+	if len(b) < 4 {
+		return bitvec.Vector{}, fmt.Errorf("%w: bitvec payload too short", ErrCorrupt)
+	}
+	d := int(binary.LittleEndian.Uint32(b))
+	rest := b[4:]
+	want := (d + 63) / 64
+	if len(rest) != 8*want {
+		return bitvec.Vector{}, fmt.Errorf("%w: bitvec payload has %d word bytes, want %d", ErrCorrupt, len(rest), 8*want)
+	}
+	words := make([]uint64, want)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(rest[8*i:])
+	}
+	return bitvec.FromWords(d, words), nil
+}

@@ -1,0 +1,291 @@
+// Package durable is the on-disk storage layer of the dynamic serving
+// core: a checksummed write-ahead log, versioned immutable segment files,
+// and an atomically-replaced manifest tying them together. It knows
+// nothing about hashing or the index structures — internal/index
+// serializes its frozen segments into SegmentData, journals mutations as
+// opaque WAL payloads, and records the live file set in a Manifest; this
+// package owns the byte formats, the fsync/rename protocol, and the
+// crash-recovery reading paths.
+//
+// Crash-safety protocol. Every file is written complete-then-visible:
+// segment files and manifests are written to a temporary name, fsynced,
+// atomically renamed into place, and the directory fsynced, so a reader
+// never observes a half-written committed file. The WAL is the only
+// append-in-place file; each record carries its own length prefix and
+// CRC32C, so a torn tail is detected and truncated on replay. Manifests
+// are sequence-numbered (manifest-<seq>) and recovery loads the highest
+// one that passes its checksum, falling back to the previous — whose WAL
+// files are guaranteed intact, because obsolete files are deleted only
+// after the successor manifest is durable.
+//
+// Fault injection. Every syscall of consequence passes through a named
+// fault point (see Hooks); tests install a hook that fails the N-th pass
+// through a point, the Env latches into a crashed state in which no
+// further byte reaches disk, and recovery is exercised against exactly
+// the partial on-disk state a process kill at that instant would leave.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncPolicy selects when the write-ahead log is fsynced. Segment files
+// and manifests are always fully synced before they become visible,
+// regardless of policy — the policy only bounds how much of the WAL tail
+// (mutations since the last segment flush) a power failure can lose.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs the WAL after every record: no acknowledged
+	// mutation is ever lost, at one fsync per write.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs the WAL at most once per Options.Interval
+	// (checked on append): a crash loses at most the records of the last
+	// interval. The default policy.
+	FsyncInterval
+	// FsyncNever leaves WAL syncing to the OS page cache (plus the forced
+	// sync at every rotation): fastest, loses the unsynced tail on power
+	// failure, still torn-tail-safe thanks to per-record checksums.
+	FsyncNever
+)
+
+// DefaultInterval is the FsyncInterval cadence used when
+// Options.Interval is zero.
+const DefaultInterval = 50 * time.Millisecond
+
+// Options configures an Env.
+type Options struct {
+	// Fsync is the WAL sync policy; see FsyncPolicy.
+	Fsync FsyncPolicy
+	// Interval is the FsyncInterval cadence (0 means DefaultInterval).
+	Interval time.Duration
+	// Hooks, when non-nil, receives every fault point crossing; for crash
+	// tests only.
+	Hooks *Hooks
+}
+
+// ErrCrashed is reported by every operation after an injected fault has
+// latched the Env: the simulated process is dead and nothing more may
+// reach disk.
+var ErrCrashed = errors.New("durable: env crashed (injected fault)")
+
+// ErrCorrupt wraps checksum and structural failures detected while
+// reading committed files; errors.Is(err, ErrCorrupt) identifies them.
+var ErrCorrupt = errors.New("durable: corrupt file")
+
+// castagnoli is the CRC32C table; CRC32C has hardware support on amd64
+// and arm64, so checksumming is not a write-path bottleneck.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Env is a handle on one durable directory: it owns the file naming, the
+// fault hooks, and the crashed latch shared by the WAL, segment and
+// manifest paths. An Env is safe for concurrent use; the caller
+// serializes logically-conflicting operations (the index's persist path
+// already does).
+type Env struct {
+	dir  string
+	opts Options
+
+	// failed latches the first unrecoverable write error (injected or
+	// real). Once set, every subsequent operation is a no-op returning
+	// that error — mirroring a dead process, which also stops writing.
+	failedMu sync.Mutex
+	failed   error
+	crashed  atomic.Bool
+}
+
+// OpenEnv opens (creating if needed) the durable directory and returns
+// its handle.
+func OpenEnv(dir string, opts Options) (*Env, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create dir: %w", err)
+	}
+	return &Env{dir: dir, opts: opts}, nil
+}
+
+// Dir returns the directory the Env manages.
+func (e *Env) Dir() string { return e.dir }
+
+// Err returns the latched failure, or nil while the Env is healthy.
+func (e *Env) Err() error {
+	e.failedMu.Lock()
+	defer e.failedMu.Unlock()
+	return e.failed
+}
+
+// fail latches err (keeping the first) and returns it.
+func (e *Env) fail(err error) error {
+	e.failedMu.Lock()
+	defer e.failedMu.Unlock()
+	if e.failed == nil {
+		e.failed = err
+	}
+	return e.failed
+}
+
+// check is called at every fault point: it refuses to proceed once the
+// Env has crashed, and consults the injection hooks. A hook-returned
+// error latches the crash, so no later operation touches disk — exactly
+// the visibility a process kill at this point would leave.
+func (e *Env) check(point string) error {
+	if e.crashed.Load() {
+		return ErrCrashed
+	}
+	if h := e.opts.Hooks; h != nil {
+		if err := h.at(point); err != nil {
+			e.crashed.Store(true)
+			return e.fail(fmt.Errorf("%w at %s: %v", ErrCrashed, point, err))
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs the durable directory, making completed renames and
+// creates durable. Fault point "dir:sync".
+func (e *Env) syncDir() error {
+	if err := e.check("dir:sync"); err != nil {
+		return err
+	}
+	d, err := os.Open(e.dir)
+	if err != nil {
+		return e.fail(err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return e.fail(err)
+	}
+	return nil
+}
+
+// atomicWrite writes data to name via the temp-fsync-rename-dirsync
+// protocol under the given fault-point prefix, so the file is either
+// absent or complete, never torn.
+func (e *Env) atomicWrite(name string, data []byte, pointPrefix string) error {
+	if err := e.check(pointPrefix + ":write"); err != nil {
+		return err
+	}
+	tmp := filepath.Join(e.dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return e.fail(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return e.fail(err)
+	}
+	if err := e.check(pointPrefix + ":sync"); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return e.fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return e.fail(err)
+	}
+	if err := e.check(pointPrefix + ":rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(e.dir, name)); err != nil {
+		return e.fail(err)
+	}
+	return e.syncDir()
+}
+
+// Remove deletes a committed file during retirement. Fault point
+// "retire". Missing files are fine: retirement is retried after crashes.
+func (e *Env) Remove(name string) error {
+	if err := e.check("retire"); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(e.dir, name)); err != nil && !os.IsNotExist(err) {
+		return e.fail(err)
+	}
+	return nil
+}
+
+// Hooks drives crash injection: a fault counter per named point. Install
+// via Options.Hooks; production paths leave it nil.
+type Hooks struct {
+	mu sync.Mutex
+	// remaining[point] counts down on each crossing; the crossing that
+	// decrements it to below zero fails.
+	remaining map[string]int
+	err       error
+	// trace accumulates every point crossed, letting tests enumerate the
+	// real fault surface instead of guessing point names.
+	trace []string
+}
+
+// FailAt returns hooks that let each named point pass n times and fail
+// the (n+1)-th crossing (n = 0 fails the first). Unnamed points always
+// pass.
+func FailAt(counts map[string]int) *Hooks {
+	c := make(map[string]int, len(counts))
+	for k, v := range counts {
+		c[k] = v
+	}
+	return &Hooks{remaining: c, err: errors.New("injected fault")}
+}
+
+// Trace returns hooks that never fail but record every fault point
+// crossed, in order.
+func Trace() *Hooks { return &Hooks{} }
+
+// Crossings returns the fault points crossed so far, in order.
+func (h *Hooks) Crossings() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.trace...)
+}
+
+// at records the crossing and reports whether it should fail.
+func (h *Hooks) at(point string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.trace = append(h.trace, point)
+	if h.remaining == nil {
+		return nil
+	}
+	n, ok := h.remaining[point]
+	if !ok {
+		return nil
+	}
+	if n == 0 {
+		return h.err
+	}
+	h.remaining[point] = n - 1
+	return nil
+}
+
+// FlipBit XORs one bit of the file at path, simulating silent media
+// corruption inside a checksummed region; recovery must either detect it
+// (committed files) or truncate past it (the WAL tail). Test helper.
+func FlipBit(path string, offset int64, bit uint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offset); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit & 7)
+	_, err = f.WriteAt(b[:], offset)
+	return err
+}

@@ -1,0 +1,34 @@
+//go:build !(386 || amd64 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm)
+
+package durable
+
+import "encoding/binary"
+
+// Portable fallback for big-endian (or unlisted) targets: decode the
+// little-endian on-disk words one element at a time.
+
+func copyU64sLE(dst []uint64, src []byte) {
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(src[8*i:])
+	}
+}
+
+func copyI32sLE(dst []int32, src []byte) {
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}
+
+// Aliasing is a little-endian-only optimization; these fallbacks force
+// the copy path.
+
+func aliasU64s([]byte, int) ([]uint64, bool) { return nil, false }
+
+func aliasI32s([]byte, int) ([]int32, bool) { return nil, false }
+
+func appendU64Words(b []byte, v []uint64) []byte {
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint64(b, x)
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+//go:build 386 || amd64 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm
+
+package durable
+
+import "unsafe"
+
+// On little-endian machines the on-disk word layout matches memory, so
+// decoding an integer column is a single bulk copy instead of a
+// per-element shift loop — this is the difference between recovery
+// being decode-bound and being memory-bandwidth-bound.
+
+func copyU64sLE(dst []uint64, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 8*len(dst)), src)
+}
+
+func copyI32sLE(dst []int32, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 4*len(dst)), src)
+}
+
+// aliasU64s/aliasI32s view the front of b as an integer slice without
+// copying, when the data is suitably aligned. The caller guarantees b
+// holds at least the requested words and never writes through either
+// view.
+
+func aliasU64s(b []byte, n int) ([]uint64, bool) {
+	if n == 0 {
+		return []uint64{}, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n), true
+}
+
+func aliasI32s(b []byte, n int) ([]int32, bool) {
+	if n == 0 {
+		return []int32{}, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n), true
+}
+
+// appendU64Words bulk-appends the raw little-endian bytes of v.
+func appendU64Words(b []byte, v []uint64) []byte {
+	if len(v) == 0 {
+		return b
+	}
+	return append(b, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v))...)
+}

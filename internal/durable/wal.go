@@ -1,0 +1,215 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WAL record framing: [u32 payload length][u32 CRC32C of payload][payload].
+// The length is bounded (walMaxRecord) so a torn or corrupted length field
+// cannot make the reader attempt a multi-gigabyte allocation.
+const (
+	walHeaderSize = 8
+	walMaxRecord  = 1 << 28 // 256 MiB; far above any index record
+)
+
+// crc32Sum is the CRC32C used by every durable file format.
+func crc32Sum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// Pos addresses a WAL byte: the log file's rotation sequence number and
+// the record's starting offset within it. Positions order
+// lexicographically (Seq, then Off); the manifest watermark is a Pos and
+// replay skips records strictly below it.
+type Pos struct {
+	Seq uint64
+	Off int64
+}
+
+// Less reports whether p precedes q in the log.
+func (p Pos) Less(q Pos) bool {
+	if p.Seq != q.Seq {
+		return p.Seq < q.Seq
+	}
+	return p.Off < q.Off
+}
+
+// WALName returns the file name of the WAL with the given sequence
+// number.
+func WALName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// parseWALSeq extracts the sequence number from a WAL file name, or
+// reports false.
+func parseWALSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len("wal-"):len(name)-len(".log")], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// WAL is an append-only checksummed log file. Appends are not
+// internally locked: the index calls Append under its structural mutex,
+// which also makes WAL order identical to apply order — the property
+// replay depends on.
+type WAL struct {
+	env      *Env
+	f        *os.File
+	seq      uint64
+	off      int64 // end of the last accepted record
+	lastSync time.Time
+	hdr      [walHeaderSize]byte
+}
+
+// CreateWAL creates (or truncates) the log file for the given sequence
+// number. Fault point "wal:create". The new file is made durable with a
+// directory sync so a post-rotation crash cannot lose the file itself.
+func (e *Env) CreateWAL(seq uint64) (*WAL, error) {
+	if err := e.check("wal:create"); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(e.dir, WALName(seq)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, e.fail(err)
+	}
+	if err := e.syncDir(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return &WAL{env: e, f: f, seq: seq}, nil
+}
+
+// Seq returns the log's rotation sequence number.
+func (w *WAL) Seq() uint64 { return w.seq }
+
+// End returns the position one past the last accepted record — the Pos
+// the next Append will return.
+func (w *WAL) End() Pos { return Pos{Seq: w.seq, Off: w.off} }
+
+// Append writes one record and applies the fsync policy. It returns the
+// record's starting position. Fault points "wal:append" (before the
+// write, so a fault leaves the record entirely absent) and "wal:sync".
+//
+// A record interrupted mid-write by a real crash leaves a torn tail;
+// ReadWAL detects it by length/checksum and truncates replay there.
+func (w *WAL) Append(payload []byte) (Pos, error) {
+	if err := w.env.check("wal:append"); err != nil {
+		return Pos{}, err
+	}
+	if len(payload) > walMaxRecord {
+		return Pos{}, w.env.fail(fmt.Errorf("durable: WAL record too large (%d bytes)", len(payload)))
+	}
+	pos := Pos{Seq: w.seq, Off: w.off}
+	binary.LittleEndian.PutUint32(w.hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.hdr[4:8], crc32Sum(payload))
+	if _, err := w.f.Write(w.hdr[:]); err != nil {
+		return Pos{}, w.env.fail(err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return Pos{}, w.env.fail(err)
+	}
+	w.off += int64(walHeaderSize + len(payload))
+	switch w.env.opts.Fsync {
+	case FsyncAlways:
+		if err := w.Sync(); err != nil {
+			return pos, err
+		}
+	case FsyncInterval:
+		if time.Since(w.lastSync) >= w.env.opts.Interval {
+			if err := w.Sync(); err != nil {
+				return pos, err
+			}
+		}
+	}
+	return pos, nil
+}
+
+// Sync forces the log to disk. Fault point "wal:sync".
+func (w *WAL) Sync() error {
+	if err := w.env.check("wal:sync"); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.env.fail(err)
+	}
+	w.lastSync = time.Now()
+	return nil
+}
+
+// Close syncs and closes the log file. The final sync keeps
+// FsyncNever/Interval tails from being lost on a clean shutdown.
+func (w *WAL) Close() error {
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = w.env.fail(cerr)
+	}
+	return err
+}
+
+// WALRecord is one replayed record and the position it started at.
+type WALRecord struct {
+	Pos     Pos
+	Payload []byte
+}
+
+// ReadWAL reads every intact record of the given log file, stopping —
+// without error — at the first torn or checksum-failing record: anything
+// beyond a corrupt point was never acknowledged as durable, exactly as
+// if the crash had happened one record earlier. A missing file reads as
+// empty, which keeps replay robust to a crash between manifest commit
+// and the creation of the next log.
+func (e *Env) ReadWAL(seq uint64) ([]WALRecord, error) {
+	data, err := os.ReadFile(filepath.Join(e.dir, WALName(seq)))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var recs []WALRecord
+	off := int64(0)
+	for int(off)+walHeaderSize <= len(data) {
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > walMaxRecord {
+			break // corrupt length: treat as torn tail
+		}
+		body := data[off+walHeaderSize:]
+		if uint32(len(body)) < n {
+			break // torn mid-payload
+		}
+		payload := body[:n]
+		if crc32Sum(payload) != sum {
+			break // bit-flipped, or torn with a plausible length
+		}
+		recs = append(recs, WALRecord{Pos: Pos{Seq: seq, Off: off}, Payload: payload})
+		off += int64(walHeaderSize) + int64(n)
+	}
+	return recs, nil
+}
+
+// ListWALs returns the sequence numbers of the WAL files present in the
+// directory, ascending.
+func (e *Env) ListWALs() ([]uint64, error) {
+	entries, err := os.ReadDir(e.dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, ent := range entries {
+		if s, ok := parseWALSeq(ent.Name()); ok {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}

@@ -154,7 +154,7 @@ func (dx *DynamicIndex[P]) Compact() {
 	dx.mu.Lock()
 	if dx.mem.len() > 0 {
 		dx.frozen = append(dx.frozen, dx.mem)
-		dx.mem = newMemtable(len(dx.pairs))
+		dx.freshMemtableLocked()
 	}
 	segs := dx.segments
 	fmems := dx.frozen
@@ -206,7 +206,7 @@ func (dx *DynamicIndex[P]) compactGC() {
 	dx.mu.Lock()
 	if dx.mem.len() > 0 {
 		dx.frozen = append(dx.frozen, dx.mem)
-		dx.mem = newMemtable(len(dx.pairs))
+		dx.freshMemtableLocked()
 	}
 	segs := dx.segments
 	fmems := dx.frozen
@@ -236,6 +236,21 @@ func (dx *DynamicIndex[P]) compactGC() {
 		mergedRows += fm.len()
 	}
 	merged := mergeSources(len(dx.pairs), srcs, &dead)
+
+	// For a durable index, the WAL record of this renumbering must carry
+	// the exact dropped-id set: replay-time tombstone state includes
+	// deletes that landed after this pin, so snapBound+delta alone would
+	// not reproduce the same drop decisions.
+	var droppedIDs []int32
+	if dx.store != nil {
+		for _, s := range srcs {
+			for _, id := range s.ids {
+				if dead.Get(int(id)) {
+					droppedIDs = append(droppedIDs, id)
+				}
+			}
+		}
+	}
 
 	var surv []int32 // survivors' old ids, strictly ascending
 	var newSeg *segment
@@ -314,8 +329,14 @@ func (dx *DynamicIndex[P]) compactGC() {
 
 	// Remap the external-key table: keyed rows inserted after the pin
 	// shift, keyed survivors take their dense rank, and entries orphaned
-	// on dropped rows (deleted by id rather than by key) are purged.
-	if dropped > 0 {
+	// on dropped rows (deleted by id rather than by key) are purged. The
+	// guard is dropped-OR-shifted, not dropped alone: if an earlier merge
+	// ever removed a row without renumbering (an id hole), this fold still
+	// shifts every higher id even though it dropped nothing itself.
+	if dropped > 0 || delta != 0 {
+		if dx.store != nil {
+			dx.store.logGCRemap(int32(snapBound), delta, droppedIDs)
+		}
 		for k, v := range dx.keyed {
 			switch {
 			case int(v) >= snapBound:
@@ -387,17 +408,23 @@ func (dx *DynamicIndex[P]) compactLeveledStep() bool {
 }
 
 // compactUpperStep folds every segment above the bottom one into a single
-// level-1 segment (dropping their tombstoned rows, ids unchanged) and
-// reports whether a merge happened (false with fewer than two upper
-// segments). The memtable and pending detached memtables are left alone —
-// freezes, not merges, are responsible for them.
+// level-1 segment and reports whether a merge happened (false with fewer
+// than two upper segments). The memtable and pending detached memtables
+// are left alone — freezes, not merges, are responsible for them.
+//
+// Unlike the other merge steps, an upper fold is strictly id-preserving:
+// tombstoned rows are retained, not dropped. Dropping them here once
+// created id holes that the bottom-level GC could not see — its dropped
+// count came out zero while the dense renumbering still shifted every
+// higher id, so the external-key table was left pointing at out-of-range
+// ids (the bug pinned by TestReproGCHoleRenumbering). Dead rows therefore
+// live until the bottom fold, which drops and renumbers them atomically.
 func (dx *DynamicIndex[P]) compactUpperStep() bool {
 	dx.mergeMu.Lock()
 	defer dx.mergeMu.Unlock()
 
 	dx.mu.RLock()
 	segs := dx.segments
-	dead := dx.dead.Clone()
 	dx.mu.RUnlock()
 
 	if len(segs) < 3 {
@@ -407,7 +434,8 @@ func (dx *DynamicIndex[P]) compactUpperStep() bool {
 	for _, s := range segs[1:] {
 		srcs = append(srcs, colSource{ids: s.globalIDs, keys: s.keys})
 	}
-	merged := mergeSources(len(dx.pairs), srcs, &dead)
+	var noDead bitvec.Bitmap // keep every row: upper merges never drop
+	merged := mergeSources(len(dx.pairs), srcs, &noDead)
 
 	dx.mu.Lock()
 	// segs still occupies the prefix of dx.segments: rewrites are

@@ -167,6 +167,11 @@ type DynamicIndex[P any] struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// store is the durability attachment (WAL + segment files + manifest);
+	// nil for a purely in-memory index. Mutators call its log methods
+	// inside their mu critical sections, so WAL order is apply order.
+	store *store[P]
 }
 
 // NewDynamic builds a dynamic index over the initial points (which become
@@ -194,14 +199,9 @@ func NewDynamic[P any](rng *xrand.Rand, family core.Family[P], L int, points []P
 // a query hashes once per repetition and probes every shard with the same
 // key.
 func newDynamicFromPairs[P any](pairs []core.Pair[P], negG []negQueryHasher, points []P, opts DynamicOptions) *DynamicIndex[P] {
-	dx := &DynamicIndex[P]{
-		pairs:  pairs,
-		negG:   negG,
-		opts:   opts.withDefaults(),
-		points: append([]P(nil), points...),
-		mem:    newMemtable(len(pairs)),
-		live:   len(points),
-	}
+	dx := newDynamicShell(pairs, negG, opts)
+	dx.points = append([]P(nil), points...)
+	dx.live = len(points)
 	if len(dx.points) > 0 {
 		ids := make([]int32, len(dx.points))
 		for i := range ids {
@@ -209,14 +209,35 @@ func newDynamicFromPairs[P any](pairs []core.Pair[P], negG []negQueryHasher, poi
 		}
 		dx.segments = []*segment{buildSegment(dx.pairs, dx.points, ids)}
 	}
-	dx.queriers.New = func() any { return newSourceQuerier[P](dx, 0) }
-	if dx.opts.BackgroundCompaction {
-		dx.compactCh = make(chan struct{}, 1)
-		dx.closed = make(chan struct{})
-		dx.wg.Add(1)
-		go dx.backgroundCompactor()
-	}
+	dx.startCompactor()
 	return dx
+}
+
+// newDynamicShell builds an empty index around already-sampled repetition
+// draws without starting the background compactor — the shared skeleton of
+// every constructor. Durable recovery needs the split: replay must finish
+// (single-threaded, unpublished) before any goroutine can touch the index.
+func newDynamicShell[P any](pairs []core.Pair[P], negG []negQueryHasher, opts DynamicOptions) *DynamicIndex[P] {
+	dx := &DynamicIndex[P]{
+		pairs: pairs,
+		negG:  negG,
+		opts:  opts.withDefaults(),
+		mem:   newMemtable(len(pairs)),
+	}
+	dx.queriers.New = func() any { return newSourceQuerier[P](dx, 0) }
+	return dx
+}
+
+// startCompactor starts the background compactor when the options ask for
+// one. Idempotent; called once from each constructor path.
+func (dx *DynamicIndex[P]) startCompactor() {
+	if !dx.opts.BackgroundCompaction || dx.compactCh != nil {
+		return
+	}
+	dx.compactCh = make(chan struct{}, 1)
+	dx.closed = make(chan struct{})
+	dx.wg.Add(1)
+	go dx.backgroundCompactor()
 }
 
 // L returns the number of repetitions. The repetition draws are immutable
@@ -301,6 +322,9 @@ func (dx *DynamicIndex[P]) Insert(p P) int {
 		dx.barrier.RLock()
 	}
 	dx.mu.Lock()
+	if dx.store != nil {
+		dx.store.logInsert(dx, p, keys)
+	}
 	id, needMerge := dx.insertLocked(p, keys)
 	dx.mu.Unlock()
 	if dx.barrier != nil {
@@ -355,6 +379,9 @@ func (dx *DynamicIndex[P]) InsertKeyed(key uint64, p P) int {
 		dx.barrier.RLock()
 	}
 	dx.mu.Lock()
+	if dx.store != nil {
+		dx.store.logInsertKeyed(dx, key, p, keys)
+	}
 	if old, ok := dx.keyed[key]; ok && !dx.dead.Get(int(old)) {
 		dx.dead.Set(int(old))
 		dx.live--
@@ -389,6 +416,9 @@ func (dx *DynamicIndex[P]) DeleteKeyed(key uint64) bool {
 	id, ok := dx.keyed[key]
 	if !ok {
 		return false
+	}
+	if dx.store != nil {
+		dx.store.logDeleteKeyed(key)
 	}
 	delete(dx.keyed, key)
 	if dx.dead.Get(int(id)) {
@@ -425,6 +455,9 @@ func (dx *DynamicIndex[P]) Delete(id int) bool {
 	defer dx.mu.Unlock()
 	if id < 0 || id >= len(dx.points) || dx.dead.Get(id) {
 		return false
+	}
+	if dx.store != nil {
+		dx.store.logDelete(int32(id))
 	}
 	dx.dead.Set(id)
 	dx.live--
@@ -475,7 +508,19 @@ func (dx *DynamicIndex[P]) freezeLocked() {
 		return
 	}
 	dx.segments = append(dx.segments, dx.mem.freeze())
+	dx.freshMemtableLocked()
+}
+
+// freshMemtableLocked replaces the live memtable with an empty one; on a
+// durable index the replacement is stamped with the current WAL end, the
+// position of the first record it could ever buffer. Callers hold mu
+// exclusively. During durable replay (store still nil) the stamp is
+// deferred: the first replayed row carries its own log position.
+func (dx *DynamicIndex[P]) freshMemtableLocked() {
 	dx.mem = newMemtable(len(dx.pairs))
+	if dx.store != nil {
+		dx.mem.walStart = dx.store.wal.End()
+	}
 }
 
 // detachMemLocked moves a non-empty memtable onto the frozen FIFO and
@@ -486,7 +531,7 @@ func (dx *DynamicIndex[P]) detachMemLocked() {
 		return
 	}
 	dx.frozen = append(dx.frozen, dx.mem)
-	dx.mem = newMemtable(len(dx.pairs))
+	dx.freshMemtableLocked()
 	if !dx.freezerBusy {
 		dx.freezerBusy = true
 		go dx.freezer()
@@ -569,7 +614,7 @@ func (dx *DynamicIndex[P]) Flush() {
 	if dx.opts.AsyncFreeze || len(dx.frozen) > 0 {
 		if dx.mem.len() > 0 {
 			dx.frozen = append(dx.frozen, dx.mem)
-			dx.mem = newMemtable(len(dx.pairs))
+			dx.freshMemtableLocked()
 		}
 		dx.mu.Unlock()
 		dx.drainFrozen()
@@ -737,16 +782,27 @@ func (dx *DynamicIndex[P]) autoCompact() {
 	}
 }
 
-// Close stops the background compactor, if one was started. It does not
-// invalidate the index: queries and mutations keep working, pending
-// asynchronous freezes still install, and Compact remains explicitly
-// callable. Close is idempotent.
+// Close stops the background compactor, if one was started, and — for a
+// durable index — seals the on-disk state: every pending freeze is
+// drained, a final checkpoint (segments + manifest) is written, and the
+// WAL is synced and closed. After a clean Close, OpenDynamic recovers
+// the exact live set without replaying any log tail.
+//
+// Close is idempotent and safe to call concurrently with queries and
+// mutations (concurrent Close calls seal exactly once). It does not
+// invalidate the index: queries and mutations keep working and Compact
+// remains explicitly callable — but mutations that land after the seal
+// are in-memory only and latch ErrNotJournaled in DurableErr. Durable
+// failures during the final checkpoint also surface via DurableErr, not
+// from Close itself.
 func (dx *DynamicIndex[P]) Close() {
-	if dx.compactCh == nil {
-		return
+	if dx.compactCh != nil {
+		dx.closeOnce.Do(func() {
+			close(dx.closed)
+			dx.wg.Wait()
+		})
 	}
-	dx.closeOnce.Do(func() {
-		close(dx.closed)
-		dx.wg.Wait()
-	})
+	if dx.store != nil {
+		dx.store.seal(dx)
+	}
 }

@@ -7,6 +7,14 @@ import (
 	"dsh/internal/xrand"
 )
 
+// TestReproGCHoleRenumbering is the regression test for the leveled-GC
+// id-hole bug: an upper-level fold used to drop a tombstoned row from the
+// merged tables without renumbering, so the following bottom-level GC saw
+// dropped == 0 yet still shifted every higher id — leaving the external
+// key table pointing one past the dense id space and making Point panic.
+// Upper folds are now strictly id-preserving (dead rows live until the
+// bottom fold) and the GC remaps the key table whenever ids shift, not
+// only when the fold itself dropped rows.
 func TestReproGCHoleRenumbering(t *testing.T) {
 	rng := xrand.New(99)
 	pts := workload.SpherePoints(rng, 12, testDim)

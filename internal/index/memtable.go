@@ -1,5 +1,7 @@
 package index
 
+import "dsh/internal/durable"
+
 // memtable is the mutable write buffer of a DynamicIndex. Fresh inserts
 // land here in the pre-PR-2 map layout — one map[uint64][]int32 per
 // repetition — which absorbs writes in O(1) without the rebuild cost of
@@ -19,6 +21,11 @@ type memtable struct {
 	ids []int32
 	// keys[i][j] is h_i of the j-th buffered point (same order as ids).
 	keys [][]uint64
+	// walStart is the log position of the memtable's first buffered row
+	// (for a durable index). The oldest un-persisted memtable's walStart
+	// is the manifest watermark: replay of the buffered WAL region starts
+	// there. Zero for non-durable indexes.
+	walStart durable.Pos
 }
 
 // newMemtable returns an empty memtable with L repetition maps.
@@ -63,9 +70,10 @@ func (mt *memtable) lookup(rep int, key uint64) []int32 {
 // length).
 func (mt *memtable) remapped(delta int32) *memtable {
 	out := &memtable{
-		tables: make([]map[uint64][]int32, len(mt.tables)),
-		ids:    make([]int32, len(mt.ids)),
-		keys:   mt.keys,
+		tables:   make([]map[uint64][]int32, len(mt.tables)),
+		ids:      make([]int32, len(mt.ids)),
+		keys:     mt.keys,
+		walStart: mt.walStart,
 	}
 	for j, id := range mt.ids {
 		out.ids[j] = id + delta

@@ -25,6 +25,12 @@ type segment struct {
 	// segments are kept oldest-first, so concatenating segment id lists
 	// walks the live points in global-id order.
 	globalIDs []int32
+	// file is the on-disk segment file name once a durable checkpoint has
+	// written this segment out, "" before (and always for non-durable
+	// indexes). Guarded by the index's structural lock. A copy made by
+	// withShiftedIDs deliberately resets it: the shifted ids no longer
+	// match the file's.
+	file string
 }
 
 // len returns the number of points frozen into the segment.

@@ -337,16 +337,26 @@ func (sx *ShardedIndex[P]) Compact() {
 	wg.Wait()
 }
 
-// Close marks the index closed and stops every shard's background
-// compactor. After Close, Insert and Snapshot panic with a clear message;
-// queries and deletes over the existing data remain valid, pending
-// asynchronous freezes still install, and Compact remains callable. Close
-// is idempotent and safe for concurrent use.
+// Close marks the index closed and closes every shard concurrently —
+// stopping its background compactor and, for a durable index, sealing its
+// on-disk state (final per-shard checkpoint; see DynamicIndex.Close).
+// After Close, Insert and Snapshot panic with a clear message; queries
+// and deletes over the existing data remain valid, pending asynchronous
+// freezes still install, and Compact remains callable — but on a durable
+// index, mutations after Close are in-memory only and latch
+// ErrNotJournaled in DurableErr. Close is idempotent and safe for
+// concurrent use (concurrent calls seal each shard exactly once).
 func (sx *ShardedIndex[P]) Close() {
 	sx.closed.Store(true)
+	var wg sync.WaitGroup
 	for _, dx := range sx.shards {
-		dx.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dx.Close()
+		}()
 	}
+	wg.Wait()
 }
 
 // candidateSource implementation. A query's read window holds every
