@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"dsh"
 	"dsh/internal/core"
 	"dsh/internal/index"
 	"dsh/internal/sphere"
@@ -90,7 +91,11 @@ func runChurn(w io.Writer, cfg churnConfig) error {
 		return fmt.Errorf("unknown -routing %q (want rr or hash)", cfg.Routing)
 	}
 	if cfg.Shards > 1 || cfg.Writers > 1 {
-		return runShardedChurn(w, cfg, opts)
+		if err := runShardedChurn(w, cfg, opts); err != nil {
+			return err
+		}
+		printMetricsTable(w)
+		return nil
 	}
 	keyed := cfg.Routing == "hash"
 	rng := xrand.New(cfg.Seed)
@@ -208,7 +213,48 @@ func runChurn(w io.Writer, cfg churnConfig) error {
 	if churnAgg.QPS > 0 && steadyAgg.QPS > 0 {
 		fmt.Fprintf(w, "compaction speedup: %.2fx\n", steadyAgg.QPS/churnAgg.QPS)
 	}
+	printMetricsTable(w)
 	return nil
+}
+
+// printMetricsTable renders the run's cumulative lifecycle counters from
+// the process-wide metrics plane — the same series /metrics exposes, so
+// the table doubles as a sanity check that the instrumentation observed
+// the churn the benchmark generated (freezes, compactions, GC folds,
+// snapshots, WAL traffic).
+func printMetricsTable(w io.Writer) {
+	m := dsh.Metrics()
+	c, g, h := m.Counters, m.Gauges, m.Histograms
+	p99 := func(name string) time.Duration {
+		return time.Duration(h[name].Quantile(0.99))
+	}
+	fmt.Fprintf(w, "-- metrics plane --\n")
+	fmt.Fprintf(w, "%-12s queries=%d probes=%d candidates=%d distinct=%d hash-evals=%d p99=%v\n",
+		"m/query", c["dsh_queries_total"], c["dsh_query_probes_total"],
+		c["dsh_query_candidates_total"], c["dsh_query_distinct_total"],
+		c["dsh_query_hash_evals_total"], p99("dsh_query_latency_ns"))
+	fmt.Fprintf(w, "%-12s inserts=%d upserts=%d deletes=%d deletes-keyed=%d\n",
+		"m/write", c["dsh_inserts_total"], c["dsh_upserts_total"],
+		c["dsh_deletes_total"], c["dsh_deletes_keyed_total"])
+	fmt.Fprintf(w, "%-12s inline=%d async=%d installs=%d rows=%d build-p99=%v\n",
+		"m/freeze", c["dsh_freezes_inline_total"], c["dsh_freezes_async_total"],
+		c["dsh_freeze_installs_total"], c["dsh_frozen_rows_total"],
+		p99("dsh_freeze_build_ns"))
+	fmt.Fprintf(w, "%-12s all=%d tiered=%d upper=%d gc=%d rows=%d p99=%v\n",
+		"m/compact", c["dsh_compactions_all_total"], c["dsh_compactions_tiered_total"],
+		c["dsh_compactions_upper_total"], c["dsh_compactions_gc_total"],
+		c["dsh_compaction_rows_total"], p99("dsh_compaction_ns"))
+	fmt.Fprintf(w, "%-12s collected=%d reclaimed=%dB\n",
+		"m/gc", c["dsh_gc_collected_rows_total"], c["dsh_gc_reclaimed_bitmap_bytes_total"])
+	fmt.Fprintf(w, "%-12s taken=%d open=%d optimistic=%d retries=%d fallback=%d\n",
+		"m/snapshot", c["dsh_snapshots_total"], g["dsh_snapshots_open"],
+		c["dsh_snapshot_optimistic_total"], c["dsh_snapshot_retries_total"],
+		c["dsh_snapshot_fallback_total"])
+	fmt.Fprintf(w, "%-12s appends=%d bytes=%d fsyncs=%d rotations=%d seg-writes=%d manifests=%d faults=%d\n",
+		"m/durable", c["dsh_wal_appends_total"], c["dsh_wal_append_bytes_total"],
+		c["dsh_wal_fsyncs_total"], c["dsh_wal_rotations_total"],
+		c["dsh_segment_writes_total"], c["dsh_manifest_commits_total"],
+		g["dsh_durable_faults"])
 }
 
 // dynQuerierPool pools DynamicQueriers for the churn serving loop.

@@ -18,8 +18,10 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"dsh/internal/experiments"
+	"dsh/obshttp"
 )
 
 var registry = map[string]func(experiments.Config) *experiments.Table{
@@ -72,12 +74,30 @@ func main() {
 	writers := flag.Int("writers", 1, "churn: concurrent insert/delete goroutines (multi-writer benchmark)")
 	deletes := flag.Float64("deletes", 0.25, "churn: per-insert probability of a trailing delete")
 	routing := flag.String("routing", "rr", "churn: insert routing (rr = dense round-robin ids via Insert, hash = keyed upserts via InsertKeyed)")
+	metricsAddr := flag.String("metrics", "", "serve the metrics plane (Prometheus /metrics, /debug/vars, /debug/pprof) on this address for the duration of the run (e.g. :9100 or 127.0.0.1:0)")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the -metrics endpoint up this long after the run finishes (for scrapers that attach late)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dshbench [flags] [experiment...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(names(), " "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, addr, err := obshttp.Start(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dshbench: -metrics %s: %v\n", *metricsAddr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "dshbench: metrics plane on http://%s/ (/metrics, /debug/vars, /debug/pprof/)\n", addr)
+		defer func() {
+			if *metricsLinger > 0 {
+				fmt.Fprintf(os.Stderr, "dshbench: metrics plane lingering %v\n", *metricsLinger)
+				time.Sleep(*metricsLinger)
+			}
+			srv.Close()
+		}()
+	}
 
 	if *throughput || *churn || *recoverMode {
 		if *points <= 0 || *queries <= 0 || *batch <= 0 || *dim <= 0 {

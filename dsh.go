@@ -50,6 +50,7 @@ import (
 	"dsh/internal/hamming"
 	"dsh/internal/index"
 	"dsh/internal/kde"
+	"dsh/internal/obs"
 	"dsh/internal/poly"
 	"dsh/internal/privacy"
 	"dsh/internal/psi"
@@ -605,6 +606,36 @@ func FitGrid(lo, hi float64, n int, fn func(float64) float64) FitTarget {
 func FitCPF[P any](maxPower int, target FitTarget, bases ...Family[P]) (*FitResult[P], error) {
 	return cpfit.Fit(cpfit.BuildDictionary(maxPower, bases...), target)
 }
+
+// Observability. The serving core carries an always-on metrics plane:
+// striped lock-free counters, gauges and log2 latency histograms record
+// every query, insert, delete, memtable freeze, compaction, GC fold,
+// snapshot pin and WAL/segment write, plus a bounded ring-buffer trace of
+// lifecycle events — with zero heap allocations on the steady-state query
+// and insert paths. Metrics returns a point-in-time snapshot; the obshttp
+// subpackage serves the same registry over HTTP (Prometheus text, expvar
+// JSON, pprof).
+
+// MetricsSnapshot is a point-in-time copy of the process-wide metrics
+// registry: folded counter totals, gauge values, histogram snapshots, and
+// the buffered lifecycle events (oldest first).
+type MetricsSnapshot = obs.Snapshot
+
+// MetricsHistogram is one folded latency histogram; its Quantile method
+// estimates percentiles (p50/p99/p999) by interpolation inside log2
+// buckets.
+type MetricsHistogram = obs.HistogramSnapshot
+
+// TraceEvent is one buffered lifecycle event: a monotone sequence number,
+// timestamp, kind ("freeze.async", "compact.tiered", "gc",
+// "snapshot.fallback", "wal.rotate", "recover", "durable.fault", ...) and
+// two kind-specific integer arguments.
+type TraceEvent = obs.Event
+
+// Metrics snapshots the process-wide metrics registry. Each metric is
+// internally consistent; the set is not a global atomic cut. The snapshot
+// is a plain value — retain, diff and serialize it freely.
+func Metrics() MetricsSnapshot { return obs.Default.Snapshot() }
 
 // Kernel density estimation (the paper's future-work application).
 

@@ -34,6 +34,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dsh/internal/obs"
 )
 
 // FsyncPolicy selects when the write-ahead log is fsynced. Segment files
@@ -92,6 +94,10 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 type Env struct {
 	dir  string
 	opts Options
+	// stripe spreads this Env's metric updates across counter stripes;
+	// drawn once at OpenEnv so per-shard stores write distinct cache
+	// lines.
+	stripe uint32
 
 	// failed latches the first unrecoverable write error (injected or
 	// real). Once set, every subsequent operation is a no-op returning
@@ -110,7 +116,7 @@ func OpenEnv(dir string, opts Options) (*Env, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: create dir: %w", err)
 	}
-	return &Env{dir: dir, opts: opts}, nil
+	return &Env{dir: dir, opts: opts, stripe: obs.NextStripe()}, nil
 }
 
 // Dir returns the directory the Env manages.
@@ -123,12 +129,17 @@ func (e *Env) Err() error {
 	return e.failed
 }
 
-// fail latches err (keeping the first) and returns it.
+// fail latches err (keeping the first) and returns it. The first latch
+// raises the process-wide fault gauge and records a trace event, so a
+// store that silently stopped persisting is visible on the metrics plane
+// before anyone polls DurableErr.
 func (e *Env) fail(err error) error {
 	e.failedMu.Lock()
 	defer e.failedMu.Unlock()
 	if e.failed == nil {
 		e.failed = err
+		mFaults.Add(1)
+		obs.RecordEvent("durable.fault", int64(e.stripe), 0)
 	}
 	return e.failed
 }

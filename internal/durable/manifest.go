@@ -90,7 +90,11 @@ func parseManifestSeq(name string) (uint64, bool) {
 func (e *Env) WriteManifest(m *Manifest) error {
 	b := appendManifest(nil, m)
 	b = binary.LittleEndian.AppendUint32(b, crc32Sum(b))
-	return e.atomicWrite(ManifestName(m.Seq), b, "man")
+	if err := e.atomicWrite(ManifestName(m.Seq), b, "man"); err != nil {
+		return err
+	}
+	mManifests.Inc(e.stripe)
+	return nil
 }
 
 func appendManifest(b []byte, m *Manifest) []byte {

@@ -1,0 +1,29 @@
+package durable
+
+import "dsh/internal/obs"
+
+// Process-wide durable-tier metrics, registered once in the obs default
+// registry. Counters are striped; each Env draws one stripe at OpenEnv
+// (per-shard stores therefore write to distinct cache lines). The fault
+// gauge is the health signal: it counts Envs that have latched a
+// DurableErr — any non-zero value means some store stopped persisting.
+var (
+	mWALAppends = obs.NewCounter("dsh_wal_appends_total",
+		"WAL records appended")
+	mWALBytes = obs.NewCounter("dsh_wal_append_bytes_total",
+		"WAL bytes appended (headers + payloads)")
+	mWALFsyncs = obs.NewCounter("dsh_wal_fsyncs_total",
+		"WAL fsync calls (per-append under FsyncAlways, time-based under FsyncInterval, rotation/seal only under FsyncNever)")
+	mWALRotations = obs.NewCounter("dsh_wal_rotations_total",
+		"WAL files created (initial creation and checkpoint rotations)")
+	mSegWrites = obs.NewCounter("dsh_segment_writes_total",
+		"segment files committed via the temp-fsync-rename protocol")
+	mSegWriteBytes = obs.NewCounter("dsh_segment_write_bytes_total",
+		"serialized segment bytes committed")
+	mSegReads = obs.NewCounter("dsh_segment_reads_total",
+		"segment files read and verified during recovery")
+	mManifests = obs.NewCounter("dsh_manifest_commits_total",
+		"manifest files committed")
+	mFaults = obs.NewGauge("dsh_durable_faults",
+		"durable directories with a latched unrecoverable error (0 = healthy)")
+)

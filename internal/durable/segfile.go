@@ -87,7 +87,12 @@ func IsSegmentName(name string) bool {
 func (e *Env) WriteSegment(name string, sd *SegmentData) error {
 	buf := appendSegment(nil, sd)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32Sum(buf))
-	return e.atomicWrite(name, buf, "seg")
+	if err := e.atomicWrite(name, buf, "seg"); err != nil {
+		return err
+	}
+	mSegWrites.Inc(e.stripe)
+	mSegWriteBytes.Add(e.stripe, uint64(len(buf)))
+	return nil
 }
 
 func appendSegment(b []byte, sd *SegmentData) []byte {
@@ -238,6 +243,7 @@ func (e *Env) ReadSegment(name string) (*SegmentData, error) {
 	if !<-crcOK {
 		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, name)
 	}
+	mSegReads.Inc(e.stripe)
 	return sd, nil
 }
 

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"dsh/internal/obs"
 )
 
 // WAL record framing: [u32 payload length][u32 CRC32C of payload][payload].
@@ -85,6 +87,8 @@ func (e *Env) CreateWAL(seq uint64) (*WAL, error) {
 		_ = f.Close()
 		return nil, err
 	}
+	mWALRotations.Inc(e.stripe)
+	obs.RecordEvent("wal.rotate", int64(seq), 0)
 	return &WAL{env: e, f: f, seq: seq}, nil
 }
 
@@ -118,6 +122,8 @@ func (w *WAL) Append(payload []byte) (Pos, error) {
 		return Pos{}, w.env.fail(err)
 	}
 	w.off += int64(walHeaderSize + len(payload))
+	mWALAppends.Inc(w.env.stripe)
+	mWALBytes.Add(w.env.stripe, uint64(walHeaderSize+len(payload)))
 	switch w.env.opts.Fsync {
 	case FsyncAlways:
 		if err := w.Sync(); err != nil {
@@ -142,6 +148,7 @@ func (w *WAL) Sync() error {
 		return w.env.fail(err)
 	}
 	w.lastSync = time.Now()
+	mWALFsyncs.Inc(w.env.stripe)
 	return nil
 }
 

@@ -10,7 +10,12 @@ import (
 
 func TestProbeParams(t *testing.T) {
 	if testing.Short() {
-		t.Skip()
+		// This probe has no assertions: it prints the Monte-Carlo CPF /
+		// repetition-count tables used to pick the annulus and step-family
+		// parameters hard-coded in the experiments. The integrals behind
+		// CPF().Eval make it the slowest test in the package, so -short
+		// drops it; run it verbosely when retuning t or the plateau bounds.
+		t.Skip("parameter-tuning probe (print-only, slow CPF integrals); run without -short to regenerate the tables")
 	}
 	for _, tt := range []float64{1.4, 1.6, 1.8, 2.0, 2.2} {
 		ann := sphere.NewAnnulus(24, 0.5, tt)

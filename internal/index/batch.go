@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dsh/internal/obs"
 	"dsh/internal/stats"
 	"dsh/internal/xrand"
 )
@@ -148,7 +149,7 @@ func runBatchScratch[T any](n int, opts BatchOptions, acquire func() T, release 
 			}
 		}
 		release(scratch)
-		return time.Since(start)
+		return recordBatch(start)
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -172,7 +173,18 @@ func runBatchScratch[T any](n int, opts BatchOptions, acquire func() T, release 
 		}()
 	}
 	wg.Wait()
-	return time.Since(start)
+	return recordBatch(start)
+}
+
+// recordBatch counts one drained batch and its wall time. Batches are
+// coarse-grained, so a fresh stripe per batch spreads updates without
+// the components needing a persistent stripe id.
+func recordBatch(start time.Time) time.Duration {
+	wall := time.Since(start)
+	st := obs.NextStripe()
+	mBatches.Inc(st)
+	mBatchLatency.Observe(st, uint64(wall))
+	return wall
 }
 
 // collectBatch is the shared distinct-candidate batch engine: one pooled

@@ -1,8 +1,10 @@
 package index
 
 import (
+	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"dsh/internal/core"
 	"dsh/internal/sphere"
@@ -191,6 +193,62 @@ func TestRunBatchSplitsRandDeterministically(t *testing.T) {
 	RunBatch(4, BatchOptions{Workers: 2}, func(i int, r *xrand.Rand) {
 		if r != nil {
 			t.Error("expected nil rng when BatchOptions.Rand is unset")
+		}
+	})
+}
+
+// TestAggregateStatsEdgeCases pins the degenerate inputs: an empty batch,
+// a single query, and a zero wall clock must all produce finite stats —
+// no NaN, no Inf, no division by zero — since harness code divides by
+// and prints these fields unconditionally.
+func TestAggregateStatsEdgeCases(t *testing.T) {
+	finite := func(t *testing.T, agg BatchStats) {
+		t.Helper()
+		if math.IsNaN(agg.QPS) || math.IsInf(agg.QPS, 0) {
+			t.Errorf("QPS = %v, want finite", agg.QPS)
+		}
+		for _, d := range []time.Duration{agg.LatMean, agg.LatP50, agg.LatP90, agg.LatP99, agg.LatMax} {
+			if d < 0 {
+				t.Errorf("negative latency stat %v in %+v", d, agg)
+			}
+		}
+	}
+
+	t.Run("empty batch", func(t *testing.T) {
+		agg := AggregateStats(nil, 0)
+		finite(t, agg)
+		if agg.Queries != 0 || agg.QPS != 0 || agg.LatMax != 0 {
+			t.Errorf("empty batch: %+v, want all-zero stats", agg)
+		}
+		// Non-zero wall with no queries: QPS stays 0, not 0/0.
+		finite(t, AggregateStats(nil, time.Second))
+	})
+
+	t.Run("single query", func(t *testing.T) {
+		per := []QueryStats{{Probes: 3, Candidates: 7, Distinct: 5, Latency: 2 * time.Millisecond}}
+		agg := AggregateStats(per, 4*time.Millisecond)
+		finite(t, agg)
+		if agg.Queries != 1 || agg.Probes != 3 || agg.Candidates != 7 || agg.Distinct != 5 {
+			t.Errorf("single query sums: %+v", agg)
+		}
+		// With one sample every percentile is that sample.
+		if agg.LatP50 != 2*time.Millisecond || agg.LatP99 != 2*time.Millisecond || agg.LatMax != 2*time.Millisecond {
+			t.Errorf("single-sample percentiles: p50=%v p99=%v max=%v, want 2ms", agg.LatP50, agg.LatP99, agg.LatMax)
+		}
+		if agg.QPS != 250 {
+			t.Errorf("QPS = %v, want 250 (1 query / 4ms)", agg.QPS)
+		}
+	})
+
+	t.Run("zero wall", func(t *testing.T) {
+		per := []QueryStats{{Latency: time.Microsecond}, {Latency: 3 * time.Microsecond}}
+		agg := AggregateStats(per, 0)
+		finite(t, agg)
+		if agg.QPS != 0 {
+			t.Errorf("zero-wall QPS = %v, want 0 (guarded, not +Inf)", agg.QPS)
+		}
+		if agg.LatMax != 3*time.Microsecond {
+			t.Errorf("LatMax = %v, want 3µs", agg.LatMax)
 		}
 	})
 }

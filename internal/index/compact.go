@@ -1,6 +1,11 @@
 package index
 
-import "dsh/internal/bitvec"
+import (
+	"time"
+
+	"dsh/internal/bitvec"
+	"dsh/internal/obs"
+)
 
 // Compaction for DynamicIndex. Every layer retains its per-repetition key
 // columns (segments since construction, memtables by design), so a merge
@@ -165,6 +170,7 @@ func (dx *DynamicIndex[P]) Compact() {
 	dead := dx.dead.Clone()
 	dx.mu.Unlock()
 
+	start := time.Now()
 	srcs := make([]colSource, 0, len(segs)+len(fmems))
 	for _, s := range segs {
 		srcs = append(srcs, colSource{ids: s.globalIDs, keys: s.keys})
@@ -173,6 +179,14 @@ func (dx *DynamicIndex[P]) Compact() {
 		srcs = append(srcs, colSource{ids: fm.ids, keys: fm.keys})
 	}
 	merged := mergeSources(len(dx.pairs), srcs, &dead)
+	rows := 0
+	if merged != nil {
+		rows = merged.len()
+	}
+	mCompactAll.Inc(dx.stripe)
+	mCompactRows.Add(dx.stripe, uint64(rows))
+	mCompactDur.Observe(dx.stripe, uint64(time.Since(start)))
+	obs.RecordEvent("compact.all", int64(rows), int64(len(segs)+len(fmems)))
 
 	dx.mu.Lock()
 	// The snapshotted layers are still the prefixes of their lists:
@@ -222,6 +236,7 @@ func (dx *DynamicIndex[P]) compactGC() {
 	points := dx.points
 	dx.mu.Unlock()
 
+	start := time.Now()
 	// Off-lock: concatenate the retained columns, dropping rows dead at
 	// pin time (zero hash evaluations), then rebase the survivors onto the
 	// dense id space.
@@ -321,11 +336,18 @@ func (dx *DynamicIndex[P]) compactGC() {
 			}
 		}
 	}
-	if reclaim := oldBytes - newDead.Bytes(); reclaim > 0 {
+	reclaim := oldBytes - newDead.Bytes()
+	if reclaim > 0 {
 		dx.gcReclaimedBytes += reclaim
+		mGCReclaimed.Add(dx.stripe, uint64(reclaim))
 	}
 	dx.dead = newDead
 	dx.gcCollected += dropped
+	mCompactGC.Inc(dx.stripe)
+	mCompactRows.Add(dx.stripe, uint64(len(surv)))
+	mGCCollected.Add(dx.stripe, uint64(dropped))
+	mCompactDur.Observe(dx.stripe, uint64(time.Since(start)))
+	obs.RecordEvent("gc", int64(dropped), int64(reclaim))
 
 	// Remap the external-key table: keyed rows inserted after the pin
 	// shift, keyed survivors take their dense rank, and entries orphaned
@@ -430,12 +452,21 @@ func (dx *DynamicIndex[P]) compactUpperStep() bool {
 	if len(segs) < 3 {
 		return false
 	}
+	start := time.Now()
 	srcs := make([]colSource, 0, len(segs)-1)
 	for _, s := range segs[1:] {
 		srcs = append(srcs, colSource{ids: s.globalIDs, keys: s.keys})
 	}
 	var noDead bitvec.Bitmap // keep every row: upper merges never drop
 	merged := mergeSources(len(dx.pairs), srcs, &noDead)
+	rows := 0
+	if merged != nil {
+		rows = merged.len()
+	}
+	mCompactUpper.Inc(dx.stripe)
+	mCompactRows.Add(dx.stripe, uint64(rows))
+	mCompactDur.Observe(dx.stripe, uint64(time.Since(start)))
+	obs.RecordEvent("compact.upper", int64(rows), int64(len(segs)-1))
 
 	dx.mu.Lock()
 	// segs still occupies the prefix of dx.segments: rewrites are
@@ -470,11 +501,20 @@ func (dx *DynamicIndex[P]) compactTieredStep() bool {
 	if len(segs)-lo < 2 {
 		return false
 	}
+	start := time.Now()
 	srcs := make([]colSource, 0, len(segs)-lo)
 	for _, s := range segs[lo:] {
 		srcs = append(srcs, colSource{ids: s.globalIDs, keys: s.keys})
 	}
 	merged := mergeSources(len(dx.pairs), srcs, &dead)
+	rows := 0
+	if merged != nil {
+		rows = merged.len()
+	}
+	mCompactTiered.Inc(dx.stripe)
+	mCompactRows.Add(dx.stripe, uint64(rows))
+	mCompactDur.Observe(dx.stripe, uint64(time.Since(start)))
+	obs.RecordEvent("compact.tiered", int64(rows), int64(len(segs)-lo))
 
 	dx.mu.Lock()
 	// segs[lo:] still occupies positions lo..len(segs) of dx.segments:

@@ -2,9 +2,11 @@ package index
 
 import (
 	"sync"
+	"time"
 
 	"dsh/internal/bitvec"
 	"dsh/internal/core"
+	"dsh/internal/obs"
 	"dsh/internal/xrand"
 )
 
@@ -162,6 +164,11 @@ type DynamicIndex[P any] struct {
 
 	queriers sync.Pool
 
+	// keyBufs pools the per-insert data-side key scratch ([]uint64 of
+	// length L, boxed to avoid an interface allocation per Get/Put) so the
+	// steady-state insert path performs no heap allocations.
+	keyBufs sync.Pool
+
 	// compactCh nudges the background compactor; nil when disabled.
 	compactCh chan struct{}
 	closed    chan struct{}
@@ -172,6 +179,11 @@ type DynamicIndex[P any] struct {
 	// nil for a purely in-memory index. Mutators call its log methods
 	// inside their mu critical sections, so WAL order is apply order.
 	store *store[P]
+
+	// stripe is this index's metrics stripe, drawn once at construction;
+	// shards of a ShardedIndex record write-path metrics onto distinct
+	// counter cache lines.
+	stripe uint32
 }
 
 // NewDynamic builds a dynamic index over the initial points (which become
@@ -219,12 +231,17 @@ func newDynamicFromPairs[P any](pairs []core.Pair[P], negG []negQueryHasher, poi
 // (single-threaded, unpublished) before any goroutine can touch the index.
 func newDynamicShell[P any](pairs []core.Pair[P], negG []negQueryHasher, opts DynamicOptions) *DynamicIndex[P] {
 	dx := &DynamicIndex[P]{
-		pairs: pairs,
-		negG:  negG,
-		opts:  opts.withDefaults(),
-		mem:   newMemtable(len(pairs)),
+		pairs:  pairs,
+		negG:   negG,
+		opts:   opts.withDefaults(),
+		stripe: obs.NextStripe(),
 	}
+	dx.mem = newMemtable(len(pairs), dx.opts.MemtableThreshold)
 	dx.queriers.New = func() any { return newSourceQuerier[P](dx, 0) }
+	dx.keyBufs.New = func() any {
+		buf := make([]uint64, len(dx.pairs))
+		return &buf
+	}
 	return dx
 }
 
@@ -314,7 +331,8 @@ func (dx *DynamicIndex[P]) PendingFreezes() int {
 // holding the lock — size MemtableThreshold to bound that stall, or call
 // Flush at quiet moments to schedule it explicitly.
 func (dx *DynamicIndex[P]) Insert(p P) int {
-	keys := make([]uint64, len(dx.pairs))
+	kb := dx.keyBufs.Get().(*[]uint64)
+	keys := *kb
 	for i, pair := range dx.pairs {
 		keys[i] = pair.H.Hash(p)
 	}
@@ -330,6 +348,9 @@ func (dx *DynamicIndex[P]) Insert(p P) int {
 	if dx.barrier != nil {
 		dx.barrier.RUnlock()
 	}
+	dx.keyBufs.Put(kb)
+	mInserts.Inc(dx.stripe)
+	mWriteHashEvals.Add(dx.stripe, uint64(len(dx.pairs)))
 	if needMerge {
 		dx.nudgeCompactor()
 	}
@@ -371,7 +392,8 @@ func (dx *DynamicIndex[P]) insertLocked(p P, keys []uint64) (int32, bool) {
 // but under CompactLeveled ids are renumbered by GC merges — the key is
 // the durable handle; use LookupKey to recover the current id.
 func (dx *DynamicIndex[P]) InsertKeyed(key uint64, p P) int {
-	keys := make([]uint64, len(dx.pairs))
+	kb := dx.keyBufs.Get().(*[]uint64)
+	keys := *kb
 	for i, pair := range dx.pairs {
 		keys[i] = pair.H.Hash(p)
 	}
@@ -396,6 +418,9 @@ func (dx *DynamicIndex[P]) InsertKeyed(key uint64, p P) int {
 	if dx.barrier != nil {
 		dx.barrier.RUnlock()
 	}
+	dx.keyBufs.Put(kb)
+	mUpserts.Inc(dx.stripe)
+	mWriteHashEvals.Add(dx.stripe, uint64(len(dx.pairs)))
 	if needMerge {
 		dx.nudgeCompactor()
 	}
@@ -427,6 +452,7 @@ func (dx *DynamicIndex[P]) DeleteKeyed(key uint64) bool {
 	dx.dead.Set(int(id))
 	dx.live--
 	dx.epoch++
+	mDeletesKeyed.Inc(dx.stripe)
 	return true
 }
 
@@ -462,6 +488,7 @@ func (dx *DynamicIndex[P]) Delete(id int) bool {
 	dx.dead.Set(id)
 	dx.live--
 	dx.epoch++
+	mDeletes.Inc(dx.stripe)
 	return true
 }
 
@@ -507,7 +534,13 @@ func (dx *DynamicIndex[P]) freezeLocked() {
 	if dx.mem.len() == 0 {
 		return
 	}
+	rows := dx.mem.len()
+	start := time.Now()
 	dx.segments = append(dx.segments, dx.mem.freeze())
+	mFreezeBuild.Observe(dx.stripe, uint64(time.Since(start)))
+	mFreezesInline.Inc(dx.stripe)
+	mFrozenRows.Add(dx.stripe, uint64(rows))
+	obs.RecordEvent("freeze.inline", int64(rows), int64(len(dx.segments)))
 	dx.freshMemtableLocked()
 }
 
@@ -517,7 +550,7 @@ func (dx *DynamicIndex[P]) freezeLocked() {
 // exclusively. During durable replay (store still nil) the stamp is
 // deferred: the first replayed row carries its own log position.
 func (dx *DynamicIndex[P]) freshMemtableLocked() {
-	dx.mem = newMemtable(len(dx.pairs))
+	dx.mem = newMemtable(len(dx.pairs), dx.opts.MemtableThreshold)
 	if dx.store != nil {
 		dx.mem.walStart = dx.store.wal.End()
 	}
@@ -530,6 +563,8 @@ func (dx *DynamicIndex[P]) detachMemLocked() {
 	if dx.mem.len() == 0 {
 		return
 	}
+	mFreezesAsync.Inc(dx.stripe)
+	obs.RecordEvent("freeze.async", int64(dx.mem.len()), int64(len(dx.frozen)+1))
 	dx.frozen = append(dx.frozen, dx.mem)
 	dx.freshMemtableLocked()
 	if !dx.freezerBusy {
@@ -558,7 +593,11 @@ func (dx *DynamicIndex[P]) freezer() {
 		fm := dx.frozen[0]
 		dx.mu.Unlock()
 
+		start := time.Now()
 		seg := fm.freeze() // the L flat-table builds: off-lock, no rehashing
+		mFreezeBuild.Observe(dx.stripe, uint64(time.Since(start)))
+		mFreezeInstalls.Inc(dx.stripe)
+		mFrozenRows.Add(dx.stripe, uint64(fm.len()))
 
 		dx.mu.Lock()
 		dx.frozen = dx.frozen[1:]
@@ -589,7 +628,11 @@ func (dx *DynamicIndex[P]) drainFrozen() {
 			dx.mergeMu.Unlock()
 			break
 		}
+		start := time.Now()
 		seg := fm.freeze()
+		mFreezeBuild.Observe(dx.stripe, uint64(time.Since(start)))
+		mFreezeInstalls.Inc(dx.stripe)
+		mFrozenRows.Add(dx.stripe, uint64(fm.len()))
 		dx.mu.Lock()
 		dx.frozen = dx.frozen[1:]
 		dx.segments = append(dx.segments, seg)
@@ -613,6 +656,8 @@ func (dx *DynamicIndex[P]) Flush() {
 	// route through the FIFO whenever one exists.
 	if dx.opts.AsyncFreeze || len(dx.frozen) > 0 {
 		if dx.mem.len() > 0 {
+			mFreezesAsync.Inc(dx.stripe)
+			obs.RecordEvent("freeze.async", int64(dx.mem.len()), int64(len(dx.frozen)+1))
 			dx.frozen = append(dx.frozen, dx.mem)
 			dx.freshMemtableLocked()
 		}
@@ -662,16 +707,17 @@ func (dx *DynamicIndex[P]) appendCandidates(rep int, key uint64, dst []int32) ([
 	}
 	for _, fm := range dx.frozen {
 		probes++
-		for _, id := range fm.lookup(rep, key) {
-			if !dx.dead.Get(int(id)) {
+		for j := fm.bucketHead(rep, key); j >= 0; j = fm.chains[rep][j] {
+			if id := fm.ids[j]; !dx.dead.Get(int(id)) {
 				dst = append(dst, id)
 			}
 		}
 	}
 	if dx.mem.len() > 0 {
 		probes++
-		for _, id := range dx.mem.lookup(rep, key) {
-			if !dx.dead.Get(int(id)) {
+		mem := dx.mem
+		for j := mem.bucketHead(rep, key); j >= 0; j = mem.chains[rep][j] {
+			if id := mem.ids[j]; !dx.dead.Get(int(id)) {
 				dst = append(dst, id)
 			}
 		}

@@ -3,20 +3,38 @@ package index
 import "dsh/internal/durable"
 
 // memtable is the mutable write buffer of a DynamicIndex. Fresh inserts
-// land here in the pre-PR-2 map layout — one map[uint64][]int32 per
-// repetition — which absorbs writes in O(1) without the rebuild cost of
-// the frozen flat tables. Alongside the maps it retains every point's
-// per-repetition keys in column order, so freezing into a segment is a
-// pure buildFlatTable pass with no rehashing of the points.
+// land here in a chained-bucket layout — one map[uint64]bucket per
+// repetition pointing into a per-repetition chain array — which absorbs
+// writes in O(1) without the rebuild cost of the frozen flat tables and,
+// unlike the earlier map[uint64][]int32 layout, without a per-bucket
+// slice allocation on the hot insert path: buckets are head/tail row
+// indices and successor links live in one flat chain column, so a
+// steady-state insert performs no heap allocations at all (columns and
+// chains are pre-sized to the memtable threshold; only map growth and the
+// occasional column doubling past the threshold allocate, both amortized
+// away). Alongside the buckets it retains every point's per-repetition
+// keys in column order, so freezing into a segment is a pure
+// buildFlatTable pass with no rehashing of the points.
 //
 // A memtable is not safe for concurrent mutation; the DynamicIndex guards
 // it with its structural lock. Once detached by an asynchronous freeze it
 // is never mutated again, so it can serve lock-protected reads while its
 // flat tables build off-lock.
+
+// bucket is one repetition-key bucket: the first and last row index (into
+// the memtable's column order) buffered under the key. Successors are
+// threaded through the repetition's chain column, preserving insertion
+// order.
+type bucket struct {
+	head, tail int32
+}
+
 type memtable struct {
-	// tables[i] maps the repetition-i data-side key h_i(x) to the global
-	// ids inserted under it, in insertion order.
-	tables []map[uint64][]int32
+	// tables[i] maps the repetition-i data-side key h_i(x) to its bucket.
+	tables []map[uint64]bucket
+	// chains[i][j] is the next row (in insertion order) sharing row j's
+	// repetition-i key, or -1 at the end of the bucket.
+	chains [][]int32
 	// ids are the global ids of the buffered points in insertion order.
 	ids []int32
 	// keys[i][j] is h_i of the j-th buffered point (same order as ids).
@@ -28,14 +46,23 @@ type memtable struct {
 	walStart durable.Pos
 }
 
-// newMemtable returns an empty memtable with L repetition maps.
-func newMemtable(L int) *memtable {
+// newMemtable returns an empty memtable with L repetition maps, its
+// columns and chains pre-sized for sizeHint rows (the memtable threshold)
+// so steady-state inserts below the hint never grow a column.
+func newMemtable(L, sizeHint int) *memtable {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
 	mt := &memtable{
-		tables: make([]map[uint64][]int32, L),
+		tables: make([]map[uint64]bucket, L),
+		chains: make([][]int32, L),
 		keys:   make([][]uint64, L),
+		ids:    make([]int32, 0, sizeHint),
 	}
 	for i := range mt.tables {
-		mt.tables[i] = make(map[uint64][]int32)
+		mt.tables[i] = make(map[uint64]bucket)
+		mt.chains[i] = make([]int32, 0, sizeHint)
+		mt.keys[i] = make([]uint64, 0, sizeHint)
 	}
 	return mt
 }
@@ -46,31 +73,52 @@ func (mt *memtable) len() int { return len(mt.ids) }
 // insert buffers global id under its per-repetition keys (keys[i] is
 // h_i of the point; the caller owns and may reuse the slice).
 func (mt *memtable) insert(id int32, keys []uint64) {
+	j := int32(len(mt.ids))
 	mt.ids = append(mt.ids, id)
 	for i, k := range keys {
-		mt.tables[i][k] = append(mt.tables[i][k], id)
 		mt.keys[i] = append(mt.keys[i], k)
+		mt.chains[i] = append(mt.chains[i], -1)
+		if b, ok := mt.tables[i][k]; ok {
+			mt.chains[i][b.tail] = j
+			b.tail = j
+			mt.tables[i][k] = b
+		} else {
+			mt.tables[i][k] = bucket{head: j, tail: j}
+		}
 	}
 }
 
-// lookup returns the global ids bucketed under key in repetition rep, in
-// insertion order. The slice aliases the memtable and is valid only while
-// the caller holds the index's structural lock.
-func (mt *memtable) lookup(rep int, key uint64) []int32 {
-	return mt.tables[rep][key]
+// bucketHead returns the first row index buffered under key in repetition
+// rep, or -1 when the bucket is empty. Iterate with the repetition's
+// chain column:
+//
+//	for j := mt.bucketHead(rep, key); j >= 0; j = mt.chains[rep][j] {
+//		id := mt.ids[j]
+//	}
+//
+// The walk yields rows in insertion order and is valid only while the
+// caller holds the index's structural lock (or the memtable is detached
+// and immutable).
+func (mt *memtable) bucketHead(rep int, key uint64) int32 {
+	if b, ok := mt.tables[rep][key]; ok {
+		return b.head
+	}
+	return -1
 }
 
-// remapped returns a copy of the memtable with every buffered id shifted by
-// delta, sharing the (content-identical) key columns with the original. The
-// leveled GC uses it to renumber the layers that accumulated while the
-// bottom-level merge built: copies keep pinned snapshots — which still
-// reference the original memtable under the old id space — consistent. The
-// original must not be mutated afterwards; the copy may (the shared key
-// columns are append-only, and the original never reads past its own
+// remapped returns a copy of the memtable with every buffered id shifted
+// by delta, sharing the (content-identical) key columns with the
+// original. The leveled GC uses it to renumber the layers that
+// accumulated while the bottom-level merge built: copies keep pinned
+// snapshots — which still reference the original memtable under the old
+// id space — consistent. The original must not be mutated afterwards; the
+// copy may (it gets private bucket maps and chain columns, and the shared
+// key columns are append-only — the original never reads past its own
 // length).
 func (mt *memtable) remapped(delta int32) *memtable {
 	out := &memtable{
-		tables:   make([]map[uint64][]int32, len(mt.tables)),
+		tables:   make([]map[uint64]bucket, len(mt.tables)),
+		chains:   make([][]int32, len(mt.chains)),
 		ids:      make([]int32, len(mt.ids)),
 		keys:     mt.keys,
 		walStart: mt.walStart,
@@ -79,15 +127,12 @@ func (mt *memtable) remapped(delta int32) *memtable {
 		out.ids[j] = id + delta
 	}
 	for i, tbl := range mt.tables {
-		nt := make(map[uint64][]int32, len(tbl))
-		for k, ids := range tbl {
-			nids := make([]int32, len(ids))
-			for j, id := range ids {
-				nids[j] = id + delta
-			}
-			nt[k] = nids
+		nt := make(map[uint64]bucket, len(tbl))
+		for k, b := range tbl {
+			nt[k] = b
 		}
 		out.tables[i] = nt
+		out.chains[i] = append([]int32(nil), mt.chains[i]...)
 	}
 	return out
 }

@@ -8,10 +8,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dsh/internal/bitvec"
 	"dsh/internal/core"
 	"dsh/internal/durable"
+	"dsh/internal/obs"
 	"dsh/internal/xrand"
 )
 
@@ -568,7 +570,9 @@ func OpenDynamic[P any](dir string, family core.Family[P], codec durable.PointCo
 	if err != nil {
 		return nil, err
 	}
+	mstart := time.Now()
 	m, err := env.LoadManifest()
+	mRecoverManifest.Observe(0, uint64(time.Since(mstart)))
 	if err != nil {
 		return nil, err
 	}
@@ -630,6 +634,7 @@ func (dx *DynamicIndex[P]) recoverFrom(env *durable.Env, codec durable.PointCode
 		return fmt.Errorf("index: manifest has L=%d, caller sampled %d repetitions", m.L, L)
 	}
 	dx.points = make([]P, m.IDBound)
+	segStart := time.Now()
 	for _, ref := range m.Segments {
 		sd, err := env.ReadSegment(ref.Name)
 		if err != nil {
@@ -669,6 +674,7 @@ func (dx *DynamicIndex[P]) recoverFrom(env *durable.Env, codec durable.PointCode
 		}
 		dx.segments = append(dx.segments, seg)
 	}
+	mRecoverSegments.Observe(dx.stripe, uint64(time.Since(segStart)))
 	dx.dead = bitvec.BitmapFromWords(m.Dead)
 	if len(m.KeyedKeys) > 0 {
 		dx.keyed = make(map[uint64]int32, len(m.KeyedKeys))
@@ -679,6 +685,7 @@ func (dx *DynamicIndex[P]) recoverFrom(env *durable.Env, codec durable.PointCode
 	dx.gcCollected = int(m.GCCollected)
 	dx.gcReclaimedBytes = int(m.GCReclaimed)
 
+	replayStart := time.Now()
 	// Buffered region: collect the rows that were still in memtables at
 	// manifest capture. Deletes and keyed ops are already folded into the
 	// manifest's bitmap and key table; gcRemap records shift the pending
@@ -771,6 +778,9 @@ func (dx *DynamicIndex[P]) recoverFrom(env *durable.Env, codec durable.PointCode
 			}
 		}
 	}
+	mRecoverReplay.Observe(dx.stripe, uint64(time.Since(replayStart)))
+	mRecoveries.Inc(dx.stripe)
+	obs.RecordEvent("recover", int64(len(dx.points)), int64(len(dx.segments)))
 	return nil
 }
 
@@ -892,7 +902,7 @@ func (dx *DynamicIndex[P]) replayGCRemap(snapBound int, delta int32, dropped []i
 		dx.segments = nil
 	}
 	dx.frozen = nil
-	dx.mem = newMemtable(len(dx.pairs)) // walStart stamped by the next replayed row
+	dx.mem = newMemtable(len(dx.pairs), dx.opts.MemtableThreshold) // walStart stamped by the next replayed row
 	dx.points = newPoints
 
 	for k, v := range dx.keyed {
@@ -955,6 +965,7 @@ func NewDurableSharded[P any](dir string, seed uint64, family core.Family[P], L 
 		negG:    negG,
 		shards:  make([]*DynamicIndex[P], opts.Shards),
 		routing: opts.Routing,
+		stripe:  obs.NextStripe(),
 	}
 	if err := topEnv.WriteManifest(&durable.Manifest{
 		Seed:    seed,
@@ -1020,6 +1031,7 @@ func OpenSharded[P any](dir string, family core.Family[P], codec durable.PointCo
 		negG:    negG,
 		shards:  make([]*DynamicIndex[P], K),
 		routing: Routing(m.Routing),
+		stripe:  obs.NextStripe(),
 	}
 	errs := make([]error, K)
 	var wg sync.WaitGroup
@@ -1033,7 +1045,9 @@ func OpenSharded[P any](dir string, family core.Family[P], codec durable.PointCo
 				errs[s] = err
 				return
 			}
+			mstart := time.Now()
 			sm, err := env.LoadManifest()
+			mRecoverManifest.Observe(uint32(s), uint64(time.Since(mstart)))
 			if err != nil {
 				errs[s] = err
 				return

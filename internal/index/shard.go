@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"dsh/internal/core"
+	"dsh/internal/obs"
 	"dsh/internal/xrand"
 )
 
@@ -101,6 +102,10 @@ type ShardedIndex[P any] struct {
 	barrier sync.RWMutex
 
 	queriers sync.Pool
+
+	// stripe is this index's metrics stripe for the snapshot-barrier
+	// counters, drawn once at construction.
+	stripe uint32
 }
 
 // NewSharded builds a sharded dynamic index over the initial points
@@ -140,6 +145,7 @@ func NewSharded[P any](rng *xrand.Rand, family core.Family[P], L int, points []P
 		negG:    negG,
 		shards:  make([]*DynamicIndex[P], K),
 		routing: opts.Routing,
+		stripe:  obs.NextStripe(),
 	}
 	for s := range sx.shards {
 		sx.shards[s] = newDynamicFromPairs(pairs, negG, parts[s], opts.Dynamic)
@@ -510,9 +516,11 @@ func (sx *ShardedIndex[P]) Snapshot() *ShardedSnapshot[P] {
 			}
 		}
 		if ok {
+			mSnapOptimistic.Inc(sx.stripe)
 			ss.queriers.New = func() any { return newSourceQuerier[P](ss, ss.beginRead()) }
 			return ss
 		}
+		mSnapRetries.Inc(sx.stripe)
 		for s, snap := range ss.snaps {
 			snap.Release()
 			ss.snaps[s] = nil
@@ -520,6 +528,8 @@ func (sx *ShardedIndex[P]) Snapshot() *ShardedSnapshot[P] {
 	}
 	// Fallback: quiesce every mutator (they hold barrier shared) and pin
 	// under exclusion. Trivially a single instant.
+	mSnapFallback.Inc(sx.stripe)
+	obs.RecordEvent("snapshot.fallback", int64(K), 0)
 	sx.barrier.Lock()
 	for s, dx := range sx.shards {
 		ss.snaps[s] = dx.Snapshot()

@@ -91,6 +91,9 @@ func (dx *DynamicIndex[P]) Snapshot() *Snapshot[P] {
 	}
 	dx.mu.Unlock()
 	snap.queriers.New = func() any { return newSourceQuerier[P](snap, snap.idBound) }
+	mSnapshots.Inc(dx.stripe)
+	mSnapshotsOpen.Add(1)
+	mSnapshotEpoch.Set(int64(snap.epoch))
 	return snap
 }
 
@@ -131,6 +134,7 @@ func (s *Snapshot[P]) Release() {
 	if s.released.Swap(true) {
 		return
 	}
+	mSnapshotsOpen.Add(-1)
 	s.points = nil
 	s.segments = nil
 	s.frozen = nil
@@ -172,8 +176,8 @@ func (s *Snapshot[P]) appendCandidates(rep int, key uint64, dst []int32) ([]int3
 	}
 	for _, fm := range s.frozen {
 		probes++
-		for _, id := range fm.lookup(rep, key) {
-			if !s.dead.Get(int(id)) {
+		for j := fm.bucketHead(rep, key); j >= 0; j = fm.chains[rep][j] {
+			if id := fm.ids[j]; !s.dead.Get(int(id)) {
 				dst = append(dst, id)
 			}
 		}

@@ -1,7 +1,10 @@
 package index
 
 import (
+	"time"
+
 	"dsh/internal/core"
+	"dsh/internal/obs"
 )
 
 // candidateSource is the storage abstraction behind every query veneer in
@@ -115,6 +118,10 @@ type sourceQuerier[P any] struct {
 	buf     []int32
 	neg     []float64
 	negOK   bool
+	// stripe is this querier's metrics stripe, drawn once at construction;
+	// queriers are per-goroutine, so concurrent batch workers record onto
+	// distinct counter cache lines.
+	stripe uint32
 }
 
 // newSourceQuerier returns a fresh scratch bound to src with a visited
@@ -125,6 +132,7 @@ func newSourceQuerier[P any](src candidateSource[P], n int) *sourceQuerier[P] {
 		pairs:   src.srcPairs(),
 		negG:    src.srcNegG(),
 		visited: make([]uint32, n),
+		stripe:  obs.NextStripe(),
 	}
 }
 
@@ -190,20 +198,28 @@ func (sq *sourceQuerier[P]) gKey(i int, q P) uint64 {
 // repetition (duplicates across repetitions included), invoking visit for
 // each. If visit returns false the scan stops early.
 func (sq *sourceQuerier[P]) candidates(q P, visit func(id int) bool) {
+	start := time.Now()
 	src := sq.src
 	src.beginRead()
 	defer src.endRead()
 	sq.negOK = false
+	var stats QueryStats
+	hashEvals := 0
+scan:
 	for i := range sq.pairs {
 		key := sq.gKey(i, q)
-		buf, _ := src.appendCandidates(i, key, sq.buf[:0])
+		hashEvals++
+		buf, probes := src.appendCandidates(i, key, sq.buf[:0])
 		sq.buf = buf
+		stats.Probes += probes
+		stats.Candidates += len(buf)
 		for _, id := range buf {
 			if !visit(int(id)) {
-				return
+				break scan
 			}
 		}
 	}
+	sq.recordQuery(start, hashEvals, stats)
 }
 
 // collectDistinct gathers up to max distinct live candidate ids for q
@@ -218,17 +234,20 @@ func (sq *sourceQuerier[P]) candidates(q P, visit func(id int) bool) {
 // aggregate the work of whole repetitions across every segment and the
 // memtable.
 func (sq *sourceQuerier[P]) collectDistinct(q P, max int) ([]int, QueryStats) {
+	start := time.Now()
 	src := sq.src
 	n := src.beginRead()
 	defer src.endRead()
 	sq.begin(n)
 	var stats QueryStats
+	hashEvals := 0
 	out := sq.out[:0]
 	visited := sq.visited
 	epoch := sq.epoch
 scan:
 	for i := range sq.pairs {
 		key := sq.gKey(i, q)
+		hashEvals++
 		buf, probes := src.appendCandidates(i, key, sq.buf[:0])
 		sq.buf = buf
 		stats.Probes += probes
@@ -246,6 +265,7 @@ scan:
 		}
 	}
 	sq.out = out
+	sq.recordQuery(start, hashEvals, stats)
 	return out, stats
 }
 
@@ -254,14 +274,19 @@ scan:
 // first hit, and give up after 8L candidates (the Markov-bound early
 // termination from the proof of Theorem 6.1).
 func (sq *sourceQuerier[P]) annulusQuery(q P, within func(q, x P) bool) (int, QueryStats) {
+	start := time.Now()
 	src := sq.src
 	limit := 8 * len(sq.pairs)
 	src.beginRead()
 	defer src.endRead()
 	sq.negOK = false
 	var stats QueryStats
+	res := -1
+	hashEvals := 0
+scan:
 	for i := range sq.pairs {
 		key := sq.gKey(i, q)
+		hashEvals++
 		buf, probes := src.appendCandidates(i, key, sq.buf[:0])
 		sq.buf = buf
 		stats.Probes += probes
@@ -270,29 +295,34 @@ func (sq *sourceQuerier[P]) annulusQuery(q P, within func(q, x P) bool) (int, Qu
 			stats.Verified++
 			id := int(id32)
 			if within(q, src.srcPoint(id)) {
-				return id, stats
+				res = id
+				break scan
 			}
 			if stats.Candidates >= limit {
-				return -1, stats
+				break scan
 			}
 		}
 	}
-	return -1, stats
+	sq.recordQuery(start, hashEvals, stats)
+	return res, stats
 }
 
 // appendRange runs the Theorem 6.5 reporting algorithm against the source:
 // verify every distinct candidate once with inRange and append the ids
 // that qualify to dst, returning the extended slice.
 func (sq *sourceQuerier[P]) appendRange(dst []int, q P, inRange func(q, x P) bool) ([]int, QueryStats) {
+	start := time.Now()
 	src := sq.src
 	n := src.beginRead()
 	defer src.endRead()
 	sq.begin(n)
 	var stats QueryStats
+	hashEvals := 0
 	visited := sq.visited
 	epoch := sq.epoch
 	for i := range sq.pairs {
 		key := sq.gKey(i, q)
+		hashEvals++
 		buf, probes := src.appendCandidates(i, key, sq.buf[:0])
 		sq.buf = buf
 		stats.Probes += probes
@@ -309,5 +339,6 @@ func (sq *sourceQuerier[P]) appendRange(dst []int, q P, inRange func(q, x P) boo
 			}
 		}
 	}
+	sq.recordQuery(start, hashEvals, stats)
 	return dst, stats
 }

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name: counters and gauges
+// as single samples, histograms as cumulative le-labelled buckets plus
+// _sum and _count. Histogram values are nanoseconds; the le bounds are
+// the log2 bucket upper bounds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cs, gs, hs := r.sortedMetrics()
+	for _, c := range cs {
+		writeHeader(bw, c.name, c.help, "counter")
+		fmt.Fprintf(bw, "%s %d\n", c.name, c.Value())
+	}
+	for _, g := range gs {
+		writeHeader(bw, g.name, g.help, "gauge")
+		fmt.Fprintf(bw, "%s %d\n", g.name, g.Value())
+	}
+	for _, h := range hs {
+		writeHeader(bw, h.name, h.help, "histogram")
+		snap := h.Snapshot()
+		cum := uint64(0)
+		for b, c := range snap.Buckets {
+			cum += c
+			if c == 0 && b != 0 {
+				continue // elide empty buckets; cumulative counts stay exact
+			}
+			_, hi := bucketBounds(b)
+			fmt.Fprintf(bw, "%s_bucket{le=\"%g\"} %d\n", h.name, hi, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", h.name, snap.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", h.name, snap.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", h.name, snap.Count)
+	}
+	return bw.Flush()
+}
+
+// writeHeader writes the # HELP / # TYPE preamble of one metric family.
+func writeHeader(w io.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// jsonHistogram is the JSON shape of one histogram: the folded totals
+// plus extracted percentiles, which is what a human debugging over
+// /debug/vars actually wants (the full bucket vector stays on the
+// Prometheus endpoint).
+type jsonHistogram struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// jsonEvent is the JSON shape of one trace event.
+type jsonEvent struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	A    int64     `json:"a"`
+	B    int64     `json:"b"`
+}
+
+// WriteJSON writes an expvar-style JSON object with four top-level keys:
+// "counters" and "gauges" (flat name→value maps), "histograms"
+// (name→{count, sum, mean, p50, p99, p999}), and "events" (the trace,
+// oldest first).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	hists := make(map[string]jsonHistogram, len(snap.Histograms))
+	for name, h := range snap.Histograms {
+		hists[name] = jsonHistogram{
+			Count: h.Count,
+			Sum:   h.Sum,
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+		}
+	}
+	events := make([]jsonEvent, len(snap.Events))
+	for i, e := range snap.Events {
+		events[i] = jsonEvent{Seq: e.Seq, Time: e.Time, Kind: e.Kind, A: e.A, B: e.B}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"counters":   snap.Counters,
+		"gauges":     snap.Gauges,
+		"histograms": hists,
+		"events":     events,
+	})
+}

@@ -1,0 +1,361 @@
+// Package obs is the always-on, zero-dependency metrics plane of the
+// serving core: atomic counters, gauges and fixed-bucket log2 latency
+// histograms collected in a process-wide registry, plus a bounded
+// ring-buffer trace of lifecycle events (freezes, compactions, GC folds,
+// snapshot-barrier fallbacks, WAL rotations, recoveries, durable faults).
+//
+// The design contract is that recording is free enough to leave on in the
+// hottest paths: every record operation is a handful of atomic adds into
+// cache-line-padded per-stripe cells — no locks, no maps, no formatting,
+// and no heap allocations (proven by alloc tests and the instrumented
+// query/insert benchmarks). Writers are spread across a small power-of-two
+// set of stripes so concurrent shards and query workers do not contend on
+// one cache line; values are folded together only when a reader asks
+// (Value, Snapshot, or one of the export encoders in this package).
+//
+// Instrumented components obtain a stripe id once at construction via
+// NextStripe and pass it to every Add/Observe; anything without a natural
+// home may use stripe 0 — correctness never depends on the stripe, only
+// contention does.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// numStripes is the number of independent cells per counter/histogram.
+// Power of two so stripe selection is a mask; 16 cells × 64 B = 1 KiB per
+// counter, small enough to keep even a few dozen counters cache-resident.
+const numStripes = 16
+
+// stripeMask folds an arbitrary stripe id onto a cell index.
+const stripeMask = numStripes - 1
+
+// nextStripe distributes stripe ids round-robin across instrumented
+// components (shards, queriers, WALs).
+var nextStripe atomic.Uint32
+
+// NextStripe returns a fresh stripe id. Components call it once at
+// construction and reuse the id for every record; round-robin assignment
+// keeps concurrent writers on distinct cache lines.
+func NextStripe() uint32 { return nextStripe.Add(1) - 1 }
+
+// cell is one counter stripe, padded to a full cache line so adjacent
+// stripes never false-share.
+type cell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing striped counter. The zero value
+// is not registered; create counters with NewCounter.
+type Counter struct {
+	name, help string
+	cells      [numStripes]cell
+}
+
+// Add adds n to the counter on the given stripe. It performs one atomic
+// add and never allocates.
+func (c *Counter) Add(stripe uint32, n uint64) {
+	c.cells[stripe&stripeMask].v.Add(n)
+}
+
+// Inc adds one to the counter on the given stripe.
+func (c *Counter) Inc(stripe uint32) { c.Add(stripe, 1) }
+
+// Value folds the stripes and returns the counter's current total.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a single instantaneous value (set, not accumulated): open
+// snapshots, latched faults, last pinned epoch. Gauges are read and
+// written rarely compared to counters, so they are a single unpadded
+// atomic rather than a striped cell array.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set stores the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta and returns the new value.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the registered metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// numBuckets is the histogram bucket count: bucket b collects values v
+// with bits.Len64(v) == b, i.e. v in [2^(b-1), 2^b), with bucket 0
+// holding exactly zero and the last bucket absorbing everything at or
+// above 2^(numBuckets-2). For nanosecond latencies the top bucket starts
+// at 2^38 ns ≈ 4.6 min — far beyond any serving latency worth resolving.
+const numBuckets = 40
+
+// histStripe is one histogram stripe: per-bucket counts plus sum and
+// count, padded out to a cache-line multiple.
+type histStripe struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+	_       [48]byte
+}
+
+// Histogram is a striped fixed-bucket log2 histogram, built for recording
+// nanosecond latencies on paths that must not allocate: Observe is three
+// atomic adds, and percentile extraction happens only at read time from a
+// folded Snapshot.
+type Histogram struct {
+	name, help string
+	stripes    [numStripes]histStripe
+}
+
+// bucketOf maps a value onto its log2 bucket.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value (typically a latency in nanoseconds) on the
+// given stripe. It performs three atomic adds and never allocates.
+func (h *Histogram) Observe(stripe uint32, v uint64) {
+	s := &h.stripes[stripe&stripeMask]
+	s.buckets[bucketOf(v)].Add(1)
+	s.sum.Add(v)
+	s.count.Add(1)
+}
+
+// Name returns the registered metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Snapshot folds the stripes into one HistogramSnapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var out HistogramSnapshot
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		out.Sum += s.sum.Load()
+		out.Count += s.count.Load()
+		for b := range s.buckets {
+			out.Buckets[b] += s.buckets[b].Load()
+		}
+	}
+	return out
+}
+
+// HistogramSnapshot is a folded, immutable view of a Histogram.
+type HistogramSnapshot struct {
+	// Count is the number of recorded values and Sum their total, so
+	// Sum/Count is the mean.
+	Count, Sum uint64
+	// Buckets[b] counts values v with bits.Len64(v) == b: bucket 0 holds
+	// exactly zero, bucket b >= 1 holds [2^(b-1), 2^b), and the last
+	// bucket absorbs everything above its lower bound.
+	Buckets [numBuckets]uint64
+}
+
+// bucketBounds returns the value range [lo, hi) of bucket b.
+func bucketBounds(b int) (lo, hi float64) {
+	if b == 0 {
+		return 0, 0
+	}
+	return float64(uint64(1) << (b - 1)), float64(uint64(1) << b)
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) estimated by linear
+// interpolation inside the covering log2 bucket; with no recorded values
+// it returns 0. The log2 scheme bounds the relative error of any
+// quantile by 2x, which is enough to tell 9 µs from 90 µs from 9 ms — the
+// decisions a latency SLO actually turns on.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for b, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum >= rank {
+			lo, hi := bucketBounds(b)
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - prev) / float64(c)
+			}
+			return lo + frac*(hi-lo)
+		}
+	}
+	_, hi := bucketBounds(numBuckets - 1)
+	return hi
+}
+
+// Mean returns the arithmetic mean of the recorded values, or 0 with no
+// records.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Registry holds a fixed set of named metrics. Registration happens at
+// package init time of the instrumented components (and panics on a
+// duplicate name); recording is lock-free afterwards. Default is the
+// process-wide registry every component registers into; private
+// registries exist for tests.
+type Registry struct {
+	mu         sync.Mutex
+	counters   []*Counter
+	gauges     []*Gauge
+	histograms []*Histogram
+	trace      *Trace
+}
+
+// Default is the process-wide registry, exported over HTTP by the obshttp
+// package and snapshotted by dsh.Metrics.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry with its own event trace.
+func NewRegistry() *Registry {
+	return &Registry{trace: newTrace(defaultTraceCap)}
+}
+
+// checkName panics when name is empty or already registered.
+func (r *Registry) checkName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for _, c := range r.counters {
+		if c.name == name {
+			panic(fmt.Sprintf("obs: duplicate metric %q", name))
+		}
+	}
+	for _, g := range r.gauges {
+		if g.name == name {
+			panic(fmt.Sprintf("obs: duplicate metric %q", name))
+		}
+	}
+	for _, h := range r.histograms {
+		if h.name == name {
+			panic(fmt.Sprintf("obs: duplicate metric %q", name))
+		}
+	}
+}
+
+// NewCounter registers a counter in r. It panics on a duplicate name.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	c := &Counter{name: name, help: help}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// NewGauge registers a gauge in r. It panics on a duplicate name.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	g := &Gauge{name: name, help: help}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// NewHistogram registers a histogram in r. It panics on a duplicate name.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	h := &Histogram{name: name, help: help}
+	r.histograms = append(r.histograms, h)
+	return h
+}
+
+// NewCounter registers a counter in the Default registry.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// NewHistogram registers a histogram in the Default registry.
+func NewHistogram(name, help string) *Histogram { return Default.NewHistogram(name, help) }
+
+// Snapshot is a point-in-time copy of a registry: folded counter totals,
+// gauge values, histogram snapshots, and the buffered trace events
+// (oldest first). It is a plain value — embedders may retain, diff and
+// serialize it freely.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+	Events     []Event
+}
+
+// Snapshot folds every metric and copies the trace. Counters on other
+// stripes may advance while the fold runs; each individual metric is
+// internally consistent (a single atomic fold), the set is not a global
+// atomic cut.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := r.counters
+	gauges := r.gauges
+	histograms := r.histograms
+	r.mu.Unlock()
+	snap := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(histograms)),
+		Events:     r.trace.Events(),
+	}
+	for _, c := range counters {
+		snap.Counters[c.name] = c.Value()
+	}
+	for _, g := range gauges {
+		snap.Gauges[g.name] = g.Value()
+	}
+	for _, h := range histograms {
+		snap.Histograms[h.name] = h.Snapshot()
+	}
+	return snap
+}
+
+// sortedMetrics returns the registered metrics sorted by name, for the
+// deterministic export encoders.
+func (r *Registry) sortedMetrics() (cs []*Counter, gs []*Gauge, hs []*Histogram) {
+	r.mu.Lock()
+	cs = append(cs, r.counters...)
+	gs = append(gs, r.gauges...)
+	hs = append(hs, r.histograms...)
+	r.mu.Unlock()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	return cs, gs, hs
+}

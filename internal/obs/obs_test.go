@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterStripesFold(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "test counter")
+	for stripe := uint32(0); stripe < 3*numStripes; stripe++ {
+		c.Add(stripe, uint64(stripe))
+	}
+	want := uint64(0)
+	for s := uint32(0); s < 3*numStripes; s++ {
+		want += uint64(s)
+	}
+	if got := c.Value(); got != want {
+		t.Fatalf("Value = %d, want %d", got, want)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "test counter")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(stripe uint32) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(stripe)
+			}
+		}(NextStripe())
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("Value = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("g", "test gauge")
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7", got)
+	}
+	g.Add(-9)
+	if got := g.Value(); got != -2 {
+		t.Fatalf("Value = %d, want -2", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h_ns", "test histogram")
+	// 1000 values at ~1µs, 10 values at ~1ms: p50 must land in the µs
+	// decade and p999 in the ms decade.
+	for i := 0; i < 1000; i++ {
+		h.Observe(uint32(i), 1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0, 1_000_000)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 1010 {
+		t.Fatalf("Count = %d, want 1010", snap.Count)
+	}
+	if want := uint64(1000*1000 + 10*1_000_000); snap.Sum != want {
+		t.Fatalf("Sum = %d, want %d", snap.Sum, want)
+	}
+	p50 := snap.Quantile(0.50)
+	if p50 < 512 || p50 > 2048 {
+		t.Fatalf("p50 = %g, want within the [512, 2048) bucket of 1000", p50)
+	}
+	p999 := snap.Quantile(0.999)
+	if p999 < 512*1024 || p999 > 2*1024*1024 {
+		t.Fatalf("p999 = %g, want within the ms bucket", p999)
+	}
+	if m := snap.Mean(); math.Abs(m-float64(snap.Sum)/1010) > 1e-9 {
+		t.Fatalf("Mean = %g", m)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h_ns", "test histogram")
+	empty := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%g) = %g, want 0", q, v)
+		}
+	}
+	if empty.Mean() != 0 {
+		t.Fatalf("empty Mean = %g, want 0", empty.Mean())
+	}
+	h.Observe(0, 0) // zero value lands in bucket 0
+	h.Observe(0, math.MaxUint64)
+	snap := h.Snapshot()
+	if snap.Buckets[0] != 1 || snap.Buckets[numBuckets-1] != 1 {
+		t.Fatalf("buckets = %v, want one zero and one overflow", snap.Buckets)
+	}
+	if v := snap.Quantile(1); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("Quantile(1) = %g", v)
+	}
+}
+
+func TestTraceRingWrap(t *testing.T) {
+	tr := newTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Record("k", int64(i), 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(events) = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(6 + i)
+		if e.Seq != wantSeq || e.A != int64(wantSeq) || e.Kind != "k" {
+			t.Fatalf("event %d = %+v, want seq %d", i, e, wantSeq)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("dup", "")
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h_ns", "")
+	c.Add(1, 41)
+	c.Inc(2)
+	g.Set(-3)
+	h.Observe(0, 100)
+	r.Trace().Record("freeze", 5, 6)
+	snap := r.Snapshot()
+	if snap.Counters["c_total"] != 42 {
+		t.Fatalf("counter = %d, want 42", snap.Counters["c_total"])
+	}
+	if snap.Gauges["g"] != -3 {
+		t.Fatalf("gauge = %d, want -3", snap.Gauges["g"])
+	}
+	if snap.Histograms["h_ns"].Count != 1 {
+		t.Fatalf("histogram count = %d, want 1", snap.Histograms["h_ns"].Count)
+	}
+	if len(snap.Events) != 1 || snap.Events[0].Kind != "freeze" || snap.Events[0].A != 5 {
+		t.Fatalf("events = %+v", snap.Events)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dsh_b_total", "second").Add(0, 2)
+	r.NewCounter("dsh_a_total", "first").Add(0, 1)
+	r.NewGauge("dsh_g", "a gauge").Set(9)
+	h := r.NewHistogram("dsh_lat_ns", "latency")
+	h.Observe(0, 1000)
+	h.Observe(0, 3000)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP dsh_a_total first\n# TYPE dsh_a_total counter\ndsh_a_total 1\n",
+		"# TYPE dsh_b_total counter\ndsh_b_total 2\n",
+		"# TYPE dsh_g gauge\ndsh_g 9\n",
+		"# TYPE dsh_lat_ns histogram\n",
+		"dsh_lat_ns_bucket{le=\"+Inf\"} 2\n",
+		"dsh_lat_ns_sum 4000\n",
+		"dsh_lat_ns_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Counters must sort before each other deterministically.
+	if strings.Index(out, "dsh_a_total") > strings.Index(out, "dsh_b_total") {
+		t.Fatalf("metrics not sorted:\n%s", out)
+	}
+	// Cumulative bucket counts must be monotone and end at the count.
+	prev := uint64(0)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "dsh_lat_ns_bucket") {
+			continue
+		}
+		var cum uint64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &cum); err != nil {
+			t.Fatalf("unparsable bucket line %q", line)
+		}
+		if cum < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = cum
+	}
+	if prev != 2 {
+		t.Fatalf("final cumulative bucket = %d, want 2", prev)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c_total", "").Add(0, 5)
+	h := r.NewHistogram("h_ns", "")
+	h.Observe(0, 2000)
+	r.Trace().Record("compact", 1, 2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Gauges     map[string]int64  `json:"gauges"`
+		Histograms map[string]struct {
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50"`
+			P999  float64 `json:"p999"`
+		} `json:"histograms"`
+		Events []struct {
+			Kind string `json:"kind"`
+			A    int64  `json:"a"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Counters["c_total"] != 5 {
+		t.Fatalf("counter = %d, want 5", doc.Counters["c_total"])
+	}
+	if doc.Histograms["h_ns"].Count != 1 || doc.Histograms["h_ns"].P50 <= 0 {
+		t.Fatalf("histogram = %+v", doc.Histograms["h_ns"])
+	}
+	if len(doc.Events) != 1 || doc.Events[0].Kind != "compact" {
+		t.Fatalf("events = %+v", doc.Events)
+	}
+}
+
+// TestRecordPathAllocFree pins the overhead contract: recording a
+// counter, a histogram sample, or a trace event performs zero heap
+// allocations.
+func TestRecordPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	h := r.NewHistogram("h_ns", "")
+	tr := r.Trace()
+	stripe := NextStripe()
+	if n := testing.AllocsPerRun(1000, func() { c.Add(stripe, 3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(stripe, 12345) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { tr.Record("freeze.inline", 1, 2) }); n != 0 {
+		t.Fatalf("Trace.Record allocates %v per op", n)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	stripe := NextStripe()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc(stripe)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.NewHistogram("h_ns", "")
+	stripe := NextStripe()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(stripe, uint64(i))
+	}
+}

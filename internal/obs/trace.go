@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultTraceCap bounds the event ring of a registry: new events
+// overwrite the oldest once the ring is full, so the trace is a sliding
+// window over recent lifecycle activity, not a log.
+const defaultTraceCap = 256
+
+// Event is one lifecycle event: a freeze, a compaction, a GC fold, a
+// snapshot-barrier fallback, a WAL rotation, a recovery phase, a durable
+// fault. Kind is a constant string chosen by the recording site and A/B
+// are two free integer payloads whose meaning the kind defines (rows and
+// nanoseconds, bytes and position, ...) — events carry no formatted text,
+// so recording one never allocates.
+type Event struct {
+	// Seq numbers events in record order across the whole trace (it keeps
+	// counting as old events are overwritten, so gaps in a window reveal
+	// how much was dropped).
+	Seq  uint64
+	Time time.Time
+	Kind string
+	A, B int64
+}
+
+// Trace is a bounded ring buffer of lifecycle events. Recording takes a
+// short mutex (events are orders of magnitude rarer than counter
+// updates — per freeze, not per insert) and writes into preallocated
+// storage.
+type Trace struct {
+	mu   sync.Mutex
+	ring []Event
+	seq  uint64
+}
+
+// newTrace returns an empty trace with the given capacity.
+func newTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = defaultTraceCap
+	}
+	return &Trace{ring: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when the ring is full.
+func (t *Trace) Record(kind string, a, b int64) {
+	now := time.Now()
+	t.mu.Lock()
+	t.ring[t.seq%uint64(len(t.ring))] = Event{
+		Seq:  t.seq,
+		Time: now,
+		Kind: kind,
+		A:    a,
+		B:    b,
+	}
+	t.seq++
+	t.mu.Unlock()
+}
+
+// Events returns the buffered events oldest-first. The slice is a copy.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.seq
+	capa := uint64(len(t.ring))
+	start := uint64(0)
+	count := n
+	if n > capa {
+		start = n - capa
+		count = capa
+	}
+	out := make([]Event, 0, count)
+	for s := start; s < n; s++ {
+		out = append(out, t.ring[s%capa])
+	}
+	return out
+}
+
+// Trace returns the registry's event trace.
+func (r *Registry) Trace() *Trace { return r.trace }
+
+// RecordEvent records one lifecycle event in the Default registry's
+// trace.
+func RecordEvent(kind string, a, b int64) { Default.trace.Record(kind, a, b) }

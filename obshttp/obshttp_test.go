@@ -1,0 +1,155 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dsh/internal/obs"
+)
+
+// testHandler builds a handler over a private registry populated with one
+// metric of each kind, so format assertions do not depend on what the
+// rest of the process has recorded in the Default registry.
+func testHandler(t *testing.T) (http.Handler, *obs.Registry) {
+	t.Helper()
+	r := obs.NewRegistry()
+	c := r.NewCounter("test_ops_total", "operations")
+	g := r.NewGauge("test_open", "open handles")
+	h := r.NewHistogram("test_latency_ns", "op latency")
+	c.Add(0, 42)
+	g.Set(-3)
+	for v := uint64(1); v <= 1<<20; v <<= 1 {
+		h.Observe(0, v)
+	}
+	return handlerFor(r), r
+}
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("read %s body: %v", path, err)
+	}
+	return res, string(body)
+}
+
+// promLine matches one Prometheus text-format sample: a metric name with
+// an optional label set, a space, and a number.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]`)
+
+func TestMetricsEndpointWellFormedPrometheus(t *testing.T) {
+	h, _ := testHandler(t)
+	res, body := get(t, h, "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("line %d is not a well-formed sample: %q", i+1, line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE test_ops_total counter",
+		"test_ops_total 42",
+		"# TYPE test_open gauge",
+		"test_open -3",
+		"# TYPE test_latency_ns histogram",
+		`test_latency_ns_bucket{le="+Inf"} 21`,
+		"test_latency_ns_count 21",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\nbody:\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugVarsDecodesAsJSON(t *testing.T) {
+	h, _ := testHandler(t)
+	res, body := get(t, h, "/debug/vars")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", res.StatusCode)
+	}
+	var doc struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Gauges     map[string]int64  `json:"gauges"`
+		Histograms map[string]struct {
+			Count uint64  `json:"count"`
+			P99   float64 `json:"p99"`
+		} `json:"histograms"`
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v\nbody:\n%s", err, body)
+	}
+	if got := doc.Counters["test_ops_total"]; got != 42 {
+		t.Errorf("counters[test_ops_total] = %d, want 42", got)
+	}
+	if got := doc.Gauges["test_open"]; got != -3 {
+		t.Errorf("gauges[test_open] = %d, want -3", got)
+	}
+	hist := doc.Histograms["test_latency_ns"]
+	if hist.Count != 21 || hist.P99 <= 0 {
+		t.Errorf("histograms[test_latency_ns] = %+v, want count 21 and positive p99", hist)
+	}
+}
+
+func TestPprofAndIndexRoutes(t *testing.T) {
+	h, _ := testHandler(t)
+	res, body := get(t, h, "/")
+	if res.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: status=%d body=%q", res.StatusCode, body)
+	}
+	res, body = get(t, h, "/debug/pprof/")
+	if res.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: status=%d", res.StatusCode)
+	}
+	if res, _ := get(t, h, "/no-such-page"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d, want 404", res.StatusCode)
+	}
+}
+
+func TestStartServesDefaultRegistry(t *testing.T) {
+	// Record into the Default registry through a private metric so the
+	// assertion does not depend on what else the test binary has done.
+	name := fmt.Sprintf("test_start_probe_%d_total", len(t.Name()))
+	obs.NewCounter(name, "start probe").Add(0, 7)
+
+	srv, addr, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	res, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if !strings.Contains(string(body), name+" 7") {
+		t.Fatalf("served registry is missing %q", name)
+	}
+}
+
+func TestStartRejectsBadAddress(t *testing.T) {
+	if _, _, err := Start("256.0.0.1:bogus"); err == nil {
+		t.Fatal("Start on a bogus address did not fail")
+	}
+}
