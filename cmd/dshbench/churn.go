@@ -7,9 +7,7 @@ import (
 	"time"
 
 	"dsh"
-	"dsh/internal/core"
 	"dsh/internal/index"
-	"dsh/internal/sphere"
 	"dsh/internal/stats"
 	"dsh/internal/workload"
 	"dsh/internal/xrand"
@@ -48,6 +46,9 @@ type churnConfig struct {
 	// ids) or "hash" (keyed upserts through InsertKeyed, which on a
 	// ShardedIndex hash-routes keys to shards).
 	Routing string
+	// Family selects the serving hash family (see servingFamily); empty
+	// means the historical default, SimHash^6 at L = 32.
+	Family string
 }
 
 // dynamicOptions translates the string flags into index options.
@@ -99,8 +100,10 @@ func runChurn(w io.Writer, cfg churnConfig) error {
 	}
 	keyed := cfg.Routing == "hash"
 	rng := xrand.New(cfg.Seed)
-	fam := core.Power[[]float64](sphere.SimHash(cfg.Dim), 6)
-	const L = 32
+	fam, L, err := servingFamily(orDefault(cfg.Family, "simhash"), cfg.Dim)
+	if err != nil {
+		return err
+	}
 
 	initial := cfg.Points / 2
 	pts := workload.SpherePoints(rng, cfg.Points, cfg.Dim)
@@ -121,8 +124,8 @@ func runChurn(w io.Writer, cfg churnConfig) error {
 	}
 	defer dx.Close()
 	buildTime := time.Since(buildStart)
-	fmt.Fprintf(w, "churn: n0=%d inserts=%d queries=%d batch=%d workers=%d dim=%d L=%d policy=%s freeze=%s deletes=%.2f routing=%s\n",
-		initial, cfg.Points-initial, cfg.Queries, cfg.BatchSize, cfg.Workers, cfg.Dim, L,
+	fmt.Fprintf(w, "churn: family=%s n0=%d inserts=%d queries=%d batch=%d workers=%d dim=%d L=%d policy=%s freeze=%s deletes=%.2f routing=%s\n",
+		fam.Name(), initial, cfg.Points-initial, cfg.Queries, cfg.BatchSize, cfg.Workers, cfg.Dim, L,
 		orDefault(cfg.Policy, "all"), orDefault(cfg.Freeze, "inline"), cfg.Deletes, orDefault(cfg.Routing, "rr"))
 	fmt.Fprintf(w, "build: %v\n", buildTime)
 
@@ -208,11 +211,19 @@ func runChurn(w io.Writer, cfg churnConfig) error {
 		time.Since(compactStart), dx.Len(), dx.Segments(), dx.MemtableLen())
 	printGCRow(w, "post-compact gc", dx.GCStats())
 
+	evalsBefore := dsh.Metrics().Counters["dsh_query_hash_evals_total"]
 	steadyAgg, steadyAllocs := runPhase(queries[half:], nil)
+	steadyEvals := dsh.Metrics().Counters["dsh_query_hash_evals_total"] - evalsBefore
 	printChurnRow(w, "post-compact", steadyAgg, steadyAllocs)
 	if churnAgg.QPS > 0 && steadyAgg.QPS > 0 {
 		fmt.Fprintf(w, "compaction speedup: %.2fx\n", steadyAgg.QPS/churnAgg.QPS)
 	}
+	// Hash-vs-probe decomposition of the post-compact scalar serving path:
+	// the serving loop above hashes inline per query, so its mean latency
+	// splits into the dedicated hashing pass's per-query cost and the
+	// probing/candidate remainder.
+	hashPerQ := hashCostPerQuery(xrand.New(cfg.Seed+2), fam, L, queries[half:])
+	printCostSplit(w, hashPerQ, steadyAgg.LatMean, steadyAgg, steadyEvals)
 	printMetricsTable(w)
 	return nil
 }

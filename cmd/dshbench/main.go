@@ -68,6 +68,7 @@ func main() {
 	batch := flag.Int("batch", 256, "throughput/churn: queries per batch")
 	workers := flag.Int("workers", 0, "throughput/churn: batch workers (0 = GOMAXPROCS)")
 	dim := flag.Int("dim", 24, "throughput/churn: dimension")
+	family := flag.String("family", "", "throughput/churn: serving hash family (cp, fastcp, simhash or batchsimhash; default: the annulus family in -throughput, simhash in -churn)")
 	policy := flag.String("policy", "all", "churn: background compaction policy (all, tiered or leveled)")
 	freeze := flag.String("freeze", "inline", "churn: memtable freeze mode (inline or async)")
 	shards := flag.Int("shards", 1, "churn, recover: ShardedIndex shard count (>1 runs the multi-writer or sharded-recovery variant)")
@@ -146,6 +147,7 @@ func main() {
 			Writers:   *writers,
 			Deletes:   *deletes,
 			Routing:   *routing,
+			Family:    *family,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dshbench: %v\n", err)
@@ -154,14 +156,19 @@ func main() {
 		return
 	}
 	if *throughput {
-		runThroughput(os.Stdout, throughputConfig{
+		err := runThroughput(os.Stdout, throughputConfig{
 			Points:    *points,
 			Queries:   *queries,
 			BatchSize: *batch,
 			Workers:   *workers,
 			Dim:       *dim,
 			Seed:      *seed,
+			Family:    *family,
 		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dshbench: %v\n", err)
+			os.Exit(2)
+		}
 		return
 	}
 

@@ -8,7 +8,6 @@ import (
 
 	"dsh/internal/core"
 	"dsh/internal/index"
-	"dsh/internal/sphere"
 	"dsh/internal/stats"
 	"dsh/internal/workload"
 	"dsh/internal/xrand"
@@ -37,16 +36,18 @@ type shardPassResult struct {
 
 func runShardedChurn(w io.Writer, cfg churnConfig, opts index.DynamicOptions) error {
 	rng := xrand.New(cfg.Seed)
-	fam := core.Power[[]float64](sphere.SimHash(cfg.Dim), 6)
-	const L = 32
+	fam, L, err := servingFamily(orDefault(cfg.Family, "simhash"), cfg.Dim)
+	if err != nil {
+		return err
+	}
 	initial := cfg.Points / 2
 	pts := workload.SpherePoints(rng, cfg.Points, cfg.Dim)
 	queries := workload.SpherePoints(rng, cfg.Queries, cfg.Dim)
 	// main.go rejects non-positive values before this mode is reached.
 	shards, writers := cfg.Shards, cfg.Writers
 
-	fmt.Fprintf(w, "churn: n0=%d inserts=%d queries=%d batch=%d workers=%d writers=%d shards=%d dim=%d L=%d policy=%s freeze=%s deletes=%.2f routing=%s\n",
-		initial, cfg.Points-initial, cfg.Queries, cfg.BatchSize, cfg.Workers, writers, shards, cfg.Dim, L,
+	fmt.Fprintf(w, "churn: family=%s n0=%d inserts=%d queries=%d batch=%d workers=%d writers=%d shards=%d dim=%d L=%d policy=%s freeze=%s deletes=%.2f routing=%s\n",
+		fam.Name(), initial, cfg.Points-initial, cfg.Queries, cfg.BatchSize, cfg.Workers, writers, shards, cfg.Dim, L,
 		orDefault(cfg.Policy, "all"), orDefault(cfg.Freeze, "inline"), cfg.Deletes, orDefault(cfg.Routing, "rr"))
 
 	// Sharded pass first, then the single-shard (single structural lock)

@@ -74,6 +74,11 @@ type (
 	Pair[P any] = core.Pair[P]
 	// Hasher maps points to 64-bit hash values.
 	Hasher[P any] = core.Hasher[P]
+	// BatchHasher is a Hasher that evaluates whole blocks of points per
+	// call, emitting bit-identical keys to point-at-a-time Hash; the index
+	// batch engine and builders use it to keep one repetition's draws
+	// cache-resident while a block streams through.
+	BatchHasher[P any] = core.BatchHasher[P]
 	// CPF is a collision probability function with domain metadata.
 	CPF = core.CPF
 	// Domain identifies a CPF's argument convention.
@@ -161,6 +166,23 @@ func CrossPolytope(d int) Family[[]float64] { return sphere.CrossPolytope(d) }
 
 // AntiCrossPolytope returns the query-negated CP- family (Corollary 2.2).
 func AntiCrossPolytope(d int) Family[[]float64] { return sphere.AntiCrossPolytope(d) }
+
+// FastCrossPolytope returns the FFT-accelerated CP+ family: the dense
+// Gaussian rotation replaced by rounds of (random sign flips x
+// Walsh-Hadamard transform) over the input zero-padded to a power of two,
+// so one hash costs O(d log d) instead of O(d^2) with statistically
+// matching collision probabilities. Its hashers implement BatchHasher.
+func FastCrossPolytope(d int) Family[[]float64] { return sphere.FastCrossPolytope(d) }
+
+// FastAntiCrossPolytope returns the query-negated fast CP- family, the
+// structured-rotation analogue of AntiCrossPolytope.
+func FastAntiCrossPolytope(d int) Family[[]float64] { return sphere.FastAntiCrossPolytope(d) }
+
+// PackedSimHash returns k independent SimHash hyperplanes packed row-major
+// into one matrix whose hasher emits the k sign bits as a single key: the
+// CPF equals Power(SimHash(d), k)'s, but the hashers implement BatchHasher
+// and evaluate query blocks as a cache-blocked matrix product.
+func PackedSimHash(d, k int) Family[[]float64] { return sphere.PackedSimHash(d, k) }
 
 // Filter is the Section 2.2 cap-sequence family (Theorem 1.2).
 type Filter = sphere.Filter

@@ -64,6 +64,53 @@ func TestFacadeSphereFamilies(t *testing.T) {
 	}
 }
 
+func TestFacadeFastHashFamilies(t *testing.T) {
+	rng := dsh.NewRand(5)
+	fast := dsh.FastCrossPolytope(24)
+	anti := dsh.FastAntiCrossPolytope(24)
+	// Padded to n=32, the asymptotic CPF mirrors between the fast pair.
+	if f, g := fast.CPF().Eval(0.4), anti.CPF().Eval(-0.4); math.Abs(f-g) > 1e-14 {
+		t.Errorf("fast CP mirror identity broken: %v vs %v", f, g)
+	}
+	pair := fast.Sample(rng)
+	bh, ok := pair.H.(dsh.BatchHasher[[]float64])
+	if !ok {
+		t.Fatal("FastCrossPolytope hasher should implement dsh.BatchHasher")
+	}
+	pts := make([][]float64, 9)
+	for i := range pts {
+		p := make([]float64, 24)
+		var norm float64
+		for j := range p {
+			p[j] = rng.NormFloat64()
+			norm += p[j] * p[j]
+		}
+		norm = math.Sqrt(norm)
+		for j := range p {
+			p[j] /= norm
+		}
+		pts[i] = p
+	}
+	keys := make([]uint64, len(pts))
+	bh.HashBatch(pts, keys)
+	for i, p := range pts {
+		if keys[i] != pair.H.Hash(p) {
+			t.Fatal("HashBatch keys differ from Hash through the facade")
+		}
+	}
+
+	packed := dsh.PackedSimHash(24, 6)
+	power := dsh.Power(dsh.SimHash(24), 6)
+	for _, a := range []float64{-0.5, 0, 0.6} {
+		if math.Abs(packed.CPF().Eval(a)-power.CPF().Eval(a)) > 1e-12 {
+			t.Errorf("PackedSimHash CPF differs from Power(SimHash) at %v", a)
+		}
+	}
+	if _, ok := packed.Sample(rng).H.(dsh.BatchHasher[[]float64]); !ok {
+		t.Fatal("PackedSimHash hasher should implement dsh.BatchHasher")
+	}
+}
+
 func TestFacadePolynomialFamilies(t *testing.T) {
 	p := dsh.NewPolynomial(0.5, 1) // t + 0.5
 	scheme, err := dsh.PolynomialFamily(64, p)

@@ -23,6 +23,21 @@ type Hasher[P any] interface {
 	Hash(p P) uint64
 }
 
+// BatchHasher is implemented by hashers that can evaluate a whole block of
+// points in one call. HashBatch fills out[i] with exactly the key Hash
+// would return for points[i] — implementations must produce bit-identical
+// keys to point-at-a-time Hash calls (same floating-point evaluation order
+// per point), so candidate streams derived from batched keys match the
+// scalar path — while amortizing per-call setup and keeping one draw's
+// parameters cache-resident as the block streams through. The index batch
+// engine uses it to hash Q queries against one repetition's draws before
+// moving to the next repetition. out must have at least len(points)
+// entries; implementations panic otherwise.
+type BatchHasher[P any] interface {
+	Hasher[P]
+	HashBatch(points []P, out []uint64)
+}
+
 // HasherFunc adapts a plain function to the Hasher interface.
 type HasherFunc[P any] func(P) uint64
 

@@ -1,11 +1,19 @@
 // Package fft implements an iterative radix-2 complex fast Fourier
-// transform and circular convolution. It is the computational substrate for
-// TensorSketch (internal/sketch), which the paper cites ([42], Pham & Pagh)
-// as the way to evaluate the Valiant polynomial embeddings of Theorem 5.1 in
-// near-linear time.
+// transform, circular convolution, and an in-place real fast
+// Walsh-Hadamard transform. The complex transform is the computational
+// substrate for TensorSketch (internal/sketch), which the paper cites
+// ([42], Pham & Pagh) as the way to evaluate the Valiant polynomial
+// embeddings of Theorem 5.1 in near-linear time; the Walsh-Hadamard round
+// (FWHT) is the spectral half of the structured pseudo-rotations behind
+// the fast cross-polytope families (internal/sphere, after Kennedy & Ward,
+// "Fast Cross-Polytope LSH"), together with the pooled power-of-two-padded
+// Scratch buffers that keep the hashing hot path allocation-free.
 package fft
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // IsPowerOfTwo reports whether n is a positive power of two.
 func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
@@ -72,6 +80,76 @@ func transform(x []complex128, inverse bool) {
 		}
 	}
 }
+
+// FWHT computes the in-place unnormalized fast Walsh-Hadamard transform of
+// x: x <- H_n x with H_n the {-1,+1} Hadamard matrix of order n = len(x),
+// which must be a power of two (it panics otherwise). The transform is
+// O(n log n), touches no memory beyond x, and performs no allocations.
+//
+// H_n is symmetric with H_n H_n = n I, so applying FWHT twice multiplies
+// the input by n; dividing by sqrt(n) makes it orthonormal. The hashing
+// pipelines skip the normalization entirely because a uniform positive
+// scale changes neither an argmax nor a sign.
+func FWHT(x []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if !IsPowerOfTwo(n) {
+		panic("fft: length must be a power of two")
+	}
+	for length := 1; length < n; length <<= 1 {
+		for start := 0; start < n; start += length << 1 {
+			for k := start; k < start+length; k++ {
+				a, b := x[k], x[k+length]
+				x[k] = a + b
+				x[k+length] = a - b
+			}
+		}
+	}
+}
+
+// Scratch is a pooled real work buffer for in-place transform rounds on
+// the hashing hot path. Buffers are pooled process-wide (not per hasher)
+// because one hasher may be shared by many concurrent query workers; a
+// warmed pool makes Acquire/Release allocation-free in steady state.
+type Scratch struct{ buf []float64 }
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// Acquire returns a pooled Scratch whose buffer has length
+// NextPowerOfTwo(n) and unspecified contents. Callers that fill the whole
+// buffer themselves use this; callers starting from a point use
+// AcquirePadded. Release the Scratch when done.
+func Acquire(n int) *Scratch {
+	s := scratchPool.Get().(*Scratch)
+	p := NextPowerOfTwo(n)
+	if cap(s.buf) < p {
+		s.buf = make([]float64, p)
+	}
+	s.buf = s.buf[:p]
+	return s
+}
+
+// AcquirePadded returns a pooled Scratch holding a copy of x zero-padded
+// to length NextPowerOfTwo(len(x)), ready for FWHT/FFT rounds. The pad
+// region is re-zeroed on every acquisition, so reused pool buffers never
+// leak a previous caller's values.
+func AcquirePadded(x []float64) *Scratch {
+	s := Acquire(len(x))
+	copy(s.buf, x)
+	for i := len(x); i < len(s.buf); i++ {
+		s.buf[i] = 0
+	}
+	return s
+}
+
+// Data returns the scratch buffer. It is valid only until Release.
+func (s *Scratch) Data() []float64 { return s.buf }
+
+// Release returns the Scratch to the pool. The buffer must not be used
+// after Release.
+func (s *Scratch) Release() { scratchPool.Put(s) }
 
 // Convolve returns the circular convolution of a and b, which must have the
 // same power-of-two length n: out[k] = sum_i a[i] * b[(k-i) mod n].

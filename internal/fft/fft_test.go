@@ -1,8 +1,10 @@
 package fft
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -165,6 +167,247 @@ func TestEmptyFFT(t *testing.T) {
 	IFFT(nil)
 	if out := Convolve(nil, nil); out != nil {
 		t.Fatal("empty convolution should be nil")
+	}
+}
+
+// naiveFWHT multiplies by the Hadamard matrix defined recursively:
+// H_1 = [1], H_2n = [[H_n, H_n], [H_n, -H_n]].
+func naiveFWHT(x []float64) []float64 {
+	n := len(x)
+	if n == 1 {
+		return []float64{x[0]}
+	}
+	half := n / 2
+	lo := make([]float64, half)
+	hi := make([]float64, half)
+	for i := 0; i < half; i++ {
+		lo[i] = x[i] + x[i+half]
+		hi[i] = x[i] - x[i+half]
+	}
+	return append(naiveFWHT(lo), naiveFWHT(hi)...)
+}
+
+func TestFWHTMatchesNaive(t *testing.T) {
+	rng := xrand.New(11)
+	for _, n := range []int{1, 2, 4, 8, 32} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64Range(-1, 1)
+		}
+		want := naiveFWHT(append([]float64(nil), x...))
+		FWHT(x)
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-12 {
+				t.Fatalf("n=%d: FWHT[%d] = %v, want %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFWHTInvolution checks H(Hx) = n*x (H_n H_n = n I), the property that
+// makes the sign-flip x Hadamard rounds pseudo-rotations: up to the
+// uniform scale sqrt(n) per round, the transform is orthogonal.
+func TestFWHTInvolution(t *testing.T) {
+	f := func(seed uint64, logN uint8) bool {
+		n := 1 << (logN%8 + 1)
+		rng := xrand.New(seed)
+		x := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			orig[i] = x[i]
+		}
+		FWHT(x)
+		FWHT(x)
+		for i := range x {
+			if math.Abs(x[i]-float64(n)*orig[i]) > 1e-9*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFWHTParseval checks orthogonality via energies: ||Hx||^2 = n ||x||^2.
+func TestFWHTParseval(t *testing.T) {
+	rng := xrand.New(12)
+	n := 128
+	x := make([]float64, n)
+	var before float64
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		before += x[i] * x[i]
+	}
+	FWHT(x)
+	var after float64
+	for _, v := range x {
+		after += v * v
+	}
+	if math.Abs(after/float64(n)-before) > 1e-9*before {
+		t.Fatalf("Parseval violated: %v vs %v", after/float64(n), before)
+	}
+}
+
+func TestFWHTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("should panic for length 6")
+		}
+	}()
+	FWHT(make([]float64, 6))
+}
+
+func TestFWHTEmpty(t *testing.T) {
+	FWHT(nil) // must not panic
+}
+
+func TestAcquirePaddedZeroPads(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 7, 9, 17, 31, 33, 64} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i + 1)
+		}
+		s := AcquirePadded(x)
+		buf := s.Data()
+		if len(buf) != NextPowerOfTwo(n) {
+			t.Fatalf("n=%d: padded length %d, want %d", n, len(buf), NextPowerOfTwo(n))
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] != x[i] {
+				t.Fatalf("n=%d: buf[%d] = %v, want %v", n, i, buf[i], x[i])
+			}
+		}
+		for i := n; i < len(buf); i++ {
+			if buf[i] != 0 {
+				t.Fatalf("n=%d: pad position %d = %v, want 0", n, i, buf[i])
+			}
+		}
+		s.Release()
+	}
+}
+
+// TestAcquirePaddedReusedScratchIsClean dirties a pooled buffer, releases
+// it, and checks that a smaller re-acquisition re-zeroes the pad region.
+func TestAcquirePaddedReusedScratchIsClean(t *testing.T) {
+	s := Acquire(64)
+	for i := range s.Data() {
+		s.Data()[i] = math.NaN()
+	}
+	s.Release()
+	// The pool is not guaranteed to return the same buffer; loop a few
+	// acquisitions so at least one reuse is overwhelmingly likely.
+	for trial := 0; trial < 8; trial++ {
+		s2 := AcquirePadded([]float64{1, 2, 3})
+		buf := s2.Data()
+		if len(buf) != 4 || buf[0] != 1 || buf[1] != 2 || buf[2] != 3 || buf[3] != 0 {
+			t.Fatalf("trial %d: reused scratch not re-padded: %v", trial, buf)
+		}
+		s2.Release()
+	}
+}
+
+// TestFWHTScratchPoolRace hammers the pooled scratch from many goroutines
+// under -race: each round-trips a distinct vector through two transforms
+// and checks it recovers the input, so cross-goroutine buffer sharing
+// would corrupt results as well as trip the race detector.
+func TestFWHTScratchPoolRace(t *testing.T) {
+	const workers = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w) + 1)
+			x := make([]float64, 24) // pads to 32
+			for it := 0; it < iters; it++ {
+				for i := range x {
+					x[i] = rng.NormFloat64()
+				}
+				s := AcquirePadded(x)
+				buf := s.Data()
+				FWHT(buf)
+				FWHT(buf)
+				for i := range x {
+					if math.Abs(buf[i]/32-x[i]) > 1e-9 {
+						errs <- fmt.Errorf("worker %d iter %d: scratch corrupted at %d", w, it, i)
+						s.Release()
+						return
+					}
+				}
+				s.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// --- Convolve edge cases ---
+
+func TestConvolveLengthOne(t *testing.T) {
+	got := ConvolveReal([]float64{3}, []float64{-2})
+	if len(got) != 1 || math.Abs(got[0]+6) > 1e-12 {
+		t.Fatalf("length-1 convolution = %v, want [-6]", got)
+	}
+	c := Convolve([]complex128{2i}, []complex128{3})
+	if len(c) != 1 || cmplx.Abs(c[0]-6i) > 1e-12 {
+		t.Fatalf("length-1 complex convolution = %v, want [6i]", c)
+	}
+}
+
+func TestConvolveRealEmpty(t *testing.T) {
+	if out := ConvolveReal(nil, nil); out != nil && len(out) != 0 {
+		t.Fatalf("empty ConvolveReal = %v, want empty", out)
+	}
+}
+
+// TestConvolvePaddingBoundary exercises lengths on both sides of a
+// power-of-two boundary: 2^k works, 2^k+1 panics.
+func TestConvolvePaddingBoundary(t *testing.T) {
+	rng := xrand.New(6)
+	for _, n := range []int{2, 4, 8} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64Range(-1, 1)
+			b[i] = rng.Float64Range(-1, 1)
+		}
+		got := ConvolveReal(a, b)
+		for k := 0; k < n; k++ {
+			var want float64
+			for i := 0; i < n; i++ {
+				want += a[i] * b[(k-i+n)%n]
+			}
+			if math.Abs(got[k]-want) > 1e-9 {
+				t.Fatalf("n=%d conv[%d] = %v, want %v", n, k, got[k], want)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length 2^k+1 should panic")
+		}
+	}()
+	ConvolveReal(make([]float64, 5), make([]float64, 5))
+}
+
+func BenchmarkFWHT1024(b *testing.B) {
+	rng := xrand.New(1)
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FWHT(x)
 	}
 }
 

@@ -33,6 +33,17 @@ type BatchOptions struct {
 	// query by Index.QueryBatch (<= 0 means no limit). The other batch
 	// entry points ignore it.
 	MaxCandidates int
+	// NoBlockHash disables the repetition-blocked batch pre-hash in the
+	// distinct-candidate and range-reporting batch paths. By default those
+	// paths hash the whole query block against one repetition's draws at a
+	// time before any probing starts (using core.BatchHasher when the
+	// family's query hasher implements it), which keeps each repetition's
+	// parameters cache-resident across the block; results and stats are
+	// bit-identical either way. Per-query Latency excludes the shared
+	// pre-hash; Wall (and therefore QPS) includes it. The annulus batch
+	// path never pre-hashes: its 8L early termination usually stops after
+	// a few repetitions, so hashing all L up front would be wasted work.
+	NoBlockHash bool
 	// Rand, when non-nil, supplies per-query deterministic generators: it
 	// is Split once per query in query order before any worker starts, so
 	// randomized per-query work is reproducible regardless of how queries
@@ -187,17 +198,45 @@ func recordBatch(start time.Time) time.Duration {
 	return wall
 }
 
-// collectBatch is the shared distinct-candidate batch engine: one pooled
-// sourceQuerier per worker, results identical to sequential
-// CollectDistinct calls in query order. Both backends' QueryBatch methods
-// delegate here.
+// batchPreHash runs the repetition-blocked pre-hash for a batch unless
+// disabled, returning the key block (nil when skipped) and the wall time
+// it cost. Callers fold that time back into the batch wall so QPS stays
+// honest about total work.
+func batchPreHash[P any](src candidateSource[P], queries []P, opts BatchOptions) (*blockKeys, time.Duration) {
+	if opts.NoBlockHash {
+		return nil, 0
+	}
+	start := time.Now()
+	bk := blockHash(src, queries, opts.workerCount(len(queries)))
+	if bk == nil {
+		return nil, 0
+	}
+	return bk, time.Since(start)
+}
+
+// installPreKeys points a pooled querier at query i's column of the key
+// block; a nil block is a no-op (the querier hashes inline as usual).
+func installPreKeys[P any](sq *sourceQuerier[P], bk *blockKeys, i int) {
+	if bk != nil {
+		sq.preKeys, sq.preStride, sq.preOff = bk.keys, bk.q, i
+	}
+}
+
+// collectBatch is the shared distinct-candidate batch engine: the query
+// block is pre-hashed repetition by repetition (see blockHash), then one
+// pooled sourceQuerier per worker consumes the key block. Results are
+// identical to sequential CollectDistinct calls in query order. Both
+// backends' QueryBatch methods delegate here.
 func collectBatch[P any](src candidateSource[P], queries []P, opts BatchOptions) ([][]int, []QueryStats, BatchStats) {
 	out := make([][]int, len(queries))
 	per := make([]QueryStats, len(queries))
+	bk, preWall := batchPreHash(src, queries, opts)
 	wall := runBatchScratch(len(queries), opts, src.acquireSQ, src.releaseSQ,
 		func(i int, _ *xrand.Rand, sq *sourceQuerier[P]) {
 			start := time.Now()
+			installPreKeys(sq, bk, i)
 			res, st := sq.collectDistinct(queries[i], opts.MaxCandidates)
+			sq.preKeys = nil
 			if len(res) > 0 {
 				out[i] = make([]int, len(res))
 				copy(out[i], res)
@@ -205,7 +244,10 @@ func collectBatch[P any](src candidateSource[P], queries []P, opts BatchOptions)
 			per[i] = st
 			per[i].Latency = time.Since(start)
 		})
-	return out, per, AggregateStats(per, wall)
+	if bk != nil {
+		bk.release()
+	}
+	return out, per, AggregateStats(per, wall+preWall)
 }
 
 // QueryBatch collects distinct candidates for every query concurrently,
@@ -221,7 +263,10 @@ func (ix *Index[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int, []Query
 // QueryBatch answers every annulus query concurrently, over either
 // backend. Element i of the returned slice is exactly what
 // Query(queries[i]) returns: the id of some point within the report
-// interval, or -1 after the 8L early termination bound.
+// interval, or -1 after the 8L early termination bound. This path skips
+// the repetition-blocked pre-hash on purpose: annulus queries usually
+// terminate after scanning a few repetitions, so hashing every query
+// against all L draws up front would mostly be thrown away.
 func (ai *AnnulusIndex[P]) QueryBatch(queries []P, opts BatchOptions) ([]int, []QueryStats, BatchStats) {
 	out := make([]int, len(queries))
 	per := make([]QueryStats, len(queries))
@@ -242,13 +287,19 @@ func (rr *RangeReporter[P]) QueryBatch(queries []P, opts BatchOptions) ([][]int,
 	out := make([][]int, len(queries))
 	per := make([]QueryStats, len(queries))
 	src := rr.src
+	bk, preWall := batchPreHash(src, queries, opts)
 	wall := runBatchScratch(len(queries), opts, src.acquireSQ, src.releaseSQ,
 		func(i int, _ *xrand.Rand, sq *sourceQuerier[P]) {
 			start := time.Now()
+			installPreKeys(sq, bk, i)
 			out[i], per[i] = sq.appendRange(nil, queries[i], rr.inRange)
+			sq.preKeys = nil
 			per[i].Latency = time.Since(start)
 		})
-	return out, per, AggregateStats(per, wall)
+	if bk != nil {
+		bk.release()
+	}
+	return out, per, AggregateStats(per, wall+preWall)
 }
 
 // QueryBatch answers every hyperplane query concurrently, mirroring

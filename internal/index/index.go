@@ -115,15 +115,22 @@ func (ix *Index[P]) freezeNegG() {
 	ix.negG = negHashers(ix.pairs)
 }
 
-// New builds an index over points with L repetitions of the family.
+// New builds an index over points with L repetitions of the family. The
+// build is already repetition-blocked (all points are hashed against one
+// draw before the next is sampled), so when the family's data hasher
+// implements core.BatchHasher the whole column is hashed in one call.
 func New[P any](rng *xrand.Rand, family core.Family[P], L int, points []P) *Index[P] {
 	ix := newIndexShell(family, L, points)
 	keys := make([]uint64, len(points))
 	for i := 0; i < L; i++ {
 		ix.pairs[i] = family.Sample(rng)
 		h := ix.pairs[i].H
-		for j, p := range points {
-			keys[j] = h.Hash(p)
+		if bh, ok := h.(core.BatchHasher[P]); ok {
+			bh.HashBatch(points, keys)
+		} else {
+			for j, p := range points {
+				keys[j] = h.Hash(p)
+			}
 		}
 		ix.tables[i] = buildFlatTable(keys)
 	}

@@ -118,6 +118,15 @@ type sourceQuerier[P any] struct {
 	buf     []int32
 	neg     []float64
 	negOK   bool
+	// preKeys, when non-nil, is a rep-major pre-hashed key block installed
+	// by the batch engine: gKey(i, q) reads preKeys[i*preStride+preOff]
+	// instead of evaluating g_i. blockHash computes the block with the
+	// exact per-repetition path gKey would take, so consuming it is
+	// bit-identical to hashing inline. The batch worker clears preKeys
+	// after each query.
+	preKeys   []uint64
+	preStride int
+	preOff    int
 	// stripe is this querier's metrics stripe, drawn once at construction;
 	// queriers are per-goroutine, so concurrent batch workers record onto
 	// distinct counter cache lines.
@@ -185,7 +194,12 @@ func (sq *sourceQuerier[P]) prepNeg(q P) bool {
 
 // gKey returns g_i(q), negating q once per query (into the reused scratch
 // buffer) when repetition i's query hasher supports the pre-negated path.
+// When the batch engine installed a pre-hashed key block the key is read
+// from it instead of re-evaluated.
 func (sq *sourceQuerier[P]) gKey(i int, q P) uint64 {
+	if sq.preKeys != nil {
+		return sq.preKeys[i*sq.preStride+sq.preOff]
+	}
 	if nh := sq.negG[i]; nh != nil {
 		if sq.prepNeg(q) {
 			return nh.HashNeg(sq.neg)

@@ -12,6 +12,12 @@ import (
 // crossPolytopeHasher applies a random Gaussian matrix and maps the point
 // to the closest signed standard basis vector of the rotated image, i.e.
 // the coordinate of maximum absolute value together with its sign.
+//
+// Tie-breaking contract (shared with the fast variant's argmaxAbs, and
+// pinned by TestCrossPolytopeTieBreak): on equal |v| the lowest coordinate
+// index wins — the comparison is strictly greater-than — so dense and fast
+// cross-polytope hashers resolve the (measure-zero, but floating-point
+// reachable) tie cases identically and deterministically.
 type crossPolytopeHasher struct {
 	rows [][]float64
 }
@@ -29,11 +35,7 @@ func (c crossPolytopeHasher) Hash(p Point) uint64 {
 			neg = v < 0
 		}
 	}
-	h := uint64(best) << 1
-	if neg {
-		h |= 1
-	}
-	return h
+	return cpKey(best, neg)
 }
 
 type crossPolytope struct {

@@ -1,0 +1,243 @@
+package sphere
+
+import (
+	"math"
+	"testing"
+
+	"dsh/internal/core"
+	"dsh/internal/vec"
+	"dsh/internal/xrand"
+)
+
+// stdErr is the binomial standard error of a Monte-Carlo estimate, with a
+// half-count floor so zero-hit estimates still carry uncertainty.
+func stdErr(e core.Estimate) float64 {
+	p := e.P
+	if e.Hits == 0 {
+		p = 0.5 / float64(e.Trials)
+	}
+	return math.Sqrt(p * (1 - p) / float64(e.Trials))
+}
+
+// TestFastCrossPolytopeMatchesDenseCPF is the differential test behind the
+// drop-in claim: at a power-of-two dimension (so padding is the identity
+// and both families rotate the same space) the Monte-Carlo collision
+// probabilities of the structured pseudo-rotation must match the dense
+// Gaussian rotation within statistical error across the alpha range. The
+// tolerance is a 4-sigma combined-variance z-test plus a small allowance
+// (0.01) for the structured rotation's lower-order model error, which
+// Kennedy & Ward bound but do not eliminate.
+func TestFastCrossPolytopeMatchesDenseCPF(t *testing.T) {
+	const d = 64
+	trials := 4000
+	if testing.Short() {
+		trials = 1200
+	}
+	gen := func(rng *xrand.Rand, a float64) (Point, Point) {
+		return vec.UnitPairWithDot(rng, d, a)
+	}
+	rng := xrand.NewFromString(t.Name())
+	for _, alpha := range []float64{-0.9, -0.5, 0, 0.5, 0.9} {
+		dense := core.EstimateCollision(rng, CrossPolytope(d), gen, alpha, trials, 3)
+		fast := core.EstimateCollision(rng, FastCrossPolytope(d), gen, alpha, trials, 3)
+		tol := 4*math.Sqrt(stdErr(dense)*stdErr(dense)+stdErr(fast)*stdErr(fast)) + 0.01
+		if diff := math.Abs(dense.P - fast.P); diff > tol {
+			t.Errorf("alpha=%v: dense CPF %.4f vs fast CPF %.4f, |diff| %.4f > tol %.4f",
+				alpha, dense.P, fast.P, diff, tol)
+		}
+	}
+}
+
+// TestFastAntiCrossPolytopeMirrorsFast checks the anti variant is the
+// alpha -> -alpha mirror of the positive one, Monte-Carlo, like the dense
+// pair.
+func TestFastAntiCrossPolytopeMirrorsFast(t *testing.T) {
+	const d = 32
+	trials := 4000
+	if testing.Short() {
+		trials = 1200
+	}
+	gen := func(rng *xrand.Rand, a float64) (Point, Point) {
+		return vec.UnitPairWithDot(rng, d, a)
+	}
+	rng := xrand.NewFromString(t.Name())
+	const alpha = 0.5
+	plus := core.EstimateCollision(rng, FastCrossPolytope(d), gen, -alpha, trials, 3)
+	minus := core.EstimateCollision(rng, FastAntiCrossPolytope(d), gen, alpha, trials, 3)
+	tol := 4*math.Sqrt(stdErr(plus)*stdErr(plus)+stdErr(minus)*stdErr(minus)) + 0.005
+	if diff := math.Abs(plus.P - minus.P); diff > tol {
+		t.Errorf("mirror identity: CP+(-%v)=%.4f vs CP-(%v)=%.4f, |diff| %.4f > tol %.4f",
+			alpha, plus.P, alpha, minus.P, diff, tol)
+	}
+}
+
+func TestFastCrossPolytopeCollidesAtAlphaOne(t *testing.T) {
+	rng := xrand.New(3)
+	fam := FastCrossPolytope(24) // pads 24 -> 32
+	x := vec.RandomUnit(rng, 24)
+	for i := 0; i < 50; i++ {
+		pair := fam.Sample(rng)
+		if !pair.Collides(x, x) {
+			t.Fatal("identical points must always collide under CP+")
+		}
+	}
+}
+
+func TestFastCrossPolytopeCPFUsesPaddedDimension(t *testing.T) {
+	f := FastCrossPolytope(24).CPF()
+	want := CrossPolytopeAsymptoticCPF(32, 0.5)
+	if got := f.Eval(0.5); math.Abs(got-want) > 1e-14 {
+		t.Errorf("CPF(0.5) = %v, want padded-dimension value %v", got, want)
+	}
+	g := FastAntiCrossPolytope(24).CPF()
+	if got, want := g.Eval(0.5), CrossPolytopeAsymptoticCPF(32, -0.5); math.Abs(got-want) > 1e-14 {
+		t.Errorf("anti CPF(0.5) = %v, want %v", got, want)
+	}
+}
+
+// TestCrossPolytopeTieBreak pins the shared deterministic argmax contract:
+// on equal |v| the lowest index wins, for the dense hasher, the fast
+// hasher, and the argmaxAbs helper itself.
+func TestCrossPolytopeTieBreak(t *testing.T) {
+	// argmaxAbs directly.
+	if best, neg := argmaxAbs([]float64{1, -1}); best != 0 || neg {
+		t.Errorf("argmaxAbs([1,-1]) = (%d,%v), want (0,false)", best, neg)
+	}
+	if best, neg := argmaxAbs([]float64{-2, 2, 1}); best != 0 || !neg {
+		t.Errorf("argmaxAbs([-2,2,1]) = (%d,%v), want (0,true)", best, neg)
+	}
+	if best, neg := argmaxAbs([]float64{0.5, 1, -1}); best != 1 || neg {
+		t.Errorf("argmaxAbs([0.5,1,-1]) = (%d,%v), want (1,false)", best, neg)
+	}
+
+	// Dense hasher: rows picked so both rotated coordinates come out with
+	// equal magnitude; the first must win, carrying its own sign.
+	dense := crossPolytopeHasher{rows: [][]float64{{0, 1}, {1, 0}}}
+	if got := dense.Hash([]float64{1, 1}); got != cpKey(0, false) {
+		t.Errorf("dense tie (1,1): key %d, want %d", got, cpKey(0, false))
+	}
+	if got := dense.Hash([]float64{-1, -1}); got != cpKey(0, true) {
+		t.Errorf("dense tie (-1,-1): key %d, want %d", got, cpKey(0, true))
+	}
+
+	// Fast hasher with all-positive signs: three Hadamard rounds send
+	// (1, 0) to 2*(1, 1) — a tie that must resolve to index 0, positive.
+	ones := []float64{1, 1}
+	fast := &fastCrossPolytopeHasher{d: 2, n: 2, signs: [][]float64{ones, ones, ones}}
+	if got := fast.Hash([]float64{1, 0}); got != cpKey(0, false) {
+		t.Errorf("fast tie (1,0): key %d, want %d", got, cpKey(0, false))
+	}
+	if got := fast.Hash([]float64{-1, 0}); got != cpKey(0, true) {
+		t.Errorf("fast tie (-1,0): key %d, want %d", got, cpKey(0, true))
+	}
+}
+
+// TestFastCrossPolytopeBatchIdentical checks the core.BatchHasher
+// contract: HashBatch emits bit-identical keys to per-point Hash.
+func TestFastCrossPolytopeBatchIdentical(t *testing.T) {
+	rng := xrand.New(9)
+	pair := FastCrossPolytope(24).Sample(rng)
+	bh, ok := pair.H.(core.BatchHasher[Point])
+	if !ok {
+		t.Fatal("fast cross-polytope hasher must implement core.BatchHasher")
+	}
+	points := make([]Point, 101) // odd count exercises the remainder path
+	for i := range points {
+		points[i] = vec.RandomUnit(rng, 24)
+	}
+	out := make([]uint64, len(points))
+	bh.HashBatch(points, out)
+	for i, p := range points {
+		if want := pair.H.Hash(p); out[i] != want {
+			t.Fatalf("point %d: HashBatch key %d != Hash key %d", i, out[i], want)
+		}
+	}
+}
+
+func TestPackedSimHashBatchIdentical(t *testing.T) {
+	rng := xrand.New(10)
+	pair := PackedSimHash(24, 7).Sample(rng)
+	bh, ok := pair.H.(core.BatchHasher[Point])
+	if !ok {
+		t.Fatal("packed simhash hasher must implement core.BatchHasher")
+	}
+	points := make([]Point, 99)
+	for i := range points {
+		points[i] = vec.RandomUnit(rng, 24)
+	}
+	out := make([]uint64, len(points))
+	bh.HashBatch(points, out)
+	for i, p := range points {
+		if want := pair.H.Hash(p); out[i] != want {
+			t.Fatalf("point %d: HashBatch key %d != Hash key %d", i, out[i], want)
+		}
+	}
+}
+
+func TestPackedSimHashEmpirical(t *testing.T) {
+	checkSphereCPF(t, PackedSimHash(testDim, 4), []float64{-0.5, 0, 0.5, 0.9}, 20000)
+}
+
+func TestPackedSimHashCPFMatchesPower(t *testing.T) {
+	packed := PackedSimHash(testDim, 6).CPF()
+	power := core.Power[Point](SimHash(testDim), 6).CPF()
+	for _, a := range []float64{-0.9, -0.3, 0, 0.4, 0.8} {
+		if math.Abs(packed.Eval(a)-power.Eval(a)) > 1e-12 {
+			t.Errorf("CPF mismatch at %v: packed %v vs power %v", a, packed.Eval(a), power.Eval(a))
+		}
+	}
+}
+
+func TestFastFamilyGuards(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"FastCrossPolytope(0)":     func() { FastCrossPolytope(0) },
+		"FastAntiCrossPolytope(0)": func() { FastAntiCrossPolytope(0) },
+		"PackedSimHash(0,4)":       func() { PackedSimHash(0, 4) },
+		"PackedSimHash(8,0)":       func() { PackedSimHash(8, 0) },
+		"PackedSimHash(8,65)":      func() { PackedSimHash(8, 65) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFastHashPathsNoAllocs asserts the 0 allocs/op steady-state contract
+// on every new hash path: fast-CP Hash (pooled FWHT scratch), fast-CP
+// HashBatch, packed-simhash Hash, and packed-simhash HashBatch.
+func TestFastHashPathsNoAllocs(t *testing.T) {
+	rng := xrand.New(11)
+	cp := FastCrossPolytope(100).Sample(rng) // pads 100 -> 128
+	sh := PackedSimHash(64, 8).Sample(rng)
+	cpBatch := cp.H.(core.BatchHasher[Point])
+	shBatch := sh.H.(core.BatchHasher[Point])
+	points := make([]Point, 16)
+	for i := range points {
+		if i < 8 {
+			points[i] = vec.RandomUnit(rng, 100)
+		} else {
+			points[i] = vec.RandomUnit(rng, 64)
+		}
+	}
+	cpPts, shPts := points[:8], points[8:]
+	out := make([]uint64, 8)
+	// Warm the scratch pool before measuring.
+	cp.H.Hash(cpPts[0])
+	cpBatch.HashBatch(cpPts, out)
+	cases := map[string]func(){
+		"fastcp.Hash":            func() { cp.H.Hash(cpPts[0]) },
+		"fastcp.HashBatch":       func() { cpBatch.HashBatch(cpPts, out) },
+		"packedsimhash.Hash":     func() { sh.H.Hash(shPts[0]) },
+		"packedsimhash.HashBatch": func() { shBatch.HashBatch(shPts, out) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
