@@ -8,35 +8,16 @@ import (
 
 	"dsh/internal/core"
 	"dsh/internal/index"
-	"dsh/internal/sphere"
+	"dsh/internal/workload"
 	"dsh/internal/xrand"
 )
 
 // servingFamily resolves the -family flag into a family plus a repetition
-// count for the serving benchmarks:
-//
-//	cp            dense cross-polytope (O(d^2) Gaussian rotation per eval)
-//	fastcp        FFT-accelerated cross-polytope (O(d log d) pseudo-rotation)
-//	simhash       SimHash^6 via the generic Power combinator (scalar hashing)
-//	batchsimhash  row-packed SimHash k=6 implementing core.BatchHasher
-//
-// cp and fastcp share the asymptotic-CPF-derived L at alpha = 0.5 so their
-// runs are directly comparable; the simhash pair keeps the churn mode's
-// historical L = 32 so -family simhash reproduces the old default exactly.
+// count for the serving benchmarks. The name set and construction live in
+// workload.ServingFamily, shared with cmd/dshserve so both tools accept
+// identical names and build identical indexes.
 func servingFamily(name string, dim int) (core.Family[[]float64], int, error) {
-	switch name {
-	case "cp":
-		fam := sphere.CrossPolytope(dim)
-		return fam, index.RepetitionsForCPF(fam.CPF().Eval(0.5)), nil
-	case "fastcp":
-		fam := sphere.FastCrossPolytope(dim)
-		return fam, index.RepetitionsForCPF(fam.CPF().Eval(0.5)), nil
-	case "simhash":
-		return core.Power[[]float64](sphere.SimHash(dim), 6), 32, nil
-	case "batchsimhash":
-		return sphere.PackedSimHash(dim, 6), 32, nil
-	}
-	return nil, 0, fmt.Errorf("unknown -family %q (want cp, fastcp, simhash or batchsimhash)", name)
+	return workload.ServingFamily(name, dim)
 }
 
 // hashCostPerQuery times a dedicated hashing pass — L freshly sampled

@@ -75,6 +75,12 @@ func main() {
 	writers := flag.Int("writers", 1, "churn: concurrent insert/delete goroutines (multi-writer benchmark)")
 	deletes := flag.Float64("deletes", 0.25, "churn: per-insert probability of a trailing delete")
 	routing := flag.String("routing", "rr", "churn: insert routing (rr = dense round-robin ids via Insert, hash = keyed upserts via InsertKeyed)")
+	serveMode := flag.Bool("serve", false, "run the serving-edge load-generator mode (real HTTP connections, client-observed latency percentiles)")
+	serveAddr := flag.String("serveaddr", "", "serve: target address of a running dshserve (empty = self-host on 127.0.0.1:0 and report in-process coalescing/cache metrics)")
+	conns := flag.Int("conns", 16, "serve: concurrent client connections")
+	writeFrac := flag.Float64("writefrac", 0.1, "serve: fraction of ops that are inserts")
+	hotFrac := flag.Float64("hotfrac", 0.5, "serve: fraction of queries drawn from the hot set (cacheable working set)")
+	hotSet := flag.Int("hotset", 64, "serve: distinct hot query vectors")
 	metricsAddr := flag.String("metrics", "", "serve the metrics plane (Prometheus /metrics, /debug/vars, /debug/pprof) on this address for the duration of the run (e.g. :9100 or 127.0.0.1:0)")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the -metrics endpoint up this long after the run finishes (for scrapers that attach late)")
 	flag.Usage = func() {
@@ -100,11 +106,34 @@ func main() {
 		}()
 	}
 
-	if *throughput || *churn || *recoverMode {
+	if *throughput || *churn || *recoverMode || *serveMode {
 		if *points <= 0 || *queries <= 0 || *batch <= 0 || *dim <= 0 {
 			fmt.Fprintln(os.Stderr, "dshbench: -points, -queries, -batch and -dim must be positive")
 			os.Exit(2)
 		}
+	}
+	if *serveMode {
+		err := runServeLoad(os.Stdout, serveLoadConfig{
+			Points:    *points,
+			Queries:   *queries,
+			Dim:       *dim,
+			Seed:      *seed,
+			Shards:    max(*shards, 1),
+			Family:    *family,
+			Routing:   *routing,
+			Addr:      *serveAddr,
+			Conns:     *conns,
+			WriteFrac: *writeFrac,
+			HotFrac:   *hotFrac,
+			HotSet:    *hotSet,
+			BatchSize: *batch,
+			Workers:   *workers,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dshbench: %v\n", err)
+			os.Exit(2)
+		}
+		return
 	}
 	if *recoverMode {
 		if *shards < 1 {

@@ -55,6 +55,7 @@ import (
 	"dsh/internal/privacy"
 	"dsh/internal/psi"
 	"dsh/internal/rff"
+	"dsh/internal/serve"
 	"dsh/internal/sphere"
 	"dsh/internal/xrand"
 )
@@ -658,6 +659,28 @@ type TraceEvent = obs.Event
 // internally consistent; the set is not a global atomic cut. The snapshot
 // is a plain value — retain, diff and serialize it freely.
 func Metrics() MetricsSnapshot { return obs.Default.Snapshot() }
+
+// Serving edge. The serve subpackage is a stdlib-only HTTP front end over
+// a ShardedIndex: it coalesces queries arriving on separate connections
+// into shared batch calls, sheds load with 429/503 + Retry-After when an
+// in-flight budget or queue watermark is exceeded, and answers repeated
+// queries from a hot-query cache keyed by the per-repetition hash-key
+// signature, invalidated wholesale whenever the index epoch moves. See
+// cmd/dshserve for the standalone daemon and dshbench -serve for the
+// socket-level load generator.
+
+// Server is the HTTP serving edge over one ShardedIndex; create with
+// NewServer, mount Handler on an http.Server, shut down with Drain.
+type Server = serve.Server
+
+// ServeOptions configures a Server; the zero value of every field except
+// Dim is usable.
+type ServeOptions = serve.Options
+
+// NewServer builds a serving edge over ix and starts its dispatcher.
+func NewServer(ix *ShardedIndex[[]float64], opts ServeOptions) *Server {
+	return serve.New(ix, opts)
+}
 
 // Kernel density estimation (the paper's future-work application).
 

@@ -105,12 +105,21 @@ func (nb *negBlock) release() { negBlockPool.Put(nb) }
 // at consumption time (one per repetition scanned), so the metrics plane
 // reports identical totals whether or not a batch was pre-hashed.
 func blockHash[P any](src candidateSource[P], queries []P, workers int) *blockKeys {
+	if len(queries) < blockHashMinQueries || len(src.srcPairs()) == 0 {
+		return nil
+	}
+	return blockHashAll(src, queries, workers)
+}
+
+// blockHashAll is blockHash without the minimum-batch cutoff: it always
+// materializes the key block (callers that need every query's keys — the
+// signed batch path feeding the serving edge's hot-query cache — use it so
+// even a one-query batch yields a signature). Requires len(queries) > 0
+// and L > 0.
+func blockHashAll[P any](src candidateSource[P], queries []P, workers int) *blockKeys {
 	qn := len(queries)
 	pairs := src.srcPairs()
 	l := len(pairs)
-	if qn < blockHashMinQueries || l == 0 {
-		return nil
-	}
 	negG := src.srcNegG()
 	var negs [][]float64
 	var nb *negBlock

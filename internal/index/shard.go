@@ -162,6 +162,11 @@ func (sx *ShardedIndex[P]) L() int { return len(sx.pairs) }
 // Shards returns the number of shards.
 func (sx *ShardedIndex[P]) Shards() int { return len(sx.shards) }
 
+// Routing returns the insert-routing discipline the index was built with,
+// so serving layers can validate mutations (plain vs keyed) before
+// dispatching them instead of tripping the entry-point panics.
+func (sx *ShardedIndex[P]) Routing() Routing { return sx.routing }
+
 // Shard returns the s-th underlying DynamicIndex, for per-shard
 // inspection or a per-shard Snapshot. Mutating a shard directly (rather
 // than through the ShardedIndex) is safe but bypasses the global-id

@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the coalescer's linger timer deterministically: Now
+// advances only via Advance, and After registers a waiter that fires when
+// the clock passes its deadline. Tests synchronize on timer registration
+// (waitTimers) instead of sleeping.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(0, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	c.timers = append(c.timers, t)
+	return t.ch
+}
+
+// Advance moves the clock and fires every timer whose deadline passed.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			t.ch <- c.now
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	c.timers = kept
+}
+
+// waitTimers polls until at least n timers are registered — i.e. the
+// dispatcher has entered its linger loop — or the deadline passes.
+func (c *fakeClock) waitTimers(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		got := len(c.timers)
+		c.mu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal("dispatcher never registered a linger timer")
+}
+
+// waitReceived polls until the dispatcher has taken at least n queries
+// off the intake queue since the recorded baseline.
+func waitReceived(t *testing.T, co *coalescer, base, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if co.received.Load()-base >= n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("dispatcher absorbed %d queries, want %d", co.received.Load()-base, n)
+}
+
+// newClockedServer builds a keyed-index server on a fake clock with a
+// linger long enough that nothing flushes until the test advances time.
+func newClockedServer(t *testing.T, opts Options) (*Server, *fakeClock, func()) {
+	t.Helper()
+	ix, _ := newKeyedIndex(t, 50)
+	clk := newFakeClock()
+	opts.Dim = testDim
+	opts.clk = clk
+	srv := New(ix, opts)
+	return srv, clk, func() {
+		_ = srv.Close()
+		ix.Close()
+	}
+}
+
+// queryAsync fires one wire query (a fixed valid vector) against the
+// handler from a goroutine and returns a channel carrying the recorder
+// once the response is written.
+func queryAsync(srv *Server) <-chan *httptest.ResponseRecorder {
+	ch := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/v1/query",
+			bytes.NewReader([]byte(`{"vector":[1,1,1,1,1,1,1,1,1,1,1,1]}`)))
+		rr := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rr, req)
+		ch <- rr
+	}()
+	return ch
+}
+
+// TestCoalesceLingerFlush pins the linger semantics: short batches hold
+// until the timer fires, then flush together as one coalesced batch.
+func TestCoalesceLingerFlush(t *testing.T) {
+	srv, clk, done := newClockedServer(t, Options{
+		BatchSize: 8,
+		Linger:    time.Millisecond,
+		CacheSize: -1, // isolate coalescing from caching
+	})
+	defer done()
+
+	flushesBefore := mFlushes.Value()
+	coalescedBefore := mCoalesced.Value()
+	recBefore := srv.co.received.Load()
+
+	first := queryAsync(srv)
+	// The dispatcher takes the first query and enters the linger loop.
+	clk.waitTimers(t, 1)
+
+	second := queryAsync(srv)
+	third := queryAsync(srv)
+	waitReceived(t, srv.co, recBefore, 3) // all three absorbed into the open batch
+
+	clk.Advance(time.Millisecond) // linger expires -> flush of 3
+	for i, ch := range []<-chan *httptest.ResponseRecorder{first, second, third} {
+		rr := <-ch
+		if rr.Code != http.StatusOK {
+			t.Fatalf("query %d: status %d body %s", i, rr.Code, rr.Body.String())
+		}
+	}
+	if d := mFlushes.Value() - flushesBefore; d != 1 {
+		t.Fatalf("%d flushes, want exactly 1 (all three queries coalesced)", d)
+	}
+	if d := mCoalesced.Value() - coalescedBefore; d != 1 {
+		t.Fatalf("%d coalesced batches, want 1", d)
+	}
+}
+
+// TestCoalesceBatchSizeFlush pins the size trigger: once BatchSize
+// queries are parked the batch flushes with no clock movement at all.
+func TestCoalesceBatchSizeFlush(t *testing.T) {
+	srv, _, done := newClockedServer(t, Options{
+		BatchSize: 2,
+		Linger:    time.Hour, // only the size trigger may flush
+		CacheSize: -1,
+	})
+	defer done()
+
+	first := queryAsync(srv)
+	second := queryAsync(srv)
+	for i, ch := range []<-chan *httptest.ResponseRecorder{first, second} {
+		rr := <-ch
+		if rr.Code != http.StatusOK {
+			t.Fatalf("query %d: status %d (size-triggered flush never fired)", i, rr.Code)
+		}
+	}
+}
+
+// TestCoalesceWatermarkShedding drives the coalescer directly with a
+// blocked flush hook: parked queries pile up while the dispatcher is
+// busy, the shed watermark refuses offers before the channel is full,
+// and unblocking drains everything.
+func TestCoalesceWatermarkShedding(t *testing.T) {
+	release := make(chan struct{})
+	co := newCoalescer(1, 8, 3, 0, sysClock{}, func(batch []*pending) {
+		<-release
+		for _, p := range batch {
+			p.done <- result{}
+		}
+	})
+	go co.run()
+	defer func() {
+		co.stop()
+		<-co.done()
+	}()
+
+	mk := func() *pending { return &pending{done: make(chan result, 1)} }
+	// One offer fills a batch (size 1); the dispatcher takes it and
+	// blocks inside the flush hook.
+	base := co.received.Load()
+	if !co.offer(mk()) {
+		t.Fatal("initial offer refused")
+	}
+	waitReceived(t, co, base, 1)
+
+	// The dispatcher is stuck: exactly shedDepth queries may park, the
+	// next offer is shed.
+	for i := 0; i < 3; i++ {
+		if !co.offer(mk()) {
+			t.Fatalf("offer %d refused below the watermark", i)
+		}
+	}
+	if co.offer(mk()) {
+		t.Fatal("offer above the shed watermark accepted")
+	}
+
+	// Unblock: everything parked flushes and completes.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for co.received.Load()-base < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dispatcher drained %d of 4 queries", co.received.Load()-base)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestAdmissionBudgetSheds pins the in-flight semaphore: with a budget of
+// one, a second concurrent request is shed with 429 + Retry-After while
+// the first is parked, and the shed path releases nothing it didn't take.
+func TestAdmissionBudgetSheds(t *testing.T) {
+	srv, clk, done := newClockedServer(t, Options{
+		BatchSize:   8,
+		Linger:      time.Millisecond,
+		MaxInFlight: 1,
+		CacheSize:   -1,
+		RetryAfter:  3 * time.Second,
+	})
+	defer done()
+
+	first := queryAsync(srv)
+	clk.waitTimers(t, 1) // first request is parked and holds the only slot
+
+	rr := doRaw(t, srv.Handler(), http.MethodPost, "/v1/query",
+		[]byte(`{"vector":[1,1,1,1,1,1,1,1,1,1,1,1]}`))
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", rr.Code)
+	}
+	if got := rr.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	if n := srv.adm.inFlight(); n != 1 {
+		t.Fatalf("in-flight %d after shed, want 1 (shed must not release the holder's slot)", n)
+	}
+
+	clk.Advance(time.Millisecond)
+	if rr := <-first; rr.Code != http.StatusOK {
+		t.Fatalf("parked request: status %d", rr.Code)
+	}
+	waitInFlightZero(t, srv)
+}
+
+// TestServeGracefulDrain pins the drain ordering: a parked query
+// completes with 200, requests arriving after Drain begins get 503 +
+// Retry-After, and Drain returns with the budget empty.
+func TestServeGracefulDrain(t *testing.T) {
+	ix, _ := newKeyedIndex(t, 50)
+	defer ix.Close()
+	clk := newFakeClock()
+	srv := New(ix, Options{Dim: testDim, BatchSize: 8, Linger: time.Hour, CacheSize: -1, clk: clk})
+
+	parked := queryAsync(srv)
+	clk.waitTimers(t, 1) // the query is held open in the linger loop
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- srv.Close() }()
+
+	// A request racing the drain either lands before the latch (200) or
+	// after it (503); poll until the latch is visibly up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rr := doRaw(t, srv.Handler(), http.MethodPost, "/v1/query",
+			[]byte(`{"vector":[1,1,1,1,1,1,1,1,1,1,1,1]}`))
+		if rr.Code == http.StatusServiceUnavailable {
+			if got := rr.Header().Get("Retry-After"); got == "" {
+				t.Fatal("503 without Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain latch never refused a new request")
+		}
+	}
+
+	// The parked query still completes: stop breaks the linger loop and
+	// the final sweep flushes it.
+	if rr := <-parked; rr.Code != http.StatusOK {
+		t.Fatalf("parked query during drain: status %d, want 200", rr.Code)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := srv.adm.inFlight(); n != 0 {
+		t.Fatalf("%d slots still held after drain", n)
+	}
+}
+
+// waitInFlightZero polls the budget back to empty (the handler releases
+// its slot after writing the response, which races the test's receive).
+func waitInFlightZero(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.adm.inFlight() == 0 {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("in-flight budget stuck at %d", srv.adm.inFlight())
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"math"
+	"sync"
+
+	"dsh/internal/obs"
+)
+
+// The hot-query cache answers repeated queries without touching the index
+// — no hash evaluations, no bucket probes. Its canonical key is the
+// per-repetition hash-key signature QueryBatchSigned folds per query: two
+// queries with equal signatures probed identical buckets in every
+// repetition, so against one snapshot their results are identical. The
+// signature is only available *after* hashing, though, and a cache whose
+// lookup requires hashing saves nothing. So the cache is double-indexed:
+//
+//   - bySig: signature -> entry, the canonical, collision-meaningful key.
+//     Distinct vectors that share a signature share one entry (they
+//     provably share results).
+//   - byFP: a cheap fingerprint of the raw vector bits -> entry, the
+//     lookup path. A fingerprint hit short-circuits before any hashing.
+//
+// Entries are stamped with the snapshot epoch they were computed against;
+// a lookup that finds an entry from an older epoch discards it (counted
+// as stale), so a mutation can never be masked by the cache — this is the
+// invariant the cache-invalidation differential test pins.
+type queryCache struct {
+	mu     sync.Mutex
+	max    int
+	stripe uint32
+	bySig  map[uint64]*cacheEntry
+	byFP   map[uint64]*cacheEntry
+	// Intrusive LRU list: head is most recent, tail next to evict.
+	head, tail *cacheEntry
+}
+
+type cacheEntry struct {
+	sig   uint64
+	epoch uint64
+	// fps are all fingerprints aliased to this entry (distinct vectors
+	// whose signatures collided onto the same result set).
+	fps        []uint64
+	ids        []int
+	prev, next *cacheEntry
+}
+
+func newQueryCache(max int) *queryCache {
+	return &queryCache{
+		max:    max,
+		stripe: obs.NextStripe(),
+		bySig:  make(map[uint64]*cacheEntry, max),
+		byFP:   make(map[uint64]*cacheEntry, max),
+	}
+}
+
+// fingerprint hashes the raw bit pattern of vec plus the candidate bound
+// with FNV-1a 64. Using the exact float bits means no canonicalization
+// cost and no false merges (-0.0 vs 0.0 differ, which is fine — a miss is
+// only a missed optimization); folding max in keeps queries that differ
+// only in their candidate budget from aliasing.
+func fingerprint(vec []float64, max int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range vec {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime64
+		}
+	}
+	b := uint64(max)
+	for s := 0; s < 64; s += 8 {
+		h ^= (b >> s) & 0xff
+		h *= prime64
+	}
+	return h
+}
+
+// lookup returns the cached ids for fp if an entry exists at exactly
+// epoch. Misses and stale discards bump their counters; a hit refreshes
+// LRU position. The returned slice is shared — callers must not mutate it.
+func (c *queryCache) lookup(fp uint64, epoch uint64) ([]int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.byFP[fp]
+	if e == nil {
+		mCacheMisses.Inc(c.stripe)
+		return nil, false
+	}
+	if e.epoch != epoch {
+		mCacheStale.Inc(c.stripe)
+		c.remove(e)
+		return nil, false
+	}
+	mCacheHits.Inc(c.stripe)
+	c.moveToFront(e)
+	return e.ids, true
+}
+
+// store records ids as the result for the query with the given signature
+// and fingerprint, computed against epoch. If an entry for the signature
+// already exists at this epoch the fingerprint is aliased onto it (a new
+// vector provably sharing the result set); otherwise a fresh entry is
+// inserted and the LRU trimmed to the size bound.
+func (c *queryCache) store(sig, fp, epoch uint64, ids []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.bySig[sig]; e != nil {
+		if e.epoch == epoch {
+			if c.byFP[fp] != e {
+				c.byFP[fp] = e
+				e.fps = append(e.fps, fp)
+			}
+			c.moveToFront(e)
+			return
+		}
+		c.remove(e) // superseded by a newer epoch's result
+	}
+	e := &cacheEntry{sig: sig, epoch: epoch, fps: []uint64{fp}, ids: ids}
+	c.bySig[sig] = e
+	c.byFP[fp] = e
+	c.pushFront(e)
+	for len(c.bySig) > c.max && c.tail != nil {
+		mCacheEvict.Inc(c.stripe)
+		c.remove(c.tail)
+	}
+}
+
+// len reports the number of live entries (test hook).
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bySig)
+}
+
+// remove unlinks e from both maps and the LRU list. Caller holds mu.
+func (c *queryCache) remove(e *cacheEntry) {
+	delete(c.bySig, e.sig)
+	for _, fp := range e.fps {
+		if c.byFP[fp] == e {
+			delete(c.byFP, fp)
+		}
+	}
+	c.unlink(e)
+}
+
+func (c *queryCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *queryCache) pushFront(e *cacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *queryCache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

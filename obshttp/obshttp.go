@@ -34,8 +34,15 @@ import (
 //	/             a plain-text index of the above
 func Handler() http.Handler { return handlerFor(obs.Default) }
 
-func handlerFor(r *obs.Registry) http.Handler {
-	mux := http.NewServeMux()
+// Mount registers the metrics-plane endpoints (/metrics, /debug/vars,
+// /debug/pprof/*) on an existing mux, so servers with their own routes —
+// the dshserve network edge mounts it next to its /v1 endpoints — expose
+// the registry without a second listener. The index route ("/") is not
+// registered, leaving the root to the embedding server.
+func Mount(mux *http.ServeMux) { mountFor(mux, obs.Default) }
+
+// mountFor registers the registry endpoints on mux.
+func mountFor(mux *http.ServeMux, r *obs.Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
@@ -49,6 +56,11 @@ func handlerFor(r *obs.Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+func handlerFor(r *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mountFor(mux, r)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
@@ -59,6 +71,7 @@ func handlerFor(r *obs.Registry) http.Handler {
 	})
 	return mux
 }
+
 
 // Start listens on addr (use ":0" for an ephemeral port) and serves
 // Handler in a background goroutine. It returns the running server and
